@@ -1,0 +1,30 @@
+"""Ablation B — checkpoint (copy-on-write) cost.
+
+DoublePlay's spare-core overhead is dominated by checkpointing: every page
+the application dirties per epoch is copied once. Sweeping the per-page
+copy cost shows overhead scaling with checkpoint pressure — the knob a
+deployment tunes by sizing epochs against the application's write set.
+
+Run: pytest benchmarks/bench_ablation_checkpoint_cost.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "page_cow_copy", "overhead", "divergences"]
+
+
+def test_ablation_checkpoint_cost(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.ablation_checkpoint_cost(name="ocean", workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Ablation B: overhead vs copy-on-write page cost (ocean, W=2)"))
+    overheads = [row["overhead_raw"] for row in rows]
+    # overhead grows monotonically with page-copy cost
+    assert all(a <= b + 1e-9 for a, b in zip(overheads, overheads[1:]))
+    assert overheads[-1] > overheads[0]
+    # correctness is cost-independent
+    assert all(row["divergences"] == 0 for row in rows)

@@ -1,0 +1,31 @@
+"""Ablation C — how many spare cores does uniparallelism need?
+
+Each epoch re-executes W worker threads' work on one CPU, so sustaining
+the recording needs ~W executor cores. The sweep shrinks the executor
+pool below W and shows overhead climbing as the epoch-parallel pipeline
+falls behind — the paper's spare-core requirement, quantified.
+
+Run: pytest benchmarks/bench_ablation_spare_cores.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "workers", "executors", "overhead"]
+
+
+def test_ablation_spare_core_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.spare_core_sweep(name="fft", workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Ablation C: overhead vs executor pool size (fft, W=4)"))
+    overheads = [row["overhead_raw"] for row in rows]
+    # monotone non-increasing as executors grow
+    assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+    # one executor for four workers cannot keep up: overhead is severe
+    assert overheads[0] > 2.0
+    # a full pool (>= W) brings it down to the spare-core regime
+    assert overheads[-1] < 0.5

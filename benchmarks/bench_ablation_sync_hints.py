@@ -1,0 +1,31 @@
+"""Ablation A — synchronisation-order hints.
+
+The hints make the epoch-parallel execution follow the thread-parallel
+run's grant order. With them, race-free programs never diverge; without
+them, lock-grant lotteries alone cause rollbacks. This ablation justifies
+the sync-log bytes in Table 2.
+
+Run: pytest benchmarks/bench_ablation_sync_hints.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "sync_hints", "divergences", "overhead"]
+NAMES = ["mysql", "pbzip", "water", "apache"]
+
+
+def test_ablation_sync_hints(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.ablation_sync_hints(workers=2, names=NAMES),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Ablation A: sync-order hints on race-free workloads"))
+    with_hints = [r for r in rows if r["sync_hints"]]
+    without = [r for r in rows if not r["sync_hints"]]
+    assert all(r["divergences"] == 0 for r in with_hints)
+    assert sum(r["divergences"] for r in without) > sum(
+        r["divergences"] for r in with_hints
+    )

@@ -1,0 +1,34 @@
+"""Fig 10 — comparison with multiprocessor recording baselines.
+
+The design-space picture the paper paints: uniprocessor recording is
+simple but costs ~Wx; CREW page-ownership recording and value logging run
+on all cores but tax every shared access; DoublePlay (with spare cores)
+beats all three on the overhead axis.
+
+Run: pytest benchmarks/bench_fig10_baselines.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.metrics import geomean_overhead
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "doubleplay", "uniproc", "crew", "valuelog"]
+
+
+def test_fig10_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.baseline_comparison(workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Fig 10: recording overhead vs baselines (W=2)"))
+    dp = geomean_overhead([r["doubleplay_raw"] for r in rows])
+    uni = geomean_overhead([r["uniproc_raw"] for r in rows])
+    crew = geomean_overhead([r["crew_raw"] for r in rows])
+    # DoublePlay wins on average...
+    assert dp < uni
+    assert dp < crew
+    # ...and uniprocessor recording costs about a core's worth (W=2 -> ~1x
+    # extra for CPU-bound; geomean over the suite stays clearly above DP)
+    assert uni > 0.3

@@ -1,0 +1,35 @@
+"""Fig 7 — overhead without spare cores.
+
+When the epoch-parallel execution must share the application's own cores,
+uniparallelism costs roughly a second execution: overhead near (or above)
+2x, versus the modest spare-core numbers of Figs 5/6.
+
+Run: pytest benchmarks/bench_fig7_no_spare_cores.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "native", "makespan", "overhead", "epochs"]
+NAMES = ["pbzip", "pfscan", "apache", "fft", "ocean", "radix"]
+
+
+def test_fig7_no_spare_cores(benchmark):
+    def run():
+        return (
+            experiments.overhead_experiment(
+                workers=2, spare_cores=False, names=NAMES
+            ),
+            experiments.overhead_experiment(
+                workers=2, spare_cores=True, names=NAMES
+            ),
+        )
+
+    shared, spare = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(shared, COLUMNS, title="Fig 7: overhead with NO spare cores, W=2 (paper: ~2x)"))
+    shared_geo = shared[-1]["overhead_raw"]
+    spare_geo = spare[-1]["overhead_raw"]
+    # without spare cores the second execution is paid for in full
+    assert shared_geo > 0.6, f"{shared_geo:.1%} suspiciously low"
+    assert shared_geo > 2.5 * spare_geo

@@ -1,0 +1,34 @@
+"""Fig 8 — replay speed.
+
+Sequential replay serialises the whole execution on one CPU (~Wx native
+for CPU-bound programs). Parallel epoch replay re-executes all epochs
+concurrently from their checkpoints and approaches — and for I/O-bound
+programs beats — the native multicore time, which is DoublePlay's answer
+to "replay is as scalable as recording".
+
+Run: pytest benchmarks/bench_fig8_replay_speed.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.metrics import geomean_overhead
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "native", "sequential", "seq_x", "parallel", "par_x", "verified"]
+
+
+def test_fig8_replay_speed(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.replay_speed_experiment(workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Fig 8: replay time relative to native (W=2)"))
+    assert all(row["verified"] for row in rows)
+    for row in rows:
+        # parallel epoch replay beats sequential replay...
+        assert row["par_x_raw"] < row["seq_x_raw"], row["workload"]
+    # ...and on geometric mean sits well under sequential's cost
+    seq_geo = geomean_overhead([r["seq_x_raw"] - 1 for r in rows])
+    par_geo = geomean_overhead([r["par_x_raw"] - 1 for r in rows])
+    assert par_geo < seq_geo

@@ -1,0 +1,31 @@
+"""Fig 9 — epoch-length sensitivity.
+
+Short epochs commit sooner and bound rollback, but pay checkpoint overhead
+per epoch; very long epochs pay a deep pipeline drain (the final epoch's
+serialised re-execution). Overhead is minimised in between — the sweep
+shows the U-ish curve and that log size shrinks as epochs lengthen.
+
+Run: pytest benchmarks/bench_fig9_epoch_length.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = ["workload", "epoch_cycles", "epochs", "overhead", "log_bytes"]
+
+
+def test_fig9_epoch_length_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.epoch_length_experiment(name="pbzip", workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Fig 9: overhead vs epoch length (pbzip, W=2)"))
+    assert len(rows) >= 4
+    shortest = rows[0]   # divisor 4 -> longest epochs
+    longest_div = rows[-1]  # largest divisor -> shortest epochs
+    assert shortest["epochs"] < longest_div["epochs"]
+    # the extremes are both worse than the best point in between
+    best = min(row["overhead_raw"] for row in rows)
+    assert max(rows[0]["overhead_raw"], rows[-1]["overhead_raw"]) > best

@@ -1,0 +1,44 @@
+"""Table 1 — workload characteristics.
+
+Regenerates the paper's benchmark-description table: threads, instruction
+counts, syscalls, synchronisation operations, pages shared between
+threads, and detected data races for every workload in the suite.
+
+Run: pytest benchmarks/bench_table1_workloads.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = [
+    "workload",
+    "category",
+    "threads",
+    "instructions",
+    "cycles",
+    "syscalls",
+    "sync_ops",
+    "shared_pages",
+    "races",
+]
+
+
+def test_table1_workload_characteristics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.workload_characteristics(workers=2, scale=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Table 1: workload characteristics"))
+    by_name = {row["workload"]: row for row in rows}
+    # the racy micros race; the paper-suite workloads do not
+    assert by_name["racy-counter"]["races"] >= 1
+    assert by_name["racy-lazyinit"]["races"] >= 1
+    for name in ("pbzip", "pfscan", "aget", "apache", "mysql",
+                 "fft", "lu", "ocean", "radix", "water"):
+        assert by_name[name]["races"] == 0, name
+    # every workload is multithreaded and does real work
+    for row in rows:
+        assert row["threads"] >= 3
+        assert row["instructions"] > 100

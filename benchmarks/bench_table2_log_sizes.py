@@ -1,0 +1,42 @@
+"""Table 2 — log sizes.
+
+DoublePlay's log decomposes into the tiny uniprocessor schedule log, the
+sync acquisition order, and the syscall log (dominated by input data).
+For contrast the table includes what CREW page-ownership recording and
+value logging would write for the same executions — the paper's point is
+that uniparallel logs are orders of magnitude smaller on sharing-heavy
+programs.
+
+Run: pytest benchmarks/bench_table2_log_sizes.py --benchmark-only -s
+"""
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+
+COLUMNS = [
+    "workload",
+    "schedule",
+    "sync",
+    "syscall",
+    "dp_total",
+    "per_mcycle",
+    "crew",
+    "value_log",
+]
+
+
+def test_table2_log_sizes(benchmark):
+    rows = benchmark.pedantic(
+        lambda: experiments.log_size_experiment(workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, COLUMNS, title="Table 2: log sizes (DoublePlay vs baselines)"))
+    for row in rows:
+        assert row["dp_total_raw"] > 0
+    # value logging dwarfs DoublePlay's log on the sharing-heavy kernels
+    sharing_heavy = [r for r in rows if r["workload"] in ("water", "ocean", "fft")]
+    assert sharing_heavy
+    for row in sharing_heavy:
+        assert row["value_log_raw"] > row["dp_total_raw"]

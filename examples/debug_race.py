@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Debugging a data race with deterministic replay.
+
+The motivating DoublePlay use case: a program misbehaves occasionally
+because of a race. Natively, every run can give a different answer —
+unreproducible. Record once, and the buggy execution replays identically
+forever; single-epoch replay jumps straight to the interval where the
+racy outcome manifested, and the happens-before detector names the racing
+address.
+
+Run:  python examples/debug_race.py
+"""
+
+from repro import (
+    DoublePlayConfig,
+    DoublePlayRecorder,
+    MachineConfig,
+    Replayer,
+    build_workload,
+    run_native,
+)
+from repro.exec.trace import CollectingObserver
+from repro.race import find_races
+
+
+def main() -> None:
+    workers = 4
+    machine = MachineConfig(cores=workers)
+
+    # -- natively, the racy counter is timing-dependent --------------------
+    # (the simulator is deterministic for a fixed machine, so we model
+    # run-to-run timing variation by perturbing the machine — cores and
+    # quantum — the way cache and interrupt noise perturbs real hardware)
+    outputs = set()
+    instance = build_workload("racy-counter", workers=workers, scale=4, seed=0)
+    for attempt, (cores, quantum) in enumerate(((4, 600), (3, 500), (2, 350))):
+        native = run_native(
+            instance.image,
+            instance.setup,
+            MachineConfig(cores=cores, quantum=quantum),
+        )
+        outputs.add(native.output[0])
+        print(f"native run #{attempt}: counter = {native.output[0]} "
+              f"(expected {instance.expected['increments']} if race-free)")
+    print(f"distinct outcomes across timings: {sorted(outputs)}")
+
+    # -- the detector confirms there is a race -----------------------------
+    observer = CollectingObserver()
+    run_native(instance.image, instance.setup, machine, observers=[observer])
+    races = find_races(observer.events)
+    print(f"\nhappens-before detector: {len(races)} racing address(es)")
+    for race in races:
+        print(f"  addr {race.addr}: {race.kind} between threads "
+              f"{race.first_tid} and {race.second_tid}")
+
+    # -- record the buggy execution ----------------------------------------
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(machine=machine, epoch_cycles=native.duration // 12)
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    recording = result.recording
+    kernel = result.committed_kernel(instance.setup, instance.image.heap_base)
+    buggy_value = kernel.output[0]
+    print(
+        f"\nrecorded the buggy run: counter = {buggy_value}; "
+        f"{recording.divergences()} epoch divergences were forward-recovered"
+    )
+
+    # -- replay is deterministic: same answer, every time --------------------
+    replayer = Replayer(instance.image, machine)
+    for attempt in range(3):
+        replay = replayer.replay_sequential(recording)
+        assert replay.verified, replay.details
+    print("replayed 3x: every replay reproduces the committed execution exactly")
+
+    # -- jump straight into one epoch (no need to replay from the start) ----
+    target = recording.epochs[len(recording.epochs) // 2]
+    single = replayer.replay_epoch(recording, target.index)
+    assert single.verified
+    print(
+        f"replayed epoch {target.index} alone from its checkpoint "
+        f"({single.total_cycles} cycles) — the debugger's time-travel step"
+    )
+
+    # -- and ask each rolled-back epoch WHY it diverged ----------------------
+    from repro.analysis import diagnose_recording
+
+    diagnoses = diagnose_recording(instance.image, machine, recording)
+    racy_epochs = [d for d in diagnoses if d.racy]
+    counter_addr = instance.image.address_of("counter")
+    print(
+        f"\ndiagnosis: {len(diagnoses)} rolled-back epochs replayed under "
+        f"the race detector; {len(racy_epochs)} show a manifested race"
+    )
+    if racy_epochs:
+        sample = racy_epochs[0]
+        print(
+            f"  epoch {sample.epoch_index}: racing address(es) "
+            f"{sample.racy_addresses} (the counter lives at {counter_addr})"
+        )
+
+
+if __name__ == "__main__":
+    main()

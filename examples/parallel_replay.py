@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Parallel epoch replay: replaying as fast as you recorded.
+
+A uniprocessor recording replays serially — ~Wx slower than the original
+multicore run for CPU-bound programs. Because DoublePlay keeps per-epoch
+checkpoints, all epochs can replay concurrently; replay time approaches
+the native multicore time. This example measures both strategies across
+the scientific kernels.
+
+Run:  python examples/parallel_replay.py
+"""
+
+from repro import (
+    DoublePlayConfig,
+    DoublePlayRecorder,
+    MachineConfig,
+    Replayer,
+    build_workload,
+    run_native,
+)
+
+
+def main() -> None:
+    workers = 4
+    machine = MachineConfig(cores=workers)
+    print(f"{'workload':<8} {'native':>8} {'sequential':>11} {'parallel':>9}  speedup")
+    for name in ("fft", "lu", "ocean", "radix", "water"):
+        instance = build_workload(name, workers=workers, scale=10, seed=3)
+        native = run_native(instance.image, instance.setup, machine)
+        config = DoublePlayConfig(
+            machine=machine, epoch_cycles=max(native.duration // 16, 600)
+        )
+        result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+
+        replayer = Replayer(instance.image, machine)
+        sequential = replayer.replay_sequential(result.recording)
+        parallel = replayer.replay_parallel(result.recording, workers=workers)
+        assert sequential.verified and parallel.verified
+        speedup = sequential.makespan / parallel.makespan
+        print(
+            f"{name:<8} {native.duration:>8} {sequential.makespan:>11} "
+            f"{parallel.makespan:>9}  {speedup:.2f}x"
+        )
+    print("\nparallel epoch replay verified everywhere and beats sequential —")
+    print("the scalability the paper claims for replay, not just recording")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: record a program with DoublePlay, then replay it.
+
+Records the pbzip2-like workload (worker threads pulling blocks from a
+shared file under a mutex) with uniparallelism, prints what the recording
+contains, verifies both replay strategies, and round-trips the recording
+through its serialised form.
+
+Run:  python examples/quickstart.py
+"""
+
+import json
+
+from repro import (
+    DoublePlayConfig,
+    DoublePlayRecorder,
+    MachineConfig,
+    Recording,
+    Replayer,
+    build_workload,
+    run_native,
+)
+
+
+def main() -> None:
+    # -- build a workload: program image + simulated-world inputs ---------
+    workers = 2
+    instance = build_workload("pbzip", workers=workers, scale=12, seed=42)
+    machine = MachineConfig(cores=workers)
+
+    # -- how fast is it without recording? --------------------------------
+    native = run_native(instance.image, instance.setup, machine)
+    print(f"native run: {native.duration} cycles, output {native.output}")
+
+    # -- record with uniparallelism ----------------------------------------
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=native.duration // 18,  # ~18 epochs
+        spare_cores=True,
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    recording = result.recording
+    print(
+        f"recorded: {recording.epoch_count()} epochs, "
+        f"{recording.divergences()} divergences, "
+        f"logging overhead {result.overhead_vs(native.duration):.1%}"
+    )
+    print(f"log sizes: {recording.log_breakdown()}")
+
+    # the committed execution's outputs are checkable like any run's
+    kernel = result.committed_kernel(instance.setup, instance.image.heap_base)
+    assert instance.validate(kernel), "committed execution must validate"
+    print("committed execution validates against the workload oracle")
+
+    # -- replay -------------------------------------------------------------
+    replayer = Replayer(instance.image, machine)
+    sequential = replayer.replay_sequential(recording)
+    assert sequential.verified, sequential.details
+    print(f"sequential replay verified in {sequential.total_cycles} cycles")
+
+    parallel = replayer.replay_parallel(recording, workers=workers)
+    assert parallel.verified, parallel.details
+    print(
+        f"parallel epoch replay verified; makespan {parallel.makespan} cycles "
+        f"({parallel.makespan / native.duration:.2f}x native)"
+    )
+
+    # -- recordings serialise to plain JSON-compatible data -----------------
+    wire = json.dumps(recording.to_plain())
+    restored = Recording.from_plain(json.loads(wire), recording.initial_checkpoint)
+    assert replayer.replay_sequential(restored).verified
+    print(f"serialised recording: {len(wire)} JSON bytes; replays after restore")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The target environment has no `wheel` package and no network, so PEP-517
+editable installs (which need bdist_wheel) fail. `pip install -e . --no-use-pep517`
+— or plain `pip install -e .` on environments with wheel — both work.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro — a reproduction of DoublePlay (ASPLOS 2011).
+
+DoublePlay records multithreaded executions for deterministic replay using
+**uniparallelism**: a thread-parallel execution runs the program normally
+on multiple cores and generates epoch checkpoints, while an epoch-parallel
+execution re-runs each epoch on a single simulated CPU — so the only log
+needed is the timeslice order, syscall results, and sync acquisition
+order. Divergent epochs (data races) are committed by forward recovery.
+
+Everything runs on a deterministic discrete-event simulated multiprocessor
+(see DESIGN.md for the substitution rationale): guest programs are written
+in a tiny checkpointable ISA, time is counted in simulated cycles, and all
+results are exactly reproducible from a seed.
+
+Quick start::
+
+    from repro import (
+        build_workload, MachineConfig, DoublePlayConfig,
+        DoublePlayRecorder, Replayer, run_native,
+    )
+
+    inst = build_workload("pbzip", workers=2, scale=8, seed=1)
+    machine = MachineConfig(cores=2)
+    native = run_native(inst.image, inst.setup, machine)
+
+    config = DoublePlayConfig(machine=machine, epoch_cycles=native.duration // 18)
+    result = DoublePlayRecorder(inst.image, inst.setup, config).record()
+    print("overhead:", result.overhead_vs(native.duration))
+
+    replay = Replayer(inst.image, machine).replay_sequential(result.recording)
+    assert replay.verified
+"""
+
+from repro.baselines import (
+    record_crew,
+    record_uniprocessor,
+    record_value_log,
+    run_native,
+)
+from repro.core import (
+    DoublePlayConfig,
+    DoublePlayRecorder,
+    RecordResult,
+    Replayer,
+    ReplayResult,
+)
+from repro.errors import (
+    DeadlockError,
+    GuestFault,
+    ReplayError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa import Assembler, ProgramImage
+from repro.machine import CostModel, MachineConfig
+from repro.oskernel import Kernel, KernelSetup, SyscallKind
+from repro.oskernel.net import Arrival
+from repro.record import Recording
+from repro.workloads import build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "ProgramImage",
+    "MachineConfig",
+    "CostModel",
+    "Kernel",
+    "KernelSetup",
+    "SyscallKind",
+    "Arrival",
+    "Recording",
+    "DoublePlayConfig",
+    "DoublePlayRecorder",
+    "RecordResult",
+    "Replayer",
+    "ReplayResult",
+    "run_native",
+    "record_uniprocessor",
+    "record_crew",
+    "record_value_log",
+    "build_workload",
+    "workload_names",
+    "ReproError",
+    "GuestFault",
+    "SimulationError",
+    "DeadlockError",
+    "ReplayError",
+    "__version__",
+]

@@ -1,0 +1,107 @@
+"""Divergence diagnosis: which race caused a rollback?
+
+A recovered epoch means the epoch-parallel re-execution resolved some
+conflicting accesses differently than the thread-parallel run — i.e. a
+data race fired inside that epoch. Because the recording replays the
+epoch deterministically, we can re-execute exactly that interval under
+the happens-before detector and name the racing addresses, turning "epoch
+7 rolled back" into "threads 1025 and 1026 race on address 64".
+
+This is the workflow DoublePlay's authors pursued in follow-on work
+(using uniparallel replay as a race-analysis substrate); here it is a
+small composition of the replayer and the detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ReplayError
+from repro.exec.services import InjectedSyscalls
+from repro.exec.trace import CollectingObserver
+from repro.exec.uniprocessor import UniprocessorEngine
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.race.detector import Race, find_races
+from repro.record.recording import Recording
+from repro.record.sync_log import SyncOrderOracle
+
+
+@dataclass
+class EpochDiagnosis:
+    """What the detector found inside one replayed epoch."""
+
+    epoch_index: int
+    recovered: bool
+    races: List[Race] = field(default_factory=list)
+    #: guest word addresses involved in races
+    racy_addresses: List[int] = field(default_factory=list)
+
+    @property
+    def racy(self) -> bool:
+        return bool(self.races)
+
+
+def diagnose_epoch(
+    program: ProgramImage,
+    machine: MachineConfig,
+    recording: Recording,
+    epoch_index: int,
+) -> EpochDiagnosis:
+    """Replay one epoch under the race detector.
+
+    Requires the epoch's start checkpoint (materialise first for
+    deserialised recordings). The replayed interval contains exactly the
+    committed execution's accesses for that epoch, so any race reported
+    happened within it.
+    """
+    epoch = next((e for e in recording.epochs if e.index == epoch_index), None)
+    if epoch is None:
+        raise ReplayError(f"recording has no epoch {epoch_index}")
+    if epoch.start_checkpoint is None:
+        raise ReplayError(
+            f"epoch {epoch_index} has no materialised checkpoint; call "
+            "Replayer.materialize_checkpoints first"
+        )
+    observer = CollectingObserver()
+    engine = UniprocessorEngine.from_checkpoint(
+        program,
+        machine,
+        InjectedSyscalls(recording.syscalls_for_epochs()),
+        memory_snapshot=epoch.start_checkpoint.memory,
+        contexts=epoch.start_checkpoint.copy_contexts(),
+        sync_state=epoch.start_checkpoint.sync_state,
+        targets=dict(epoch.targets),
+        wake_blocked_io=True,
+        name=f"{program.name}/diagnose{epoch_index}",
+    )
+    engine.sync.oracle = SyncOrderOracle(epoch.sync_log)
+    engine.install_signal_records(recording.signal_records)
+    engine.observers.append(observer)
+    engine.run_schedule(epoch.schedule)
+    races = find_races(observer.events)
+    return EpochDiagnosis(
+        epoch_index=epoch_index,
+        recovered=epoch.recovered,
+        races=races,
+        racy_addresses=sorted({race.addr for race in races}),
+    )
+
+
+def diagnose_recording(
+    program: ProgramImage,
+    machine: MachineConfig,
+    recording: Recording,
+) -> List[EpochDiagnosis]:
+    """Diagnose every *recovered* epoch of a recording.
+
+    Recovered epochs are where divergence — and therefore a manifested
+    race — occurred; clean epochs are skipped (their races, if any, did
+    not fire).
+    """
+    return [
+        diagnose_epoch(program, machine, recording, epoch.index)
+        for epoch in recording.epochs
+        if epoch.recovered
+    ]

@@ -1,0 +1,42 @@
+"""Small metric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One workload's overhead measurement."""
+
+    workload: str
+    native: int
+    makespan: int
+    epochs: int
+    divergences: int
+
+    @property
+    def overhead(self) -> float:
+        return self.makespan / self.native - 1.0
+
+
+def geomean_overhead(overheads: Iterable[float]) -> float:
+    """Geometric mean of (1 + overhead) minus 1 — the paper's average."""
+    values = [1.0 + o for o in overheads]
+    if not values:
+        raise ValueError("no overheads to average")
+    return math.exp(sum(math.log(v) for v in values) / len(values)) - 1.0
+
+
+def fmt_pct(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def fmt_bytes(value: int) -> str:
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.2f} MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f} KiB"
+    return f"{value} B"

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(rows: Sequence[Dict], columns: Sequence[str], title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Missing keys render as empty cells; all values are ``str()``-ed.
+    """
+    cells: List[List[str]] = [[str(col) for col in columns]]
+    for row in rows:
+        cells.append([str(row.get(col, "")) for col in columns])
+    widths = [
+        max(len(line[index]) for line in cells) for index in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(
+        cells[0][index].ljust(widths[index]) for index in range(len(columns))
+    )
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in cells[1:]:
+        lines.append(
+            " | ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        )
+    return "\n".join(lines)

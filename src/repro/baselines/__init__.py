@@ -1,0 +1,29 @@
+"""Recording baselines DoublePlay is compared against.
+
+* :mod:`~repro.baselines.native` — no recording at all (the denominator of
+  every overhead figure).
+* :mod:`~repro.baselines.uniprocessor` — the classical single-CPU recorder
+  DoublePlay generalises: all threads timesliced on one core, schedule +
+  syscalls logged. Cheap logs, but forfeits multicore scalability.
+* :mod:`~repro.baselines.crew` — SMP-ReVirt-style multiprocessor recording
+  via concurrent-read-exclusive-write page ownership: every ownership
+  transition is a page-protection fault plus a log entry.
+* :mod:`~repro.baselines.value_log` — instruction-level recording that logs
+  the value of every read from a shared page.
+"""
+
+from repro.baselines.native import run_native, NativeResult
+from repro.baselines.uniprocessor import record_uniprocessor, UniprocessorRecordResult
+from repro.baselines.crew import record_crew, CrewResult
+from repro.baselines.value_log import record_value_log, ValueLogResult
+
+__all__ = [
+    "run_native",
+    "NativeResult",
+    "record_uniprocessor",
+    "UniprocessorRecordResult",
+    "record_crew",
+    "CrewResult",
+    "record_value_log",
+    "ValueLogResult",
+]

@@ -1,0 +1,123 @@
+"""CREW page-ownership recording (SMP-ReVirt style).
+
+Multiprocessor recording without uniparallelism must capture the order of
+shared-memory accesses. The page-protection approach gives each page a
+concurrent-read-exclusive-write state; any access that violates the current
+state takes a protection fault, transfers ownership, and appends a log
+entry. Fault cost and log volume both scale with *sharing*, which is why
+this baseline collapses on fine-grained-sharing workloads — the comparison
+the paper draws.
+
+Implemented as an access interceptor on the multicore engine: execution is
+identical to native, with per-access extra cycles and log accounting.
+Replay of CREW recordings is out of scope (the comparison is overhead and
+log size, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.exec.multicore import MulticoreEngine
+from repro.exec.services import LiveSyscalls
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.memory.layout import page_of
+from repro.oskernel.kernel import Kernel, KernelSetup
+
+#: approximate words per ownership-transfer log entry
+#: (page, old state, new state, vector timestamp)
+_ENTRY_WORDS = 4
+_WORD_BYTES = 8
+
+
+class _PageState:
+    __slots__ = ("owner", "readers")
+
+    def __init__(self) -> None:
+        #: exclusive owner tid, or None when in shared mode
+        self.owner = None
+        self.readers: Set[int] = set()
+
+
+@dataclass
+class CrewResult:
+    """Outcome of a CREW-recorded run."""
+
+    duration: int
+    faults: int
+    log_entries: int
+    log_bytes: int
+    output: List[int]
+    native_like_ops: int
+
+
+class CrewInterceptor:
+    """Maintains CREW state; charges faults; counts log entries."""
+
+    def __init__(self, fault_cost: int):
+        self.fault_cost = fault_cost
+        self.pages: Dict[int, _PageState] = {}
+        self.faults = 0
+        self.log_entries = 0
+
+    def __call__(self, tid: int, addr: int, is_write: bool) -> int:
+        page_no = page_of(addr)
+        state = self.pages.get(page_no)
+        if state is None:
+            state = self.pages[page_no] = _PageState()
+            # First touch: take it exclusive silently (like a fresh
+            # mapping after fork; no cross-CPU transfer to log).
+            if is_write:
+                state.owner = tid
+            else:
+                state.readers = {tid}
+            return 0
+        if is_write:
+            if state.owner == tid:
+                return 0
+            # Upgrade to exclusive: invalidate all other holders.
+            self.faults += 1
+            self.log_entries += 1
+            state.owner = tid
+            state.readers = set()
+            return self.fault_cost
+        # Read access.
+        if state.owner == tid:
+            return 0
+        if state.owner is not None:
+            # Downgrade exclusive → shared.
+            self.faults += 1
+            self.log_entries += 1
+            state.readers = {state.owner, tid}
+            state.owner = None
+            return self.fault_cost
+        if tid in state.readers:
+            return 0
+        # Join the reader set (needs a fault to update protections).
+        self.faults += 1
+        self.log_entries += 1
+        state.readers.add(tid)
+        return self.fault_cost
+
+
+def record_crew(
+    program: ProgramImage,
+    setup: KernelSetup,
+    machine: MachineConfig,
+) -> CrewResult:
+    """Run on ``machine.cores`` cores under CREW recording."""
+    kernel = Kernel(setup, program.heap_base)
+    engine = MulticoreEngine.boot(program, machine, LiveSyscalls(kernel))
+    interceptor = CrewInterceptor(machine.costs.crew_fault)
+    engine.access_interceptor = interceptor
+    engine.run()
+    return CrewResult(
+        duration=engine.time,
+        faults=interceptor.faults,
+        log_entries=interceptor.log_entries,
+        log_bytes=interceptor.log_entries * _ENTRY_WORDS * _WORD_BYTES,
+        output=list(kernel.output),
+        native_like_ops=engine.ops,
+    )

@@ -1,0 +1,47 @@
+"""Native execution: the program on its W cores, nothing recorded."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exec.multicore import MulticoreEngine
+from repro.exec.services import LiveSyscalls
+from repro.exec.trace import TraceObserver
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.oskernel.kernel import Kernel, KernelSetup
+
+
+@dataclass
+class NativeResult:
+    """Outcome of an unrecorded run."""
+
+    duration: int
+    output: List[int]
+    ops: int
+    final_digest: int
+    kernel: Kernel
+    engine: MulticoreEngine
+
+
+def run_native(
+    program: ProgramImage,
+    setup: KernelSetup,
+    machine: MachineConfig,
+    observers: Optional[Sequence[TraceObserver]] = None,
+) -> NativeResult:
+    """Run to completion on ``machine.cores`` cores with a live kernel."""
+    kernel = Kernel(setup, program.heap_base)
+    engine = MulticoreEngine.boot(program, machine, LiveSyscalls(kernel))
+    if observers:
+        engine.observers.extend(observers)
+    engine.run()
+    return NativeResult(
+        duration=engine.time,
+        output=list(kernel.output),
+        ops=engine.ops,
+        final_digest=engine.state_digest(),
+        kernel=kernel,
+        engine=engine,
+    )

@@ -1,0 +1,78 @@
+"""The uniprocessor recording baseline.
+
+This is the "simpler and faster mechanism of single-processor record and
+replay" the paper starts from: timeslice every thread on one CPU, log the
+timeslice order and syscall results. The log is as small as DoublePlay's —
+but a W-thread CPU-bound program pays roughly W× slowdown because it has
+renounced the other cores. DoublePlay's whole point is getting this
+recorder's simplicity at multicore speed.
+
+The result is packaged as a real one-epoch :class:`Recording`, so the
+standard :class:`~repro.core.replayer.Replayer` replays it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.exec.services import LiveSyscalls
+from repro.exec.uniprocessor import UniprocessorEngine
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallRecord
+from repro.record.recording import EpochRecord, Recording
+from repro.record.sync_log import SyncOrderLog
+
+
+@dataclass
+class UniprocessorRecordResult:
+    """A single-CPU recording and its duration."""
+
+    recording: Recording
+    duration: int
+    output: List[int]
+
+
+def record_uniprocessor(
+    program: ProgramImage,
+    setup: KernelSetup,
+    machine: MachineConfig,
+) -> UniprocessorRecordResult:
+    """Record the whole execution on one CPU (one giant epoch)."""
+    syscall_log: List[SyscallRecord] = []
+    kernel = Kernel(setup, program.heap_base)
+    services = LiveSyscalls(kernel, syscall_log)
+    engine = UniprocessorEngine.boot(program, machine, services)
+    committed_events: List = []
+    engine.acquisition_log = committed_events
+    manager = CheckpointManager()
+    initial = manager.initial(engine)
+    outcome = engine.run()
+    final = manager.take(engine, index=1)
+    recording = Recording(
+        program_name=program.name,
+        worker_threads=1,
+        initial_checkpoint=initial,
+        syscall_records=list(syscall_log),
+        final_digest=final.digest(),
+    )
+    recording.epochs.append(
+        EpochRecord(
+            index=0,
+            start_checkpoint=initial,
+            targets=final.targets(),
+            schedule=outcome.schedule,
+            sync_log=SyncOrderLog(tuple(committed_events)),
+            end_digest=final.digest(),
+            duration=outcome.duration,
+        )
+    )
+    recording.stats = {"divergences": 0, "epochs": 1, "makespan": engine.time}
+    return UniprocessorRecordResult(
+        recording=recording,
+        duration=engine.time,
+        output=list(kernel.output),
+    )

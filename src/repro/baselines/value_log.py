@@ -1,0 +1,77 @@
+"""Value-logging recording baseline.
+
+An instruction-level recorder that logs the value returned by every load
+from a *shared* page (one ever written by a different thread than the
+reader). Replay then needs no ordering at all — it feeds reads from the
+log — but the log grows with every shared read and the instrumentation
+taxes every one of them. This bounds the other end of the design space
+from CREW: small per-event cost, enormous volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.exec.multicore import MulticoreEngine
+from repro.exec.services import LiveSyscalls
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.memory.layout import page_of
+from repro.oskernel.kernel import Kernel, KernelSetup
+
+#: words per logged read (packed address delta + value)
+_ENTRY_WORDS = 2
+_WORD_BYTES = 8
+
+
+@dataclass
+class ValueLogResult:
+    """Outcome of a value-logged run."""
+
+    duration: int
+    logged_reads: int
+    log_bytes: int
+    output: List[int]
+
+
+class ValueLogInterceptor:
+    """Tracks page writers; charges and counts shared-read log entries."""
+
+    def __init__(self, entry_cost: int):
+        self.entry_cost = entry_cost
+        self.page_writers: Dict[int, Set[int]] = {}
+        self.logged_reads = 0
+
+    def __call__(self, tid: int, addr: int, is_write: bool) -> int:
+        page_no = page_of(addr)
+        writers = self.page_writers.get(page_no)
+        if is_write:
+            if writers is None:
+                self.page_writers[page_no] = {tid}
+            else:
+                writers.add(tid)
+            return 0
+        if writers and (len(writers) > 1 or tid not in writers):
+            self.logged_reads += 1
+            return self.entry_cost
+        return 0
+
+
+def record_value_log(
+    program: ProgramImage,
+    setup: KernelSetup,
+    machine: MachineConfig,
+) -> ValueLogResult:
+    """Run on ``machine.cores`` cores under value logging."""
+    kernel = Kernel(setup, program.heap_base)
+    engine = MulticoreEngine.boot(program, machine, LiveSyscalls(kernel))
+    interceptor = ValueLogInterceptor(machine.costs.value_log_entry)
+    engine.access_interceptor = interceptor
+    engine.run()
+    return ValueLogResult(
+        duration=engine.time,
+        logged_reads=interceptor.logged_reads,
+        log_bytes=interceptor.logged_reads * _ENTRY_WORDS * _WORD_BYTES,
+        output=list(kernel.output),
+    )

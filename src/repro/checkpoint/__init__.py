@@ -1,0 +1,13 @@
+"""Checkpoints: point-in-time captures of a whole execution.
+
+DoublePlay's thread-parallel execution takes a checkpoint at every epoch
+boundary; those checkpoints are what let epochs of the epoch-parallel
+execution run concurrently, each from "a different copy of the memory"
+(copy-on-write, so cheap). The same checkpoints seed forward recovery and
+parallel replay.
+"""
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.checkpoint.manager import CheckpointManager
+
+__all__ = ["Checkpoint", "CheckpointManager"]

@@ -1,0 +1,79 @@
+"""The checkpoint object.
+
+A checkpoint captures everything needed to (a) re-execute forward from this
+point on a fresh engine and (b) decide whether another execution reached
+"the same point": a copy-on-write memory snapshot, copies of every thread
+context, the exact synchronisation state, and — for live executions — the
+kernel state.
+
+The *boundary* of the epoch that starts here is defined per thread: the
+retired-op counts stored in the **next** checkpoint's contexts are the
+targets the epoch-parallel execution runs each thread to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.isa.context import ThreadContext, ThreadStatus
+from repro.memory.address_space import MemorySnapshot
+from repro.memory.hashing import combine_hashes, hash_structure
+
+
+@dataclass
+class Checkpoint:
+    """One captured execution state."""
+
+    index: int
+    time: int
+    memory: MemorySnapshot
+    contexts: Dict[int, ThreadContext]
+    sync_state: Tuple
+    kernel_state: Optional[Tuple] = None
+    #: pages dirtied in the interval that ended at this checkpoint
+    dirty_pages: int = 0
+    _digest: Optional[int] = field(default=None, repr=False)
+
+    def targets(self) -> Dict[int, int]:
+        """Per-thread retired-op counts — the epoch boundary definition."""
+        return {tid: ctx.retired for tid, ctx in self.contexts.items()}
+
+    def contexts_digest(self) -> int:
+        return hash_structure(
+            [self.contexts[tid].state_tuple() for tid in sorted(self.contexts)]
+        )
+
+    def digest(self) -> int:
+        """Guest-state digest: memory + normalised thread contexts.
+
+        Deliberately excludes kernel and sync-queue state; see
+        ``repro.core.divergence`` for why that is the correct equivalence
+        for epoch-boundary comparison.
+        """
+        if self._digest is None:
+            self._digest = combine_hashes(
+                [self.memory.content_hash(), self.contexts_digest()]
+            )
+        return self._digest
+
+    def live_threads(self) -> int:
+        return sum(
+            1
+            for ctx in self.contexts.values()
+            if ctx.status != ThreadStatus.EXITED
+        )
+
+    def copy_contexts(self) -> Dict[int, ThreadContext]:
+        """Fresh context copies safe to hand to a new engine."""
+        return {tid: ctx.copy() for tid, ctx in self.contexts.items()}
+
+    def release(self) -> None:
+        """Drop the memory snapshot's page pins (when discarded)."""
+        self.memory.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpoint(index={self.index}, time={self.time}, "
+            f"threads={len(self.contexts)}, pages={self.memory.page_count()})"
+        )

@@ -1,0 +1,82 @@
+"""Checkpoint creation with cost accounting.
+
+Taking a checkpoint quiesces the engine (all cores synchronise to the
+latest core clock — the brief pause the paper describes), pins the current
+pages into a snapshot, copies thread contexts, and charges the engine
+``checkpoint_base + checkpoint_page × pages`` cycles. The per-epoch *real*
+cost of checkpointing — copy-on-write page copies as execution dirties
+shared pages — is charged where it occurs, on the writing instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.exec.multicore import MulticoreEngine
+from repro.exec.services import LiveSyscalls
+
+
+class CheckpointManager:
+    """Takes and tracks the checkpoints of one recorded execution."""
+
+    def __init__(self) -> None:
+        self.taken: List[Checkpoint] = []
+        self.total_cost = 0
+
+    def take(self, engine: MulticoreEngine, index: int) -> Checkpoint:
+        """Checkpoint a (quiesced) multicore engine; charges its cores."""
+        time = engine.quiesce()
+        dirty = len(engine.mem.dirty)
+        snapshot = engine.mem.snapshot()
+        cost = (
+            engine.costs.checkpoint_base
+            + engine.costs.checkpoint_page * snapshot.page_count()
+        )
+        engine.advance_all(cost)
+        self.total_cost += cost
+        kernel_state = None
+        if isinstance(engine.services, LiveSyscalls):
+            kernel_state = engine.services.kernel.snapshot()
+        checkpoint = Checkpoint(
+            index=index,
+            time=engine.time,
+            memory=snapshot,
+            contexts={tid: ctx.copy() for tid, ctx in engine.contexts.items()},
+            sync_state=engine.sync.snapshot(),
+            kernel_state=kernel_state,
+            dirty_pages=dirty,
+        )
+        self.taken.append(checkpoint)
+        return checkpoint
+
+    def initial(self, engine: MulticoreEngine) -> Checkpoint:
+        """Checkpoint index 0, before any execution (no quiesce cost)."""
+        snapshot = engine.mem.snapshot()
+        kernel_state = None
+        if isinstance(engine.services, LiveSyscalls):
+            kernel_state = engine.services.kernel.snapshot()
+        checkpoint = Checkpoint(
+            index=0,
+            time=engine.time,
+            memory=snapshot,
+            contexts={tid: ctx.copy() for tid, ctx in engine.contexts.items()},
+            sync_state=engine.sync.snapshot(),
+            kernel_state=kernel_state,
+            dirty_pages=0,
+        )
+        self.taken.append(checkpoint)
+        return checkpoint
+
+    def discard_after(self, index: int) -> None:
+        """Release checkpoints with index > ``index`` (forward recovery)."""
+        kept: List[Checkpoint] = []
+        for checkpoint in self.taken:
+            if checkpoint.index > index:
+                checkpoint.release()
+            else:
+                kept.append(checkpoint)
+        self.taken = kept
+
+    def latest(self) -> Optional[Checkpoint]:
+        return self.taken[-1] if self.taken else None

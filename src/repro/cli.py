@@ -1,0 +1,290 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library end to end:
+
+* ``list`` — the workload suite;
+* ``run`` — native execution of a workload (+ validation);
+* ``record`` — DoublePlay-record a workload, report overhead/log sizes,
+  optionally save the recording as JSON;
+* ``replay`` — replay a saved recording (sequential, parallel, or one
+  epoch) and verify it;
+* ``diagnose`` — replay a recording's rolled-back epochs under the race
+  detector and name the racing addresses;
+* ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments
+from repro.analysis.tables import render_table
+from repro.baselines import run_native
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.machine.config import MachineConfig
+from repro.record.recording import Recording
+from repro.workloads import WORKLOADS, build_workload, workload_names
+
+EXPERIMENTS = {
+    "table1": lambda args: (
+        experiments.workload_characteristics(workers=args.workers),
+        ["workload", "category", "threads", "instructions", "cycles",
+         "syscalls", "sync_ops", "shared_pages", "races"],
+    ),
+    "fig5": lambda args: (
+        experiments.overhead_experiment(workers=2),
+        ["workload", "native", "makespan", "overhead", "epochs", "divergences"],
+    ),
+    "fig6": lambda args: (
+        experiments.overhead_experiment(workers=4),
+        ["workload", "native", "makespan", "overhead", "epochs", "divergences"],
+    ),
+    "fig7": lambda args: (
+        experiments.overhead_experiment(workers=args.workers, spare_cores=False),
+        ["workload", "native", "makespan", "overhead", "epochs"],
+    ),
+    "table2": lambda args: (
+        experiments.log_size_experiment(workers=args.workers),
+        ["workload", "schedule", "sync", "syscall", "dp_total",
+         "per_mcycle", "crew", "value_log"],
+    ),
+    "fig8": lambda args: (
+        experiments.replay_speed_experiment(workers=args.workers),
+        ["workload", "native", "sequential", "seq_x", "parallel", "par_x",
+         "verified"],
+    ),
+    "table3": lambda args: (
+        experiments.divergence_experiment(workers=args.workers),
+        ["workload", "racy", "sync_hints", "epochs", "divergences",
+         "recoveries", "overhead", "replay_ok"],
+    ),
+    "fig9": lambda args: (
+        experiments.epoch_length_experiment(workers=args.workers),
+        ["workload", "epoch_cycles", "epochs", "overhead", "log_bytes"],
+    ),
+    "fig10": lambda args: (
+        experiments.baseline_comparison(workers=args.workers),
+        ["workload", "doubleplay", "uniproc", "crew", "valuelog"],
+    ),
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--scale", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _build(args):
+    instance = build_workload(
+        args.workload, workers=args.workers, scale=args.scale, seed=args.seed
+    )
+    machine = MachineConfig(cores=args.workers)
+    return instance, machine
+
+
+def cmd_list(args, out) -> int:
+    rows = [
+        {
+            "workload": name,
+            "category": WORKLOADS[name].category,
+            "racy": WORKLOADS[name].racy,
+        }
+        for name in workload_names()
+    ]
+    print(render_table(rows, ["workload", "category", "racy"]), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    instance, machine = _build(args)
+    native = run_native(instance.image, instance.setup, machine)
+    valid = instance.validate(native.kernel)
+    print(
+        f"{args.workload}: {native.duration} cycles, {native.ops} instructions, "
+        f"output={native.output}, valid={valid}",
+        file=out,
+    )
+    return 0 if valid else 1
+
+
+def cmd_record(args, out) -> int:
+    instance, machine = _build(args)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // args.epoch_divisor, 400),
+        spare_cores=not args.no_spare_cores,
+        use_sync_hints=not args.no_sync_hints,
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    recording = result.recording
+    valid = instance.validate(
+        result.committed_kernel(instance.setup, instance.image.heap_base)
+    )
+    print(
+        f"recorded {args.workload}: {recording.epoch_count()} epochs, "
+        f"{recording.divergences()} divergences, "
+        f"overhead {result.overhead_vs(native.duration):.1%}, "
+        f"log {recording.total_log_bytes()} bytes, valid={valid}",
+        file=out,
+    )
+    for key, value in recording.log_breakdown().items():
+        print(f"  {key}: {value}", file=out)
+    if args.output:
+        payload = {
+            "workload": {
+                "name": args.workload,
+                "workers": args.workers,
+                "scale": args.scale,
+                "seed": args.seed,
+            },
+            "recording": recording.to_plain(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle)
+        print(f"saved recording to {args.output}", file=out)
+    return 0 if valid else 1
+
+
+def cmd_replay(args, out) -> int:
+    meta, instance, machine, recording = _load_recording(args.recording)
+    replayer = Replayer(instance.image, machine)
+    if args.epoch is not None:
+        replayer.materialize_checkpoints(recording)
+        outcome = replayer.replay_epoch(recording, args.epoch)
+        label = f"epoch {args.epoch}"
+    elif args.parallel:
+        replayer.materialize_checkpoints(recording)
+        outcome = replayer.replay_parallel(recording, workers=meta["workers"])
+        label = "parallel"
+    else:
+        outcome = replayer.replay_sequential(recording)
+        label = "sequential"
+    status = "verified" if outcome.verified else "FAILED"
+    print(
+        f"{label} replay of {meta['name']}: {status}, "
+        f"{outcome.epochs_replayed} epoch(s), makespan {outcome.makespan}",
+        file=out,
+    )
+    for detail in outcome.details:
+        print(f"  {detail}", file=out)
+    return 0 if outcome.verified else 1
+
+
+def _load_recording(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    meta = payload["workload"]
+    instance = build_workload(
+        meta["name"], workers=meta["workers"], scale=meta["scale"],
+        seed=meta["seed"],
+    )
+    machine = MachineConfig(cores=meta["workers"])
+    from repro.checkpoint.manager import CheckpointManager
+    from repro.exec.multicore import MulticoreEngine
+    from repro.exec.services import LiveSyscalls
+    from repro.oskernel.kernel import Kernel
+
+    kernel = Kernel(instance.setup, instance.image.heap_base)
+    boot = MulticoreEngine.boot(instance.image, machine, LiveSyscalls(kernel))
+    initial = CheckpointManager().initial(boot)
+    recording = Recording.from_plain(payload["recording"], initial)
+    return meta, instance, machine, recording
+
+
+def cmd_diagnose(args, out) -> int:
+    from repro.analysis.diagnose import diagnose_recording
+
+    meta, instance, machine, recording = _load_recording(args.recording)
+    replayer = Replayer(instance.image, machine)
+    replayer.materialize_checkpoints(recording)
+    diagnoses = diagnose_recording(instance.image, machine, recording)
+    if not diagnoses:
+        print(f"{meta['name']}: no rolled-back epochs — nothing to diagnose",
+              file=out)
+        return 0
+    for diagnosis in diagnoses:
+        if diagnosis.racy:
+            print(
+                f"epoch {diagnosis.epoch_index}: race manifested on "
+                f"address(es) {diagnosis.racy_addresses}",
+                file=out,
+            )
+        else:
+            print(
+                f"epoch {diagnosis.epoch_index}: rolled back; race did not "
+                f"re-manifest in the committed interleaving",
+                file=out,
+            )
+    return 0
+
+
+def cmd_experiment(args, out) -> int:
+    rows, columns = EXPERIMENTS[args.name](args)
+    print(render_table(rows, columns, title=args.name), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DoublePlay reproduction: record and replay workloads "
+        "on the simulated multiprocessor.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available workloads")
+
+    run_parser = commands.add_parser("run", help="run a workload natively")
+    _add_workload_args(run_parser)
+
+    record_parser = commands.add_parser("record", help="record with DoublePlay")
+    _add_workload_args(record_parser)
+    record_parser.add_argument("--epoch-divisor", type=int, default=18,
+                               help="epochs per native runtime (default 18)")
+    record_parser.add_argument("--no-spare-cores", action="store_true")
+    record_parser.add_argument("--no-sync-hints", action="store_true")
+    record_parser.add_argument("-o", "--output", help="save recording JSON here")
+
+    replay_parser = commands.add_parser("replay", help="replay a saved recording")
+    replay_parser.add_argument("recording", help="recording JSON file")
+    replay_parser.add_argument("--parallel", action="store_true",
+                               help="parallel epoch replay")
+    replay_parser.add_argument("--epoch", type=int, default=None,
+                               help="replay a single epoch index")
+
+    diagnose_parser = commands.add_parser(
+        "diagnose", help="explain a recording's rollbacks (racing addresses)"
+    )
+    diagnose_parser.add_argument("recording", help="recording JSON file")
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="regenerate a table/figure of the evaluation"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument("--workers", type=int, default=2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "record": cmd_record,
+        "replay": cmd_replay,
+        "diagnose": cmd_diagnose,
+        "experiment": cmd_experiment,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

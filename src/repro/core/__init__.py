@@ -1,0 +1,38 @@
+"""DoublePlay: uniparallel deterministic record and replay.
+
+The paper's contribution, implemented on the simulated machine:
+
+* :class:`~repro.core.recorder.DoublePlayRecorder` runs the
+  **thread-parallel execution** (multicore, live kernel, syscall and
+  sync-order logging, epoch checkpoints) and the **epoch-parallel
+  execution** (each epoch re-executed on one simulated CPU from its start
+  checkpoint, concurrently across spare cores), verifies epoch end states,
+  and commits a :class:`~repro.record.recording.Recording`.
+* :mod:`~repro.core.divergence` detects when an epoch-parallel run does
+  not reach the thread-parallel boundary state (a data race fired);
+  :mod:`~repro.core.recovery` then makes the uniprocessor re-execution
+  authoritative (forward recovery) and restarts the thread-parallel run.
+* :class:`~repro.core.replayer.Replayer` replays recordings sequentially
+  or epoch-parallel (parallel replay), verifying state digests throughout.
+* :mod:`~repro.core.pipeline` composes the two executions' timings on a
+  machine with or without spare cores — the quantity the paper's overhead
+  figures measure.
+"""
+
+from repro.core.config import DoublePlayConfig
+from repro.core.epochs import FixedEpochPolicy, AdaptiveEpochPolicy
+from repro.core.recorder import DoublePlayRecorder, RecordResult
+from repro.core.replayer import Replayer, ReplayResult
+from repro.core.divergence import DivergenceReport, compare_epoch_end
+
+__all__ = [
+    "DoublePlayConfig",
+    "FixedEpochPolicy",
+    "AdaptiveEpochPolicy",
+    "DoublePlayRecorder",
+    "RecordResult",
+    "Replayer",
+    "ReplayResult",
+    "DivergenceReport",
+    "compare_epoch_end",
+]

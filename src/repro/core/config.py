@@ -1,0 +1,56 @@
+"""DoublePlay configuration.
+
+``epoch_cycles`` is the thread-parallel budget per epoch: the recorder
+checkpoints roughly every that many cycles. Shorter epochs commit the log
+sooner and bound rollback work, but pay more checkpoint overhead and leave
+the epoch-parallel pipeline draining more often; the epoch-length
+sensitivity experiment (Fig 9) sweeps exactly this knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class DoublePlayConfig:
+    """Everything the recorder needs beyond the workload itself."""
+
+    #: simulated machine; ``machine.cores`` is the worker-thread core count
+    #: the application runs on (the paper's W)
+    machine: MachineConfig = MachineConfig()
+    #: thread-parallel cycles per epoch (see module docstring)
+    epoch_cycles: int = 6000
+    #: dedicated cores for epoch-parallel execution. With spare cores the
+    #: paper gives the epoch-parallel run its own W cores; without, both
+    #: executions share the application's cores.
+    spare_cores: bool = True
+    #: number of epoch-parallel executor slots (defaults to machine.cores)
+    epoch_workers: int = 0
+    #: enforce thread-parallel sync acquisition order during epoch-parallel
+    #: execution (the paper's synchronisation hints)
+    use_sync_hints: bool = True
+    #: ramp epoch lengths up from short so the pipeline fills quickly
+    adaptive_epochs: bool = False
+    #: bound on uncommitted epochs in flight (checkpoint memory pressure);
+    #: 0 = executor slots + 1. The thread-parallel run stalls at this bound,
+    #: which is where overhead grows with worker count.
+    max_inflight_epochs: int = 0
+    #: upper bound on recovery attempts (safety valve; a correct setup
+    #: always makes progress, see repro.core.recovery)
+    max_recoveries: int = 1000
+
+    def workers(self) -> int:
+        return self.machine.cores
+
+    def executor_slots(self) -> int:
+        return self.epoch_workers or self.machine.cores
+
+    def inflight_bound(self) -> int:
+        return self.max_inflight_epochs or self.executor_slots() + 1
+
+    def replace(self, **overrides) -> "DoublePlayConfig":
+        return dataclasses.replace(self, **overrides)

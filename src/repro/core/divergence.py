@@ -1,0 +1,144 @@
+"""Epoch-boundary divergence detection.
+
+At the end of an epoch-parallel execution the engine's guest state must
+equal the thread-parallel checkpoint that defined the epoch's end boundary.
+"Guest state" here is memory contents plus each thread's canonical context
+(pc, registers, call stack, retired count, spawn/syscall counters,
+exited-or-not) — see :meth:`ThreadContext.state_tuple`.
+
+What is *deliberately excluded*, and why that is sound:
+
+* **Wait-queue order and issued-but-unretired operations.** A thread that
+  the thread-parallel run left blocked mid-LOCK compares equal to one the
+  epoch-parallel run parked just before issuing the LOCK: neither op
+  retired, so registers/memory/counters agree. Kernel-side queue ordering
+  is scheduling state; the recorded (epoch-parallel) execution's own queue
+  evolution is what replay reproduces.
+* **Lock owners / semaphore values.** These are deterministic functions of
+  each thread's retired-op prefix, which the context comparison already
+  pins down.
+* **Kernel state.** The epoch-parallel run consumes logged syscall
+  results, so kernel state never feeds back into it except through the
+  log; the thread-parallel checkpoint's kernel state stays authoritative.
+
+Divergence can also be detected *mid-epoch* — syscall kind mismatch,
+unexpected spawn, a stall before targets, runaway execution — in which case
+the epoch runner raises :class:`DivergenceSignal` before any comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.exec.uniprocessor import UniprocessorEngine
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of an epoch-boundary state comparison."""
+
+    matches: bool
+    #: cycles the comparison itself cost (charged to the epoch executor)
+    check_cost: int
+    #: human-readable mismatch descriptions (empty when matches)
+    details: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.matches
+
+
+def compare_epoch_end(
+    engine: UniprocessorEngine, boundary: Checkpoint
+) -> DivergenceReport:
+    """Compare an epoch executor's final state with the boundary checkpoint.
+
+    Cost model: hashing is cached per page, so the check costs one page
+    hash per page the epoch dirtied (both sides' untouched pages still
+    share hashes with the previous checkpoint) plus a constant.
+    """
+    costs = engine.costs
+    dirtied = len(engine.mem.dirty)
+    check_cost = costs.checkpoint_base // 4 + costs.page_hash * max(dirtied, 1)
+
+    details: List[str] = []
+    if engine.mem.content_hash() != boundary.memory.content_hash():
+        differing = _differing_pages(engine, boundary)
+        details.append(
+            f"memory differs on pages {sorted(differing)[:8]}"
+            + ("..." if len(differing) > 8 else "")
+        )
+    if engine.contexts_digest() != boundary.contexts_digest():
+        details.extend(_context_mismatches(engine, boundary))
+    details.extend(_grant_mismatches(engine, boundary))
+    return DivergenceReport(
+        matches=not details, check_cost=check_cost, details=details
+    )
+
+
+def _grant_mismatches(engine: UniprocessorEngine, boundary: Checkpoint) -> List[str]:
+    """Detect grant decisions that went to different threads.
+
+    For a thread that *issued* a blocking sync op on both sides, being
+    granted on one side but still queued on the other means the two
+    executions handed the object out differently — a real divergence that
+    memory/context comparison cannot see (the op is unretired either way),
+    but which would corrupt the committed chimera for replay.
+
+    A thread that issued on one side only (thread-parallel issued and was
+    even granted; epoch-parallel parked just before the op) is the benign
+    boundary-straddle case and is *not* flagged: the inherited-grant
+    machinery (``BaseEngine.synthetic_acquisition``) keeps replay exact
+    for it.
+    """
+    details: List[str] = []
+
+    def sync_granted(ctx) -> bool:
+        # Only "sync" grants are compared: join and syscall completions
+        # are replayed lazily from exit state / the syscall log, so a
+        # grant-vs-still-waiting difference for them is benign.
+        return ctx.pending_grant is not None and ctx.pending_grant[0] == "sync"
+
+    for tid in sorted(set(engine.contexts) & set(boundary.contexts)):
+        mine = engine.contexts[tid]
+        theirs = boundary.contexts[tid]
+        mine_issued = mine.blocked is not None or mine.pending_grant is not None
+        theirs_issued = theirs.blocked is not None or theirs.pending_grant is not None
+        if not (mine_issued and theirs_issued):
+            continue
+        if sync_granted(mine) != sync_granted(theirs):
+            details.append(
+                f"thread {tid} grant state differs at the boundary "
+                f"(granted here: {sync_granted(mine)})"
+            )
+    return details
+
+
+def _differing_pages(engine: UniprocessorEngine, boundary: Checkpoint) -> List[int]:
+    live_pages = engine.mem.pages
+    boundary_pages = boundary.memory.pages
+    differing = []
+    for page_no in set(live_pages) | set(boundary_pages):
+        mine = live_pages.get(page_no)
+        theirs = boundary_pages.get(page_no)
+        if mine is None or theirs is None or not mine.same_content(theirs):
+            differing.append(page_no)
+    return differing
+
+
+def _context_mismatches(engine: UniprocessorEngine, boundary: Checkpoint) -> List[str]:
+    details = []
+    tids = set(engine.contexts) | set(boundary.contexts)
+    for tid in sorted(tids):
+        mine = engine.contexts.get(tid)
+        theirs = boundary.contexts.get(tid)
+        if mine is None or theirs is None:
+            details.append(f"thread {tid} exists on only one side")
+        elif mine.state_tuple() != theirs.state_tuple():
+            details.append(
+                f"thread {tid} state differs "
+                f"(pc {mine.pc} vs {theirs.pc}, "
+                f"retired {mine.retired} vs {theirs.retired})"
+            )
+    return details

@@ -1,0 +1,139 @@
+"""Epoch-parallel execution of a single epoch.
+
+An epoch executor re-runs one epoch of the program on one simulated CPU:
+
+* start state: the epoch's start checkpoint (a private copy-on-write view
+  of its memory snapshot — "different epochs operate on different copies
+  of the memory");
+* inputs: the recorded syscall log (injected, never a live kernel) and,
+  optionally, the thread-parallel sync acquisition order as a grant oracle;
+* stop condition: every thread reaches the retired-op count the *next*
+  checkpoint recorded for it;
+* output: the timeslice schedule (the log DoublePlay keeps), the epoch's
+  uniprocessor duration, and a divergence verdict against the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.core.divergence import DivergenceReport, compare_epoch_end
+from repro.errors import DivergenceSignal
+from repro.exec.services import InjectedSyscalls
+from repro.exec.uniprocessor import UniprocessorEngine
+from repro.isa.instructions import Op
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.oskernel.syscalls import SyscallRecord
+from repro.record.schedule_log import ScheduleLog
+from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
+
+
+@dataclass
+class EpochRunResult:
+    """Everything the recorder needs to commit or recover an epoch."""
+
+    epoch_index: int
+    ok: bool
+    schedule: ScheduleLog
+    #: uniprocessor cycles the attempt took (including the divergence
+    #: check when one ran)
+    duration: int
+    #: end-state digest (only meaningful when ok)
+    end_digest: int = 0
+    reason: str = ""
+    report: Optional[DivergenceReport] = None
+    #: syscall records consumed from the injected log
+    syscalls_consumed: int = 0
+    #: the acquisition order the run actually performed. This — not the
+    #: thread-parallel hints — goes into the recording, so replay pins the
+    #: committed execution's grant decisions exactly.
+    committed_sync: SyncOrderLog = SyncOrderLog()
+
+
+def run_epoch(
+    program: ProgramImage,
+    machine: MachineConfig,
+    epoch_index: int,
+    start: Checkpoint,
+    boundary: Checkpoint,
+    syscall_records: Sequence[SyscallRecord],
+    sync_log: SyncOrderLog,
+    use_sync_hints: bool,
+    signal_records: Sequence = (),
+) -> EpochRunResult:
+    """Execute one epoch uniprocessor-style and verify its end state."""
+    injector = InjectedSyscalls(syscall_records)
+    boundary_blocked = {}
+    for tid, ctx in boundary.contexts.items():
+        if ctx.blocked is not None:
+            boundary_blocked[tid] = ctx.blocked.kind
+        elif ctx.pending_grant is not None and ctx.pending_grant[0] == "sync":
+            # Granted-but-unconsumed at the boundary. Barrier arrivals and
+            # condition waits have *pre-retirement effects other threads
+            # depend on* (the arrival count; the atomic mutex release), so
+            # the epoch executor must still issue them. Lock/semaphore
+            # grants need no issue: a boundary-granted lock is that lock's
+            # last in-epoch acquisition, and the oracle holds it free for
+            # the thread.
+            op = program.fetch(ctx.pc).op
+            if op is Op.BARRIER:
+                boundary_blocked[tid] = "barrier"
+            elif op is Op.CONDWAIT:
+                boundary_blocked[tid] = "cond"
+    engine = UniprocessorEngine.from_checkpoint(
+        program,
+        machine,
+        injector,
+        memory_snapshot=start.memory,
+        contexts=start.copy_contexts(),
+        sync_state=start.sync_state,
+        targets=boundary.targets(),
+        boundary_blocked=boundary_blocked,
+        wake_blocked_io=True,
+        name=f"{program.name}/epoch{epoch_index}",
+    )
+    if use_sync_hints:
+        engine.sync.oracle = SyncOrderOracle(sync_log)
+        # The hints are a thread-parallel *suffix*: events for grants the
+        # executor inherits from its start checkpoint are not in it.
+        engine.oracle_includes_inherited = False
+    engine.install_signal_records(signal_records)
+    committed_events: list = []
+    engine.acquisition_log = committed_events
+    try:
+        outcome = engine.run()
+    except DivergenceSignal as signal:
+        return EpochRunResult(
+            epoch_index=epoch_index,
+            ok=False,
+            schedule=ScheduleLog(),
+            duration=engine.time,
+            reason=f"mid-epoch divergence: {signal.reason}",
+            syscalls_consumed=injector.consumed,
+        )
+    report = compare_epoch_end(engine, boundary)
+    duration = outcome.duration + report.check_cost
+    committed_sync = SyncOrderLog(tuple(committed_events))
+    if not report.matches:
+        return EpochRunResult(
+            epoch_index=epoch_index,
+            ok=False,
+            schedule=outcome.schedule,
+            duration=duration,
+            reason="end-state mismatch: " + "; ".join(report.details[:3]),
+            report=report,
+            syscalls_consumed=injector.consumed,
+        )
+    return EpochRunResult(
+        epoch_index=epoch_index,
+        ok=True,
+        schedule=outcome.schedule,
+        duration=duration,
+        end_digest=engine.state_digest(),
+        report=report,
+        syscalls_consumed=injector.consumed,
+        committed_sync=committed_sync,
+    )

@@ -1,0 +1,359 @@
+"""The DoublePlay recorder.
+
+Record proceeds in *segments*. Within a segment:
+
+1. The **thread-parallel execution** runs the program on the application's
+   W cores with a live kernel, logging every syscall completion and every
+   sync acquisition, and taking a checkpoint at each epoch boundary.
+2. Each epoch is then re-executed by an **epoch-parallel executor**
+   (``repro.core.epoch_runner``): one simulated CPU, injected syscalls,
+   hint-ordered grants, stopping at the next checkpoint's per-thread
+   retired-op targets. Matching end state ⇒ the epoch's timeslice schedule
+   is committed to the recording.
+3. On divergence, forward recovery (``repro.core.recovery``) re-executes
+   the epoch live, commits its result, discards the abandoned
+   thread-parallel future, and a new segment starts from the recovered
+   state.
+
+Logical execution and timing are deliberately separated: step 2's results
+cannot depend on *when* executors run (they are deterministic functions of
+checkpoints and logs), so the recorder replays the commit sequence through
+``repro.core.pipeline`` afterwards to obtain the recording makespan on a
+machine with or without spare cores. Overhead numbers in the benchmarks
+are ``makespan / native - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.checkpoint.manager import CheckpointManager
+from repro.core.config import DoublePlayConfig
+from repro.core.epoch_runner import run_epoch
+from repro.core.epochs import AdaptiveEpochPolicy, FixedEpochPolicy
+from repro.core.pipeline import (
+    EpochTiming,
+    PipelineResult,
+    schedule_shared_cores,
+    schedule_spare_cores,
+)
+from repro.core.recovery import recover_epoch
+from repro.errors import SimulationError
+from repro.exec.multicore import MulticoreEngine
+from repro.exec.services import LiveSyscalls
+from repro.isa.program import ProgramImage
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallRecord
+from repro.record.recording import (
+    EpochRecord,
+    Recording,
+    prune_signal_records,
+    prune_syscall_records,
+)
+from repro.record.sync_log import SyncOrderLog
+
+
+@dataclass
+class RecordResult:
+    """A recording plus the timing the benchmarks report."""
+
+    recording: Recording
+    #: recording-timeline instant the last epoch committed
+    makespan: int
+    #: recording-timeline instant the thread-parallel execution finished
+    tp_finish: int
+    #: guest-visible duration of the committed execution
+    app_time: int
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: kernel state of the committed execution's final checkpoint
+    final_kernel_state: object = None
+    #: guest crash message when the recorded program faulted (the
+    #: recording then reproduces the state at the instant before the crash)
+    fault: Optional[str] = None
+
+    def overhead_vs(self, native_time: int) -> float:
+        """Fractional logging overhead relative to a native run."""
+        if native_time <= 0:
+            raise ValueError("native_time must be positive")
+        return self.makespan / native_time - 1.0
+
+    def committed_kernel(self, setup: KernelSetup, heap_base: int) -> Kernel:
+        """Materialise the committed execution's final kernel.
+
+        Lets workload validators check the *recorded* execution's output
+        (files written, responses sent), not just state digests.
+        """
+        kernel = Kernel(setup, heap_base)
+        kernel.restore(self.final_kernel_state)
+        return kernel
+
+
+class DoublePlayRecorder:
+    """Records one program execution with uniparallelism."""
+
+    def __init__(
+        self,
+        program: ProgramImage,
+        setup: KernelSetup,
+        config: Optional[DoublePlayConfig] = None,
+    ):
+        self.program = program
+        self.setup = setup
+        self.config = config or DoublePlayConfig()
+        self.machine = self.config.machine
+
+    # ------------------------------------------------------------------
+    def record(self) -> RecordResult:
+        config = self.config
+        costs = self.machine.costs
+        policy_cls = AdaptiveEpochPolicy if config.adaptive_epochs else FixedEpochPolicy
+        policy = policy_cls(config.epoch_cycles)
+
+        syscall_log: List[SyscallRecord] = []
+        signal_log: List = []
+        kernel = Kernel(self.setup, self.program.heap_base)
+        services = LiveSyscalls(kernel, syscall_log)
+        engine = MulticoreEngine.boot(self.program, self.machine, services)
+        engine.signal_log = signal_log
+        engine.halt_on_fault = True  # crashes are recorded, not raised
+        manager = CheckpointManager()
+        initial = manager.initial(engine)
+        recording = Recording(
+            program_name=self.program.name,
+            worker_threads=self.machine.cores,
+            initial_checkpoint=initial,
+        )
+
+        committed = initial
+        next_cp_index = 1
+        divergences = 0
+        recoveries = 0
+        epoch_index = 0
+        slots = config.executor_slots()
+        worker_free = [0] * slots
+        #: recording-time minus app-time for the current segment
+        timeline_offset = 0
+        makespan = 0
+        tp_finish = 0
+        finished = False
+
+        while not finished:
+            if engine is None:
+                # Segment restart after recovery: rebuild the live machine
+                # from the committed state.
+                kernel = Kernel(self.setup, self.program.heap_base)
+                kernel.restore(committed.kernel_state)
+                services = LiveSyscalls(kernel, syscall_log)
+                engine = MulticoreEngine.from_checkpoint(
+                    self.program,
+                    self.machine,
+                    services,
+                    memory_snapshot=committed.memory,
+                    contexts=committed.copy_contexts(),
+                    sync_state=committed.sync_state,
+                    start_time=committed.time + costs.restore_base,
+                    name=f"{self.program.name}/tp",
+                )
+                engine.signal_log = signal_log
+                engine.halt_on_fault = True
+            hints: List = []
+            engine.acquisition_log = hints
+            policy.start_segment(engine.time)
+            segment_app_start = engine.time
+            segment_checkpoints: List[Checkpoint] = [committed]
+            hint_marks: List[int] = [0]
+
+            fault = None
+            while True:
+                status = engine.run(
+                    stop_check=lambda e: policy.should_checkpoint(e.time)
+                )
+                checkpoint = manager.take(engine, index=next_cp_index)
+                next_cp_index += 1
+                policy.note_checkpoint(engine.time)
+                segment_checkpoints.append(checkpoint)
+                hint_marks.append(len(hints))
+                if status == "faulted":
+                    # A crash ends recording at this boundary: the epochs
+                    # up to here commit, and replay reproduces the program
+                    # state at the instant before the crash.
+                    fault = engine.fault
+                    break
+                if engine.all_exited():
+                    break
+
+            segment_tp_finish = engine.time
+
+            # ----------------------------------------------------------
+            # Epoch-parallel execution of the segment's epochs.
+            # ----------------------------------------------------------
+            diverged_at: Optional[int] = None
+            recovery = None
+            attempt_duration = 0
+            timings: List[EpochTiming] = []
+            for position in range(len(segment_checkpoints) - 1):
+                start_cp = segment_checkpoints[position]
+                end_cp = segment_checkpoints[position + 1]
+                # The executor gets the hint *suffix* from its epoch's
+                # start to the segment end: grants decided near the epoch
+                # boundary retire in later epochs, and cutting the hints
+                # at the boundary would make the executor hand objects out
+                # differently than the thread-parallel run did.
+                sync_slice = SyncOrderLog(tuple(hints[hint_marks[position] :]))
+                result = run_epoch(
+                    self.program,
+                    self.machine,
+                    epoch_index,
+                    start_cp,
+                    end_cp,
+                    syscall_log,
+                    sync_slice,
+                    config.use_sync_hints,
+                    signal_records=signal_log,
+                )
+                timings.append(
+                    EpochTiming(
+                        index=epoch_index,
+                        ready_time=start_cp.time + timeline_offset,
+                        boundary_time=end_cp.time + timeline_offset,
+                        duration=result.duration,
+                    )
+                )
+                if result.ok:
+                    recording.epochs.append(
+                        EpochRecord(
+                            index=epoch_index,
+                            start_checkpoint=start_cp,
+                            targets=end_cp.targets(),
+                            schedule=result.schedule,
+                            # Store the grant order the committed run
+                            # actually used — replay pins its decisions
+                            # from this, not from the raw hints.
+                            sync_log=result.committed_sync,
+                            end_digest=result.end_digest,
+                            duration=result.duration,
+                        )
+                    )
+                    committed = end_cp
+                    epoch_index += 1
+                    continue
+                # ------------------------------------------------------
+                # Divergence: forward recovery.
+                # ------------------------------------------------------
+                divergences += 1
+                attempt_duration = result.duration
+                counts = {
+                    tid: ctx.syscall_count
+                    for tid, ctx in start_cp.contexts.items()
+                }
+                syscall_log[:] = prune_syscall_records(syscall_log, counts)
+                retired_counts = {
+                    tid: ctx.retired for tid, ctx in start_cp.contexts.items()
+                }
+                signal_log[:] = prune_signal_records(signal_log, retired_counts)
+                recovery = recover_epoch(
+                    self.program,
+                    self.machine,
+                    self.setup,
+                    start_cp,
+                    config.epoch_cycles,
+                    syscall_log,
+                    signal_log=signal_log,
+                )
+                recording.epochs.append(
+                    EpochRecord(
+                        index=epoch_index,
+                        start_checkpoint=start_cp,
+                        targets=recovery.committed.targets(),
+                        schedule=recovery.schedule,
+                        sync_log=recovery.committed_sync,
+                        end_digest=recovery.end_digest,
+                        duration=recovery.duration,
+                        recovered=True,
+                    )
+                )
+                committed = recovery.committed
+                epoch_index += 1
+                diverged_at = position
+                break
+
+            # ----------------------------------------------------------
+            # Timing composition for this segment.
+            # ----------------------------------------------------------
+            segment_start_rec = segment_app_start + timeline_offset
+            if config.spare_cores:
+                pipeline = schedule_spare_cores(
+                    timings,
+                    workers=slots,
+                    dispatch_cost=costs.epoch_dispatch,
+                    max_inflight=config.inflight_bound(),
+                    worker_free=worker_free,
+                )
+            else:
+                pipeline = schedule_shared_cores(
+                    timings,
+                    tp_span=segment_tp_finish - segment_app_start,
+                    cores=self.machine.cores,
+                    dispatch_cost=costs.epoch_dispatch,
+                    segment_start=segment_start_rec,
+                )
+            makespan = max(makespan, pipeline.makespan)
+            tp_finish = max(
+                tp_finish,
+                segment_tp_finish + timeline_offset + pipeline.throttle_stall,
+            )
+
+            if diverged_at is None:
+                finished = True
+                recording.final_digest = committed.digest()
+            else:
+                # Anything the abandoned thread-parallel future saw —
+                # including a crash — is discarded with it.
+                fault = None
+                recoveries += 1
+                if recoveries > config.max_recoveries:
+                    raise SimulationError(
+                        f"recording exceeded {config.max_recoveries} recoveries"
+                    )
+                detection = pipeline.commits[diverged_at].finish
+                recovery_finish = (
+                    detection + costs.restore_base + recovery.duration
+                )
+                makespan = max(makespan, recovery_finish)
+                worker_free = [recovery_finish] * slots
+                timeline_offset = recovery_finish - committed.time
+                # Release the abandoned future's checkpoints.
+                for checkpoint in segment_checkpoints[diverged_at + 1 :]:
+                    checkpoint.release()
+                engine = None
+                if recovery.finished:
+                    finished = True
+                    recording.final_digest = recovery.end_digest
+                    tp_finish = max(tp_finish, recovery_finish)
+
+        recording.stats = {
+            "divergences": divergences,
+            "recoveries": recoveries,
+            "faulted": 1 if fault is not None else 0,
+            "epochs": len(recording.epochs),
+            "checkpoint_cost": manager.total_cost,
+            "makespan": makespan,
+            "tp_finish": tp_finish,
+            "app_time": committed.time,
+            "attempt_waste": attempt_duration if divergences else 0,
+        }
+        if fault is not None:
+            recording.stats["fault_message"] = str(fault)
+        recording.syscall_records = list(syscall_log)
+        recording.signal_records = list(signal_log)
+        return RecordResult(
+            recording=recording,
+            makespan=makespan,
+            tp_finish=tp_finish,
+            app_time=committed.time,
+            stats=dict(recording.stats),
+            final_kernel_state=committed.kernel_state,
+            fault=str(fault) if fault is not None else None,
+        )

@@ -1,0 +1,243 @@
+"""Replay of DoublePlay recordings.
+
+Replay re-executes the *recorded* execution — the committed epoch-parallel
+one. Each epoch is a uniprocessor run that starts from the epoch's start
+state, injects logged syscall results, installs the epoch's sync-order
+oracle, and follows the committed timeslice schedule exactly; the end
+state digest must match the recording.
+
+Two strategies, both offered by the paper:
+
+* **Sequential replay** — one engine from the initial state, epochs in
+  order. Needs only the durable logs (works on deserialised recordings).
+* **Parallel replay** — every epoch re-executed concurrently from its
+  checkpoint, exactly like the epoch-parallel execution at record time.
+  Replay wall-time approaches the original multicore run's. Needs the
+  in-memory checkpoints (or ``materialize_checkpoints`` to rebuild them).
+
+``replay_epoch`` replays one epoch in isolation — the debugging workflow
+the paper motivates (jump straight to the interval containing the bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.core.pipeline import EpochTiming, schedule_spare_cores
+from repro.errors import ReplayError
+from repro.exec.services import InjectedSyscalls
+from repro.exec.uniprocessor import UniprocessorEngine
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.memory.address_space import AddressSpace
+from repro.oskernel.sync import SyncManager
+from repro.record.recording import EpochRecord, Recording
+from repro.record.sync_log import SyncOrderOracle
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a replay."""
+
+    verified: bool
+    #: simulated cycles of replay execution (sum over epochs)
+    total_cycles: int
+    #: wall-clock-style makespan when epochs replay in parallel
+    makespan: int
+    epochs_replayed: int
+    details: List[str] = field(default_factory=list)
+
+
+class Replayer:
+    """Replays a :class:`Recording` of ``program``."""
+
+    def __init__(self, program: ProgramImage, machine: MachineConfig):
+        self.program = program
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def _epoch_engine(
+        self, recording: Recording, epoch: EpochRecord
+    ) -> UniprocessorEngine:
+        start = epoch.start_checkpoint
+        if start is None:
+            raise ReplayError(
+                f"epoch {epoch.index} has no materialised checkpoint; "
+                "run materialize_checkpoints() or replay sequentially"
+            )
+        injector = InjectedSyscalls(recording.syscalls_for_epochs())
+        engine = UniprocessorEngine.from_checkpoint(
+            self.program,
+            self.machine,
+            injector,
+            memory_snapshot=start.memory,
+            contexts=start.copy_contexts(),
+            sync_state=start.sync_state,
+            targets=dict(epoch.targets),
+            wake_blocked_io=True,
+            name=f"{self.program.name}/replay{epoch.index}",
+        )
+        engine.sync.oracle = SyncOrderOracle(epoch.sync_log)
+        engine.install_signal_records(recording.signal_records)
+        return engine
+
+    @staticmethod
+    def _verify(engine: UniprocessorEngine, epoch: EpochRecord) -> Optional[str]:
+        if engine.state_digest() != epoch.end_digest:
+            return (
+                f"epoch {epoch.index} replayed to a different state "
+                f"(digest mismatch)"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def replay_epoch(self, recording: Recording, index: int) -> ReplayResult:
+        """Replay one epoch from its checkpoint and verify its end state."""
+        epoch = self._find_epoch(recording, index)
+        engine = self._epoch_engine(recording, epoch)
+        engine.run_schedule(epoch.schedule)
+        failure = self._verify(engine, epoch)
+        return ReplayResult(
+            verified=failure is None,
+            total_cycles=engine.time,
+            makespan=engine.time,
+            epochs_replayed=1,
+            details=[failure] if failure else [],
+        )
+
+    def replay_parallel(
+        self, recording: Recording, workers: int = 0
+    ) -> ReplayResult:
+        """Replay every epoch concurrently from its checkpoint.
+
+        ``workers`` bounds simultaneous epoch replays (0 = one per epoch);
+        the returned makespan schedules the replays onto that pool — all
+        checkpoints already exist, so unlike recording there is no
+        pipeline-fill constraint.
+        """
+        durations: List[int] = []
+        details: List[str] = []
+        for epoch in recording.epochs:
+            engine = self._epoch_engine(recording, epoch)
+            engine.run_schedule(epoch.schedule)
+            failure = self._verify(engine, epoch)
+            if failure:
+                details.append(failure)
+            durations.append(engine.time + self.machine.costs.restore_base)
+        pool = workers or max(len(durations), 1)
+        timings = [
+            EpochTiming(index=i, ready_time=0, boundary_time=0, duration=d)
+            for i, d in enumerate(durations)
+        ]
+        pipeline = schedule_spare_cores(
+            timings,
+            workers=pool,
+            dispatch_cost=self.machine.costs.epoch_dispatch,
+            max_inflight=len(durations) + 1,
+        )
+        return ReplayResult(
+            verified=not details,
+            total_cycles=sum(durations),
+            makespan=pipeline.makespan,
+            epochs_replayed=len(recording.epochs),
+            details=details,
+        )
+
+    def replay_sequential(self, recording: Recording) -> ReplayResult:
+        """Replay the whole execution on one engine, epoch by epoch."""
+        initial = recording.initial_checkpoint
+        injector = InjectedSyscalls(recording.syscalls_for_epochs())
+        engine = UniprocessorEngine.from_checkpoint(
+            self.program,
+            self.machine,
+            injector,
+            memory_snapshot=initial.memory,
+            contexts=initial.copy_contexts(),
+            sync_state=initial.sync_state,
+            targets=None,
+            wake_blocked_io=True,
+            name=f"{self.program.name}/seqreplay",
+        )
+        engine.install_signal_records(recording.signal_records)
+        details: List[str] = []
+        for epoch in recording.epochs:
+            self._swap_oracle(engine, epoch)
+            engine.run_schedule(epoch.schedule)
+            failure = self._verify(engine, epoch)
+            if failure:
+                details.append(failure)
+                break
+        if not details and recording.final_digest:
+            if engine.state_digest() != recording.final_digest:
+                details.append("final state digest mismatch")
+        return ReplayResult(
+            verified=not details,
+            total_cycles=engine.time,
+            makespan=engine.time,
+            epochs_replayed=len(recording.epochs),
+            details=details,
+        )
+
+    # ------------------------------------------------------------------
+    def materialize_checkpoints(self, recording: Recording) -> None:
+        """Rebuild per-epoch start checkpoints by sequential re-execution.
+
+        Deserialised recordings carry only the durable logs; this restores
+        the in-memory checkpoints so :meth:`replay_parallel` and
+        :meth:`replay_epoch` work on them.
+        """
+        initial = recording.initial_checkpoint
+        injector = InjectedSyscalls(recording.syscalls_for_epochs())
+        engine = UniprocessorEngine.from_checkpoint(
+            self.program,
+            self.machine,
+            injector,
+            memory_snapshot=initial.memory,
+            contexts=initial.copy_contexts(),
+            sync_state=initial.sync_state,
+            targets=None,
+            wake_blocked_io=True,
+            name=f"{self.program.name}/materialize",
+        )
+        engine.install_signal_records(recording.signal_records)
+        for epoch in recording.epochs:
+            epoch.start_checkpoint = Checkpoint(
+                index=epoch.index,
+                time=engine.time,
+                memory=engine.mem.snapshot(),
+                contexts={t: c.copy() for t, c in engine.contexts.items()},
+                sync_state=engine.sync.snapshot(merge_deferred=True),
+            )
+            self._swap_oracle(engine, epoch)
+            engine.run_schedule(epoch.schedule)
+            if engine.state_digest() != epoch.end_digest:
+                raise ReplayError(
+                    f"cannot materialise checkpoints: epoch {epoch.index} "
+                    "digest mismatch"
+                )
+
+    @staticmethod
+    def _swap_oracle(engine: UniprocessorEngine, epoch: EpochRecord) -> None:
+        """Install the epoch's grant oracle on a continuously running engine.
+
+        Grants still pending across the swap were decided under the
+        previous epoch's oracle, but the committed log credits their
+        acquisition to *this* epoch (the capture run inherited them from
+        its start checkpoint). Marking them inherited makes their consume
+        advance the new oracle identically.
+        """
+        engine.sync.oracle = SyncOrderOracle(epoch.sync_log)
+        engine.inherited_grants = {
+            tid
+            for tid, ctx in engine.contexts.items()
+            if ctx.pending_grant is not None and ctx.pending_grant[0] == "sync"
+        }
+
+    @staticmethod
+    def _find_epoch(recording: Recording, index: int) -> EpochRecord:
+        for epoch in recording.epochs:
+            if epoch.index == index:
+                return epoch
+        raise ReplayError(f"recording has no epoch {index}")

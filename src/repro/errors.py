@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when a guest program cannot be assembled (bad label, operand...)."""
+
+
+class GuestFault(ReproError):
+    """Raised when a guest program performs an illegal operation.
+
+    Examples: load/store outside any mapped page, division by zero,
+    unlocking a mutex the thread does not hold, joining an unknown thread.
+    """
+
+    def __init__(self, message: str, tid: int = -1, pc: int = -1):
+        super().__init__(message)
+        self.tid = tid
+        self.pc = pc
+
+
+class SyscallError(GuestFault):
+    """Raised when a guest issues a malformed or unsupported system call."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation itself reaches an invalid state.
+
+    This indicates a bug in the engine or a configuration error, never a
+    legal guest behaviour.
+    """
+
+
+class DeadlockError(SimulationError):
+    """Raised when no runnable thread exists but the program has not exited."""
+
+    def __init__(self, message: str, blocked_tids=()):
+        super().__init__(message)
+        self.blocked_tids = tuple(blocked_tids)
+
+
+class ReplayError(ReproError):
+    """Raised when a replay cannot follow its recording.
+
+    A correct recording always replays; this error means the recording is
+    corrupt or was produced by an incompatible configuration.
+    """
+
+
+class DivergenceSignal(ReproError):
+    """Internal control-flow signal: an epoch-parallel run diverged.
+
+    Raised by the epoch runner when it can prove mid-epoch that the
+    uniprocessor re-execution no longer follows the thread-parallel run
+    (syscall mismatch, deadlock against the logged boundary). The recorder
+    catches it and triggers forward recovery; it never escapes the library.
+    """
+
+    def __init__(self, reason: str, epoch_index: int = -1):
+        super().__init__(reason)
+        self.reason = reason
+        self.epoch_index = epoch_index

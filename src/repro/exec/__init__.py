@@ -1,0 +1,32 @@
+"""Execution engines for guest programs.
+
+Two engines share one interpreter (so op semantics are identical, which is
+what makes replay exact):
+
+* :class:`~repro.exec.multicore.MulticoreEngine` — discrete-event
+  multiprocessor execution; ops from different cores interleave in
+  simulated-time order (sequential consistency). Used by native runs,
+  DoublePlay's thread-parallel execution, and the recording baselines.
+* :class:`~repro.exec.uniprocessor.UniprocessorEngine` — all threads
+  timesliced on one core. In *capture* mode it records the timeslice
+  schedule (DoublePlay's epoch-parallel execution); in *enforce* mode it
+  follows a previously captured schedule exactly (replay).
+
+Syscall personalities come from :mod:`repro.exec.services`: live kernel
+with logging, or injection from a log.
+"""
+
+from repro.exec.multicore import MulticoreEngine
+from repro.exec.uniprocessor import UniprocessorEngine, EpochOutcome
+from repro.exec.services import LiveSyscalls, InjectedSyscalls
+from repro.exec.trace import TraceObserver, TraceEvent
+
+__all__ = [
+    "MulticoreEngine",
+    "UniprocessorEngine",
+    "EpochOutcome",
+    "LiveSyscalls",
+    "InjectedSyscalls",
+    "TraceObserver",
+    "TraceEvent",
+]

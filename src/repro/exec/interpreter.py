@@ -1,0 +1,467 @@
+"""The guest instruction interpreter.
+
+``step(engine, ctx)`` executes exactly one instruction of ``ctx`` against
+the engine's memory/sync/syscall services and returns its cycle cost. Both
+execution engines call this same function, so guest semantics cannot drift
+between the thread-parallel execution, the epoch-parallel execution and
+replay — the property DoublePlay's correctness argument rests on.
+
+Retirement discipline (the invariant everything else depends on):
+
+* An instruction *retires* when all its effects are applied; ``ctx.retired``
+  then increments. Epoch boundaries are retired-op counts, so effects must
+  never leak out of an unretired op.
+* A blocking op that cannot complete leaves ``pc`` and ``retired``
+  untouched and parks the thread with a :class:`BlockedReason`.
+* When another thread's action completes the op (lock grant, kernel
+  wakeup, exit-for-join), the completion is stored in
+  ``ctx.pending_grant`` and the op retires the next time the owning thread
+  is scheduled — inside its own timeslice, which keeps uniprocessor
+  schedule logs exact.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuestFault, SimulationError
+from repro.isa.context import BlockedReason, ThreadContext, ThreadStatus
+from repro.isa.instructions import Instruction, Op
+from repro.memory.layout import wrap_word
+from repro.oskernel.syscalls import SyscallDone, SyscallKind
+
+_DIV_OPS = (Op.DIV, Op.MOD)
+
+
+def step(engine, ctx: ThreadContext) -> int:
+    """Execute one instruction (or consume a pending grant); returns cycles."""
+    # Asynchronous signal delivery happens at a clean op boundary:
+    # delivery (push return pc, jump to handler) plus the handler's first
+    # instruction form one step, so the thread's retired count uniquely
+    # identifies the delivery point for record and replay. Delivery is
+    # checked before grant consumption — a signal that fired while the
+    # grant was in flight interposes its handler first, as it did in the
+    # recorded execution.
+    if ctx.blocked is None:
+        handler_pc = engine.next_signal(ctx)
+        if handler_pc is not None:
+            ctx.call_stack.append(ctx.pc)
+            ctx.pc = handler_pc
+            engine.trace("signal", ctx.tid, handler_pc)
+            return _dispatch(engine, ctx, engine.program.fetch(ctx.pc))
+    if ctx.pending_grant is not None:
+        return _consume_grant(engine, ctx)
+    if ctx.blocked is not None:
+        return _resume_blocked(engine, ctx)
+    return _dispatch(engine, ctx, engine.program.fetch(ctx.pc))
+
+
+def _dispatch(engine, ctx: ThreadContext, instr: Instruction) -> int:
+    """Execute exactly the instruction ``instr`` for ``ctx``."""
+    op = instr.op
+    costs = engine.costs
+    regs = ctx.registers
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    if op is Op.LI:
+        regs[instr.a] = wrap_word(instr.b)
+        return _retire(ctx, costs.alu)
+    if op is Op.MOV:
+        regs[instr.a] = regs[instr.b]
+        return _retire(ctx, costs.alu)
+    if op is Op.ADD:
+        regs[instr.a] = wrap_word(regs[instr.b] + regs[instr.c])
+        return _retire(ctx, costs.alu)
+    if op is Op.SUB:
+        regs[instr.a] = wrap_word(regs[instr.b] - regs[instr.c])
+        return _retire(ctx, costs.alu)
+    if op is Op.MUL:
+        regs[instr.a] = wrap_word(regs[instr.b] * regs[instr.c])
+        return _retire(ctx, costs.alu)
+    if op in _DIV_OPS:
+        divisor = regs[instr.c]
+        if divisor == 0:
+            raise GuestFault(f"division by zero at pc {ctx.pc}", ctx.tid, ctx.pc)
+        if op is Op.DIV:
+            regs[instr.a] = wrap_word(regs[instr.b] // divisor)
+        else:
+            regs[instr.a] = wrap_word(regs[instr.b] % divisor)
+        return _retire(ctx, costs.alu)
+    if op is Op.AND:
+        regs[instr.a] = regs[instr.b] & regs[instr.c]
+        return _retire(ctx, costs.alu)
+    if op is Op.OR:
+        regs[instr.a] = regs[instr.b] | regs[instr.c]
+        return _retire(ctx, costs.alu)
+    if op is Op.XOR:
+        regs[instr.a] = regs[instr.b] ^ regs[instr.c]
+        return _retire(ctx, costs.alu)
+    if op is Op.ADDI:
+        regs[instr.a] = wrap_word(regs[instr.b] + instr.c)
+        return _retire(ctx, costs.alu)
+    if op is Op.MULI:
+        regs[instr.a] = wrap_word(regs[instr.b] * instr.c)
+        return _retire(ctx, costs.alu)
+    if op is Op.SHLI:
+        regs[instr.a] = wrap_word(regs[instr.b] << instr.c)
+        return _retire(ctx, costs.alu)
+    if op is Op.SHRI:
+        regs[instr.a] = wrap_word(regs[instr.b] >> instr.c)
+        return _retire(ctx, costs.alu)
+    if op is Op.SLT:
+        regs[instr.a] = 1 if regs[instr.b] < regs[instr.c] else 0
+        return _retire(ctx, costs.alu)
+    if op is Op.SLTI:
+        regs[instr.a] = 1 if regs[instr.b] < instr.c else 0
+        return _retire(ctx, costs.alu)
+    if op is Op.SEQ:
+        regs[instr.a] = 1 if regs[instr.b] == regs[instr.c] else 0
+        return _retire(ctx, costs.alu)
+    if op is Op.SEQI:
+        regs[instr.a] = 1 if regs[instr.b] == instr.c else 0
+        return _retire(ctx, costs.alu)
+    if op is Op.TID:
+        regs[instr.a] = ctx.tid
+        return _retire(ctx, costs.alu)
+    if op is Op.NOP:
+        return _retire(ctx, costs.alu)
+    if op is Op.WORK:
+        return _retire(ctx, instr.a)
+    if op is Op.WORKR:
+        return _retire(ctx, max(regs[instr.a], 1))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    if op is Op.JMP:
+        return _retire_to(ctx, instr.a, costs.branch)
+    if op is Op.BEQ:
+        taken = regs[instr.a] == regs[instr.b]
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BNE:
+        taken = regs[instr.a] != regs[instr.b]
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BLT:
+        taken = regs[instr.a] < regs[instr.b]
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BGE:
+        taken = regs[instr.a] >= regs[instr.b]
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BEQI:
+        taken = regs[instr.a] == instr.b
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BNEI:
+        taken = regs[instr.a] != instr.b
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BLTI:
+        taken = regs[instr.a] < instr.b
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.BGEI:
+        taken = regs[instr.a] >= instr.b
+        return _retire_to(ctx, instr.c if taken else ctx.pc + 1, costs.branch)
+    if op is Op.CALL:
+        ctx.call_stack.append(ctx.pc + 1)
+        return _retire_to(ctx, instr.a, costs.branch)
+    if op is Op.RET:
+        if not ctx.call_stack:
+            raise GuestFault(f"ret with empty call stack at pc {ctx.pc}", ctx.tid, ctx.pc)
+        return _retire_to(ctx, ctx.call_stack.pop(), costs.branch)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    if op is Op.LOAD or op is Op.LOADG:
+        addr = regs[instr.b] + instr.c if op is Op.LOAD else instr.b
+        extra = engine.access_extra(ctx.tid, addr, False)
+        regs[instr.a] = engine.mem.read(addr)
+        engine.trace("read", ctx.tid, addr)
+        return _retire(ctx, costs.mem + extra)
+    if op is Op.STORE or op is Op.STOREG:
+        addr = regs[instr.b] + instr.c if op is Op.STORE else instr.b
+        extra = engine.access_extra(ctx.tid, addr, True)
+        cow_before = engine.mem.cow_copies
+        engine.mem.write(addr, regs[instr.a])
+        extra += (engine.mem.cow_copies - cow_before) * costs.page_cow_copy
+        engine.trace("write", ctx.tid, addr)
+        return _retire(ctx, costs.mem + extra)
+
+    # ------------------------------------------------------------------
+    # Atomics (per-address order recorded and oracle-enforced; the race
+    # detector sees each as an acquire/release pair, like seq_cst atomics)
+    # ------------------------------------------------------------------
+    if op is Op.FETCHADD:
+        addr = regs[instr.b] + instr.c
+        if not engine.sync.atomic_enter(ctx.tid, addr):
+            engine.block(ctx, BlockedReason("atomic", (addr,)))
+            return costs.atomic
+        for tid in engine.sync.atomic_done(ctx.tid, addr):
+            engine.wake_deferred(tid)
+        extra = engine.access_extra(ctx.tid, addr, True)
+        cow_before = engine.mem.cow_copies
+        old = engine.mem.read(addr)
+        engine.mem.write(addr, wrap_word(old + regs[instr.d]))
+        extra += (engine.mem.cow_copies - cow_before) * costs.page_cow_copy
+        regs[instr.a] = old
+        engine.trace("read", ctx.tid, addr)
+        engine.trace("write", ctx.tid, addr)
+        engine.trace("release", ctx.tid, addr)
+        return _retire(ctx, costs.atomic + extra)
+    if op is Op.CAS:
+        addr = regs[instr.b] + instr.c
+        if not engine.sync.atomic_enter(ctx.tid, addr):
+            engine.block(ctx, BlockedReason("atomic", (addr,)))
+            return costs.atomic
+        for tid in engine.sync.atomic_done(ctx.tid, addr):
+            engine.wake_deferred(tid)
+        extra = engine.access_extra(ctx.tid, addr, True)
+        expect_reg, new_reg = instr.d
+        cow_before = engine.mem.cow_copies
+        old = engine.mem.read(addr)
+        engine.trace("read", ctx.tid, addr)
+        if old == regs[expect_reg]:
+            engine.mem.write(addr, regs[new_reg])
+            engine.trace("write", ctx.tid, addr)
+            regs[instr.a] = 1
+        else:
+            regs[instr.a] = 0
+        extra += (engine.mem.cow_copies - cow_before) * costs.page_cow_copy
+        engine.trace("release", ctx.tid, addr)
+        return _retire(ctx, costs.atomic + extra)
+    if op is Op.XCHG:
+        addr = regs[instr.b] + instr.c
+        if not engine.sync.atomic_enter(ctx.tid, addr):
+            engine.block(ctx, BlockedReason("atomic", (addr,)))
+            return costs.atomic
+        for tid in engine.sync.atomic_done(ctx.tid, addr):
+            engine.wake_deferred(tid)
+        extra = engine.access_extra(ctx.tid, addr, True)
+        cow_before = engine.mem.cow_copies
+        old = engine.mem.read(addr)
+        engine.mem.write(addr, regs[instr.d])
+        extra += (engine.mem.cow_copies - cow_before) * costs.page_cow_copy
+        regs[instr.a] = old
+        engine.trace("read", ctx.tid, addr)
+        engine.trace("write", ctx.tid, addr)
+        engine.trace("release", ctx.tid, addr)
+        return _retire(ctx, costs.atomic + extra)
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    if op is Op.LOCK:
+        addr = regs[instr.a]
+        if engine.sync.acquire(ctx.tid, addr):
+            return _retire(ctx, costs.sync)
+        engine.block(ctx, BlockedReason("lock", (addr,)))
+        return costs.sync
+    if op is Op.UNLOCK:
+        addr = regs[instr.a]
+        engine.trace("release", ctx.tid, addr)
+        for granted in engine.sync.release(ctx.tid, addr):
+            engine.grant(granted, ("sync",))
+        return _retire(ctx, costs.sync)
+    if op is Op.BARRIER:
+        addr = regs[instr.a]
+        count = regs[instr.b]
+        released = engine.sync.barrier_arrive(ctx.tid, addr, count)
+        # Every participant — the completing arriver included — retires its
+        # arrival via a grant on its next scheduling. If the completer
+        # retired instantly, per-thread retired counts would depend on
+        # arrival order, which epoch-boundary targets cannot express.
+        engine.block(ctx, BlockedReason("barrier", (addr,)))
+        if released:
+            for tid in released:
+                engine.trace("barrier", tid, addr)
+            for tid in released:
+                engine.grant(tid, ("sync",))
+        return costs.sync
+    if op is Op.CONDWAIT:
+        cond_addr = regs[instr.a]
+        mutex_addr = regs[instr.b]
+        engine.trace("release", ctx.tid, mutex_addr)
+        grants = engine.sync.cond_wait(ctx.tid, cond_addr, mutex_addr)
+        for granted in grants:
+            engine.grant(granted, ("sync",))
+        engine.block(ctx, BlockedReason("cond", (cond_addr, mutex_addr)))
+        return costs.sync
+    if op is Op.CONDSIGNAL:
+        cond_addr = regs[instr.a]
+        engine.trace("release", ctx.tid, cond_addr)
+        for granted in engine.sync.cond_signal(cond_addr):
+            engine.grant(granted, ("sync",))
+        return _retire(ctx, costs.sync)
+    if op is Op.CONDBCAST:
+        cond_addr = regs[instr.a]
+        engine.trace("release", ctx.tid, cond_addr)
+        for granted in engine.sync.cond_broadcast(cond_addr):
+            engine.grant(granted, ("sync",))
+        return _retire(ctx, costs.sync)
+    if op is Op.SEMINIT:
+        engine.sync.sem_init(regs[instr.a], regs[instr.b])
+        return _retire(ctx, costs.sync)
+    if op is Op.SEMWAIT:
+        addr = regs[instr.a]
+        if engine.sync.sem_wait(ctx.tid, addr):
+            for granted in engine.sync.sem_drain(addr):
+                engine.grant(granted, ("sync",))
+            return _retire(ctx, costs.sync)
+        engine.block(ctx, BlockedReason("sem", (addr,)))
+        return costs.sync
+    if op is Op.SEMPOST:
+        addr = regs[instr.a]
+        engine.trace("release", ctx.tid, addr)
+        for granted in engine.sync.sem_post(addr):
+            engine.grant(granted, ("sync",))
+        return _retire(ctx, costs.sync)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    if op is Op.SPAWN:
+        args = tuple(regs[r] for r in instr.c)
+        child = engine.spawn_thread(ctx, instr.b, args)
+        regs[instr.a] = child
+        engine.trace("spawn", ctx.tid, child)
+        return _retire(ctx, costs.spawn)
+    if op is Op.JOIN:
+        target = regs[instr.a]
+        target_ctx = engine.contexts.get(target)
+        if target_ctx is None:
+            raise GuestFault(f"join on unknown thread {target}", ctx.tid, ctx.pc)
+        if target_ctx.status == ThreadStatus.EXITED:
+            engine.trace("join", ctx.tid, target)
+            return _retire(ctx, costs.sync)
+        engine.block(ctx, BlockedReason("join", (target,)))
+        return costs.sync
+    if op is Op.EXIT:
+        ctx.status = ThreadStatus.EXITED
+        ctx.retired += 1
+        engine.trace("exit", ctx.tid, 0)
+        engine.on_exit(ctx)
+        return costs.alu
+
+    # ------------------------------------------------------------------
+    # Operating system
+    # ------------------------------------------------------------------
+    if op is Op.SYSCALL:
+        kind: SyscallKind = instr.b
+        args = tuple(regs[r] for r in instr.c)
+        return _issue_syscall(engine, ctx, instr, kind, args)
+
+    raise SimulationError(f"interpreter cannot execute opcode {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _retire(ctx: ThreadContext, cost: int) -> int:
+    ctx.pc += 1
+    ctx.retired += 1
+    return cost
+
+
+def _retire_to(ctx: ThreadContext, target_pc: int, cost: int) -> int:
+    ctx.pc = target_pc
+    ctx.retired += 1
+    return cost
+
+
+def _issue_syscall(engine, ctx, instr, kind, args) -> int:
+    costs = engine.costs
+    extra = 0
+    # Buffer-consuming calls read guest memory on the caller's behalf;
+    # surface that to tracing and to access interceptors (CREW treats
+    # kernel copies as accesses by the calling thread).
+    if kind in (SyscallKind.WRITE, SyscallKind.SEND):
+        for offset in range(args[2]):
+            engine.trace("read", ctx.tid, args[1] + offset)
+            extra += engine.access_extra(ctx.tid, args[1] + offset, False)
+    cow_before = engine.mem.cow_copies
+    outcome = engine.services.invoke(ctx, kind, args, engine.mem, engine.now)
+    if isinstance(outcome, SyscallDone):
+        for base, words in outcome.writes:
+            for offset in range(len(words)):
+                engine.trace("write", ctx.tid, base + offset)
+                extra += engine.access_extra(ctx.tid, base + offset, True)
+        ctx.registers[instr.a] = outcome.retval
+        ctx.syscall_count += 1
+        engine.trace("syscall", ctx.tid, 0)
+        _retire(ctx, 0)
+        cow_cost = (engine.mem.cow_copies - cow_before) * costs.page_cow_copy
+        return (
+            costs.syscall_base
+            + outcome.transferred * costs.io_word
+            + cow_cost
+            + extra
+        )
+    engine.block(ctx, BlockedReason("syscall", (kind, args)))
+    return costs.syscall_base
+
+
+def _consume_grant(engine, ctx: ThreadContext) -> int:
+    """Retire an op whose completion was granted while the thread was off-core."""
+    grant = ctx.pending_grant
+    costs = engine.costs
+    instr = engine.program.fetch(ctx.pc)
+    cost = costs.grant
+    if grant[0] == "syscall":
+        _, retval, writes, transferred = grant
+        cow_before = engine.mem.cow_copies
+        for base, words in writes:
+            engine.mem.write_block(base, words)
+            for offset in range(len(words)):
+                engine.trace("write", ctx.tid, base + offset)
+                cost += engine.access_extra(ctx.tid, base + offset, True)
+        cost += (engine.mem.cow_copies - cow_before) * costs.page_cow_copy
+        ctx.registers[instr.a] = retval
+        engine.services_log_wakeup(ctx, instr.b, grant)
+        ctx.syscall_count += 1
+        engine.trace("syscall", ctx.tid, 0)
+        cost += transferred * costs.io_word
+    elif grant[0] == "join":
+        engine.trace("join", ctx.tid, ctx.registers[instr.a])
+    elif grant[0] == "sync" and ctx.tid in engine.inherited_grants:
+        # Ownership was transferred by the execution this engine was
+        # restored from; credit the acquisition to this run's log.
+        engine.inherited_grants.discard(ctx.tid)
+        engine.synthetic_acquisition(ctx, instr)
+    # other "sync" grants have no effects here; the sync manager already
+    # transferred ownership (and recorded the acquisition) when it granted.
+    ctx.pending_grant = None
+    ctx.blocked = None
+    return _retire(ctx, cost)
+
+
+def _resume_blocked(engine, ctx: ThreadContext) -> int:
+    """Re-issue an op that was mid-block when its execution was checkpointed.
+
+    Only engines that *inject* syscalls schedule threads in this state
+    (see ``UniprocessorEngine.from_checkpoint``): a thread that was blocked
+    in the kernel during the thread-parallel run completes here from the
+    log. Join waits are also re-checked because join wakeups are driven by
+    exit events, which may already have happened before the checkpoint.
+    """
+    reason = ctx.blocked
+    if reason.kind == "atomic":
+        # The thread's turn at this address has come: re-dispatch the op.
+        ctx.blocked = None
+        ctx.status = ThreadStatus.RUNNING
+        return step(engine, ctx)
+    if reason.kind == "syscall":
+        kind, args = reason.detail
+        instr = engine.program.fetch(ctx.pc)
+        ctx.blocked = None
+        ctx.status = ThreadStatus.RUNNING
+        return _issue_syscall(engine, ctx, instr, kind, args)
+    if reason.kind == "join":
+        (target,) = reason.detail
+        target_ctx = engine.contexts.get(target)
+        if target_ctx is not None and target_ctx.status == ThreadStatus.EXITED:
+            ctx.blocked = None
+            engine.trace("join", ctx.tid, target)
+            return _retire(ctx, engine.costs.sync)
+        engine.block(ctx, reason)
+        return engine.costs.sync
+    raise SimulationError(
+        f"thread {ctx.tid} scheduled while blocked on {reason.kind!r}"
+    )

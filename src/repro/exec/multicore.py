@@ -1,0 +1,194 @@
+"""Discrete-event multiprocessor execution.
+
+Each core has a local clock; at every step the engine executes one
+instruction on the core whose clock is earliest (deterministic tie-break by
+core id), so the global order of memory operations is the simulated-time
+order — sequentially consistent and perfectly reproducible for a given
+program, inputs and configuration.
+
+This engine runs native executions, DoublePlay's thread-parallel execution
+(with syscall logging and acquisition capture enabled), and the multicore
+recording baselines (via the access interceptor).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import DeadlockError, GuestFault
+from repro.exec.engine import BaseEngine
+from repro.exec.interpreter import step
+from repro.isa.context import ThreadContext, ThreadStatus
+from repro.isa.program import ProgramImage
+from repro.machine.config import MachineConfig
+from repro.memory.address_space import AddressSpace
+from repro.oskernel.sync import SyncManager
+
+
+@dataclass
+class _Core:
+    cid: int
+    time: int = 0
+    tid: Optional[int] = None
+    quantum_left: int = 0
+
+
+class MulticoreEngine(BaseEngine):
+    """Runs one guest program on ``config.cores`` simulated cores."""
+
+    def __init__(
+        self,
+        program: ProgramImage,
+        config: MachineConfig,
+        mem: AddressSpace,
+        sync: SyncManager,
+        services,
+        name: str = "",
+    ):
+        super().__init__(program, config, mem, sync, services, name)
+        self.cores = [_Core(cid) for cid in range(config.cores)]
+        self._ready: Deque[Tuple[int, int]] = deque()  # (tid, ready time)
+        #: latest simulated time any core has reached
+        self.time = 0
+        self.context_switches = 0
+
+    # ------------------------------------------------------------------
+    # Construction from a checkpoint (forward-recovery restart)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        program: ProgramImage,
+        config: MachineConfig,
+        services,
+        memory_snapshot,
+        contexts: Dict[int, ThreadContext],
+        sync_state,
+        start_time: int = 0,
+        name: str = "",
+    ) -> "MulticoreEngine":
+        mem = AddressSpace.from_snapshot(memory_snapshot)
+        sync = SyncManager()
+        sync.restore(sync_state)
+        engine = cls(program, config, mem, sync, services, name=name)
+        engine.time = start_time
+        for core in engine.cores:
+            core.time = start_time
+        engine._adopt_checkpoint_contexts(contexts, wake_blocked_io=False)
+        return engine
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _on_ready(self, tid: int, time: int) -> None:
+        self._ready.append((tid, time))
+
+    def _dispatch(self) -> None:
+        """Assign ready threads to idle cores, earliest core first."""
+        while self._ready:
+            idle = [core for core in self.cores if core.tid is None]
+            if not idle:
+                return
+            tid, ready_time = self._ready.popleft()
+            ctx = self.contexts[tid]
+            if ctx.status != ThreadStatus.READY:
+                continue  # exited or re-blocked while queued
+            core = min(idle, key=lambda c: (c.time, c.cid))
+            core.tid = tid
+            core.time = max(core.time, ready_time) + self.costs.context_switch
+            core.quantum_left = self.config.quantum
+            ctx.status = ThreadStatus.RUNNING
+            self.context_switches += 1
+
+    def _process_wakeups(self, now: int) -> None:
+        for wakeup in self.services.wakeups(now, self.mem):
+            self._now = now
+            self.grant(
+                wakeup.tid,
+                ("syscall", wakeup.retval, wakeup.writes, wakeup.transferred),
+            )
+        for signal in self.services.signal_deliveries(now):
+            self.deliver_signal(signal.tid, signal.handler_pc)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stop_check: Optional[Callable[["MulticoreEngine"], bool]] = None,
+    ) -> str:
+        """Execute until completion or until ``stop_check`` fires.
+
+        Returns ``"done"`` when every thread exited, ``"stopped"`` when the
+        stop check fired (all committed ops are consistent; the engine can
+        be checkpointed and resumed), or ``"faulted"`` when the guest
+        crashed and ``halt_on_fault`` is set. Raises
+        :class:`DeadlockError` when nothing can ever run again.
+        """
+        while True:
+            if self.all_exited():
+                return "done"
+            self._dispatch()
+            busy = [core for core in self.cores if core.tid is not None]
+            if not busy:
+                next_event = self.services.next_event_time()
+                if next_event is None:
+                    raise DeadlockError(
+                        f"all threads blocked in {self.name!r}",
+                        self.blocked_tids(),
+                    )
+                self.time = max(self.time, next_event)
+                self._process_wakeups(self.time)
+                continue
+            core = min(busy, key=lambda c: (c.time, c.cid))
+            next_event = self.services.next_event_time()
+            if next_event is not None and next_event <= core.time:
+                # A kernel event (arrival, sleep expiry) is due before this
+                # op; deliver it first so a woken thread can claim an idle
+                # core that is earlier in time.
+                self._process_wakeups(core.time)
+                continue
+            ctx = self.contexts[core.tid]
+            self._now = core.time
+            try:
+                cost = step(self, ctx)
+            except GuestFault as fault:
+                if not self.halt_on_fault:
+                    raise
+                # The faulting op applied no effects; the whole program
+                # stops at this op boundary (a crash ends the process).
+                self.fault = fault
+                return "faulted"
+            self._guard_ops()
+            core.time += cost
+            core.quantum_left -= cost
+            if core.time > self.time:
+                self.time = core.time
+            if ctx.status != ThreadStatus.RUNNING:
+                core.tid = None
+            elif core.quantum_left <= 0 and self._ready:
+                ctx.status = ThreadStatus.READY
+                self._ready.append((ctx.tid, core.time))
+                core.tid = None
+            if stop_check is not None and stop_check(self):
+                return "stopped"
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def quiesce(self) -> int:
+        """Synchronise all cores to the latest core time (checkpoint
+        barrier) and return that time. Threads stay scheduled."""
+        latest = max([core.time for core in self.cores] + [self.time])
+        for core in self.cores:
+            core.time = latest
+        self.time = latest
+        return latest
+
+    def advance_all(self, cycles: int) -> None:
+        """Charge ``cycles`` to every core (checkpoint / restore cost)."""
+        for core in self.cores:
+            core.time += cycles
+        self.time += cycles

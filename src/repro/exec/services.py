@@ -1,0 +1,153 @@
+"""Syscall service personalities.
+
+Engines issue syscalls through a service object with a common interface:
+
+* ``invoke(ctx, kind, args, mem, now)`` → ``SyscallDone`` or ``SyscallBlock``
+* ``wakeups(now, mem)`` → completed blocked calls (live kernel only)
+* ``next_event_time()`` → earliest future kernel event (live kernel only)
+
+:class:`LiveSyscalls` wraps a real simulated kernel and optionally logs
+every completion — DoublePlay's thread-parallel execution runs with logging
+on. :class:`InjectedSyscalls` replays a log: results are returned without
+any kernel, and a mismatch between what the guest asks and what the log
+holds is reported to a divergence callback — this is the paper's early
+divergence detection on system-call mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DivergenceSignal
+from repro.isa.context import ThreadContext
+from repro.memory.address_space import AddressSpace
+from repro.oskernel.kernel import Kernel
+from repro.oskernel.syscalls import (
+    SyscallBlock,
+    SyscallDone,
+    SyscallKind,
+    SyscallRecord,
+    Wakeup,
+)
+
+
+class LiveSyscalls:
+    """Execute syscalls against a live kernel, logging completions."""
+
+    def __init__(self, kernel: Kernel, log: Optional[List[SyscallRecord]] = None):
+        self.kernel = kernel
+        #: completed-call log in global completion order (None = no logging)
+        self.log = log
+
+    def invoke(
+        self,
+        ctx: ThreadContext,
+        kind: SyscallKind,
+        args: Sequence[int],
+        mem: AddressSpace,
+        now: int,
+    ):
+        outcome = self.kernel.syscall(ctx.tid, kind, args, mem, now)
+        if isinstance(outcome, SyscallDone) and self.log is not None:
+            self.log.append(
+                SyscallRecord(
+                    tid=ctx.tid,
+                    seq=ctx.syscall_count,
+                    kind=kind,
+                    retval=outcome.retval,
+                    writes=outcome.writes,
+                    transferred=outcome.transferred,
+                )
+            )
+        return outcome
+
+    def record_wakeup_completion(
+        self, ctx: ThreadContext, kind: SyscallKind, grant: Tuple
+    ) -> None:
+        """Log a blocked call's completion at its retirement."""
+        if self.log is None:
+            return
+        _, retval, writes, transferred = grant
+        self.log.append(
+            SyscallRecord(
+                tid=ctx.tid,
+                seq=ctx.syscall_count,
+                kind=kind,
+                retval=retval,
+                writes=writes,
+                transferred=transferred,
+            )
+        )
+
+    def wakeups(self, now: int, mem: AddressSpace) -> List[Wakeup]:
+        return self.kernel.wakeups(now, mem)
+
+    def signal_deliveries(self, now: int):
+        return self.kernel.signal_deliveries(now)
+
+    def next_event_time(self) -> Optional[int]:
+        return self.kernel.next_event_time()
+
+
+class InjectedSyscalls:
+    """Complete syscalls from a log instead of a kernel.
+
+    ``records`` may span the whole recording; lookup is by the issuing
+    thread's per-thread sequence number, so an epoch executor can be handed
+    the full log and will naturally consume only its epoch's slice.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[SyscallRecord],
+        on_mismatch: Optional[Callable[[str], None]] = None,
+    ):
+        self._by_seq: Dict[Tuple[int, int], SyscallRecord] = {
+            (record.tid, record.seq): record for record in records
+        }
+        self._on_mismatch = on_mismatch
+        #: records actually consumed (size accounting, tests)
+        self.consumed = 0
+
+    def invoke(
+        self,
+        ctx: ThreadContext,
+        kind: SyscallKind,
+        args: Sequence[int],
+        mem: AddressSpace,
+        now: int,
+    ):
+        record = self._by_seq.get((ctx.tid, ctx.syscall_count))
+        if record is None:
+            # The logged execution never completed this call (e.g. the
+            # thread was still blocked when recording ended): park forever.
+            return SyscallBlock("log-exhausted")
+        if record.kind != kind:
+            message = (
+                f"thread {ctx.tid} issued syscall {kind.value!r} as call "
+                f"#{ctx.syscall_count} but the log holds {record.kind.value!r}"
+            )
+            if self._on_mismatch is not None:
+                self._on_mismatch(message)
+            raise DivergenceSignal(message)
+        self.consumed += 1
+        if kind == SyscallKind.ALLOC:
+            # The live kernel maps the allocated pages as a side effect;
+            # injection must reproduce that or subsequent stores fault.
+            mem.map_range(record.retval, args[0])
+        for base, words in record.writes:
+            mem.write_block(base, words)
+        return SyscallDone(
+            retval=record.retval,
+            writes=record.writes,
+            transferred=record.transferred,
+        )
+
+    def wakeups(self, now: int, mem: AddressSpace) -> List[Wakeup]:
+        return []
+
+    def signal_deliveries(self, now: int):
+        return []
+
+    def next_event_time(self) -> Optional[int]:
+        return None

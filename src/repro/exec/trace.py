@@ -1,0 +1,54 @@
+"""Passive execution tracing.
+
+Observers receive one :class:`TraceEvent` per interesting action, in global
+retirement order. The happens-before race detector consumes these; the
+workload-characteristics table counts them. Observers must not mutate
+engine state — engines do not defend against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced action.
+
+    ``kind`` is one of: ``read``, ``write``, ``acquire``, ``release``,
+    ``barrier``, ``spawn``, ``exit``, ``join``, ``syscall``.
+    ``addr`` is the memory/sync-object address (or child tid for spawn,
+    target tid for join, syscall kind ordinal for syscall).
+    """
+
+    kind: str
+    tid: int
+    addr: int
+    time: int
+
+
+class TraceObserver:
+    """Base observer; collects nothing. Subclass and override ``on_event``."""
+
+    def on_event(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class CollectingObserver(TraceObserver):
+    """Buffers every event (tests, the race detector, characteristics)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def counts(self) -> Tuple[int, int, int]:
+        """(reads, writes, sync ops) — quick summary for tables."""
+        reads = sum(1 for e in self.events if e.kind == "read")
+        writes = sum(1 for e in self.events if e.kind == "write")
+        syncs = sum(
+            1 for e in self.events if e.kind in ("acquire", "release", "barrier")
+        )
+        return reads, writes, syncs

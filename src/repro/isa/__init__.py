@@ -1,0 +1,31 @@
+"""Guest instruction set architecture.
+
+Guest programs — the workloads that DoublePlay records — are written in a
+tiny deterministic ISA rather than as Python functions. The crucial
+property this buys is *checkpointability*: a guest thread's entire state is
+``(pc, registers, call stack, retired-op count)``, which can be copied into
+an epoch checkpoint and re-executed under a different schedule. Python
+threads and generators cannot be snapshotted; guest ISA contexts can.
+
+The ISA deliberately exposes the concurrency features DoublePlay cares
+about: plain loads/stores (which can race), atomic read-modify-writes,
+kernel-mediated synchronisation (locks, barriers, condition variables,
+semaphores), thread spawn/join, and system calls.
+"""
+
+from repro.isa.instructions import Instruction, Op
+from repro.isa.context import ThreadContext, ThreadStatus, BlockedReason
+from repro.isa.program import ProgramImage
+from repro.isa.assembler import Assembler
+from repro.isa.builder import GuestBuilder
+
+__all__ = [
+    "Instruction",
+    "Op",
+    "ThreadContext",
+    "ThreadStatus",
+    "BlockedReason",
+    "ProgramImage",
+    "Assembler",
+    "GuestBuilder",
+]

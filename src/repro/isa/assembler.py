@@ -1,0 +1,454 @@
+"""Assembler for the guest ISA.
+
+Workloads build programs through one method per instruction plus a small
+amount of structure: named data (words and arrays), functions, and local
+labels. Forward references are resolved at :meth:`Assembler.assemble`
+time; label and symbol mistakes raise :class:`AssemblerError` with the
+offending name.
+
+Example::
+
+    asm = Assembler(name="count")
+    counter = asm.word("counter", 0)
+    with asm.function("worker"):
+        asm.li("r1", 100)
+        asm.label("loop")
+        asm.fetchadd("r2", addr="counter", amount_reg=None, imm=1)
+        asm.addi("r1", "r1", -1)
+        asm.bnei("r1", 0, "loop")
+        asm.exit_()
+    with asm.function("main"):
+        asm.spawn("r1", "worker")
+        asm.spawn("r2", "worker")
+        asm.join("r1")
+        asm.join("r2")
+        asm.exit_()
+    image = asm.assemble()
+
+Data symbols may be used wherever an address immediate is expected
+(``loadg``, ``storeg``, ``li``); the assembler substitutes the word
+address.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import ProgramImage
+from repro.memory.layout import DATA_BASE, PAGE_WORDS
+
+Reg = Union[str, int]
+Imm = Union[int, str]  # str = data symbol, resolved to its address
+
+
+@dataclass
+class _Pending:
+    """An emitted instruction whose label operands are not yet resolved."""
+
+    op: Op
+    a: object
+    b: object
+    c: object
+    d: object
+    function: Optional[str]
+
+
+class _Label:
+    """Marker wrapper distinguishing label operands from plain strings."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Assembler:
+    """Builds a :class:`ProgramImage` instruction by instruction."""
+
+    def __init__(self, name: str = "guest", registers: int = 32):
+        if registers < 4:
+            raise AssemblerError("programs need at least 4 registers (spawn args)")
+        self.name = name
+        self.registers = registers
+        self._pending: List[_Pending] = []
+        self._labels: Dict[str, int] = {}
+        self._symbols: Dict[str, int] = {}
+        self._data: Dict[int, int] = {}
+        self._data_cursor = DATA_BASE
+        self._current_function: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Data segment
+    # ------------------------------------------------------------------
+    def word(self, symbol: str, value: int = 0) -> int:
+        """Reserve one initialised word of global data; returns its address."""
+        return self.array(symbol, 1, values=[value])
+
+    def array(
+        self,
+        symbol: str,
+        length: int,
+        fill: int = 0,
+        values: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Reserve ``length`` words of global data; returns the base address.
+
+        ``values`` initialises a prefix of the array; the rest is ``fill``.
+        """
+        if symbol in self._symbols:
+            raise AssemblerError(f"data symbol {symbol!r} defined twice")
+        if length <= 0:
+            raise AssemblerError(f"array {symbol!r} must have positive length")
+        base = self._data_cursor
+        initial = list(values or [])
+        if len(initial) > length:
+            raise AssemblerError(f"array {symbol!r}: {len(initial)} values > length {length}")
+        for offset in range(length):
+            value = initial[offset] if offset < len(initial) else fill
+            self._data[base + offset] = value
+        self._symbols[symbol] = base
+        self._data_cursor = base + length
+        return base
+
+    def page_aligned_array(
+        self,
+        symbol: str,
+        length: int,
+        fill: int = 0,
+        values: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Like :meth:`array` but starting on a fresh page.
+
+        Used by workloads that want per-thread data on distinct pages so
+        that page-granularity baselines (CREW) see true sharing patterns.
+        """
+        remainder = self._data_cursor % PAGE_WORDS
+        if remainder:
+            self._data_cursor += PAGE_WORDS - remainder
+        return self.array(symbol, length, fill=fill, values=values)
+
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self._symbols[symbol]
+        except KeyError:
+            raise AssemblerError(f"unknown data symbol {symbol!r}") from None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def function(self, name: str):
+        """Define a function; its name becomes a global label."""
+        if self._current_function is not None:
+            raise AssemblerError(f"cannot nest function {name!r} in {self._current_function!r}")
+        if name in self._labels:
+            raise AssemblerError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._pending)
+        self._current_function = name
+        try:
+            yield self
+        finally:
+            self._current_function = None
+
+    def label(self, name: str) -> None:
+        """Define a label local to the current function (global outside one)."""
+        full = self._qualify(name)
+        if full in self._labels:
+            raise AssemblerError(f"label {name!r} defined twice")
+        self._labels[full] = len(self._pending)
+
+    def _qualify(self, name: str) -> str:
+        if self._current_function is not None:
+            return f"{self._current_function}.{name}"
+        return name
+
+    def here(self) -> int:
+        """Current instruction index (rarely needed; labels are preferred)."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+    # ------------------------------------------------------------------
+    def _reg(self, reg: Reg) -> int:
+        if isinstance(reg, str):
+            if not reg.startswith("r"):
+                raise AssemblerError(f"bad register name {reg!r}")
+            try:
+                index = int(reg[1:])
+            except ValueError:
+                raise AssemblerError(f"bad register name {reg!r}") from None
+        else:
+            index = reg
+        if not 0 <= index < self.registers:
+            raise AssemblerError(
+                f"register {reg!r} out of range (program has {self.registers})"
+            )
+        return index
+
+    def _emit(self, op: Op, a=0, b=0, c=0, d=0) -> None:
+        self._pending.append(_Pending(op, a, b, c, d, self._current_function))
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    def li(self, rd: Reg, imm: Imm) -> None:
+        self._emit(Op.LI, self._reg(rd), imm)
+
+    def li_label(self, rd: Reg, target: str) -> None:
+        """Load a code label's address (e.g. a signal handler's pc)."""
+        self._emit(Op.LI, self._reg(rd), _Label(target))
+
+    def mov(self, rd: Reg, rs: Reg) -> None:
+        self._emit(Op.MOV, self._reg(rd), self._reg(rs))
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.ADD, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.SUB, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.MUL, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.DIV, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def mod(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.MOD, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.AND, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.OR, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.XOR, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def addi(self, rd: Reg, rs: Reg, imm: Imm) -> None:
+        self._emit(Op.ADDI, self._reg(rd), self._reg(rs), imm)
+
+    def muli(self, rd: Reg, rs: Reg, imm: int) -> None:
+        self._emit(Op.MULI, self._reg(rd), self._reg(rs), imm)
+
+    def shli(self, rd: Reg, rs: Reg, imm: int) -> None:
+        self._emit(Op.SHLI, self._reg(rd), self._reg(rs), imm)
+
+    def shri(self, rd: Reg, rs: Reg, imm: int) -> None:
+        self._emit(Op.SHRI, self._reg(rd), self._reg(rs), imm)
+
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.SLT, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def slti(self, rd: Reg, rs: Reg, imm: int) -> None:
+        self._emit(Op.SLTI, self._reg(rd), self._reg(rs), imm)
+
+    def seq(self, rd: Reg, rs1: Reg, rs2: Reg) -> None:
+        self._emit(Op.SEQ, self._reg(rd), self._reg(rs1), self._reg(rs2))
+
+    def seqi(self, rd: Reg, rs: Reg, imm: int) -> None:
+        self._emit(Op.SEQI, self._reg(rd), self._reg(rs), imm)
+
+    def tid(self, rd: Reg) -> None:
+        self._emit(Op.TID, self._reg(rd))
+
+    def nop(self) -> None:
+        self._emit(Op.NOP)
+
+    def work(self, cycles: int) -> None:
+        if cycles <= 0:
+            raise AssemblerError(f"work needs positive cycles, got {cycles}")
+        self._emit(Op.WORK, cycles)
+
+    def workr(self, rs: Reg) -> None:
+        self._emit(Op.WORKR, self._reg(rs))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def jmp(self, target: str) -> None:
+        self._emit(Op.JMP, _Label(target))
+
+    def beq(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._emit(Op.BEQ, self._reg(rs1), self._reg(rs2), _Label(target))
+
+    def bne(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._emit(Op.BNE, self._reg(rs1), self._reg(rs2), _Label(target))
+
+    def blt(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._emit(Op.BLT, self._reg(rs1), self._reg(rs2), _Label(target))
+
+    def bge(self, rs1: Reg, rs2: Reg, target: str) -> None:
+        self._emit(Op.BGE, self._reg(rs1), self._reg(rs2), _Label(target))
+
+    def beqi(self, rs: Reg, imm: int, target: str) -> None:
+        self._emit(Op.BEQI, self._reg(rs), imm, _Label(target))
+
+    def bnei(self, rs: Reg, imm: int, target: str) -> None:
+        self._emit(Op.BNEI, self._reg(rs), imm, _Label(target))
+
+    def blti(self, rs: Reg, imm: int, target: str) -> None:
+        self._emit(Op.BLTI, self._reg(rs), imm, _Label(target))
+
+    def bgei(self, rs: Reg, imm: int, target: str) -> None:
+        self._emit(Op.BGEI, self._reg(rs), imm, _Label(target))
+
+    def call(self, target: str) -> None:
+        self._emit(Op.CALL, _Label(target))
+
+    def ret(self) -> None:
+        self._emit(Op.RET)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, rd: Reg, ra: Reg, off: int = 0) -> None:
+        self._emit(Op.LOAD, self._reg(rd), self._reg(ra), off)
+
+    def store(self, rs: Reg, ra: Reg, off: int = 0) -> None:
+        self._emit(Op.STORE, self._reg(rs), self._reg(ra), off)
+
+    def loadg(self, rd: Reg, addr: Imm) -> None:
+        self._emit(Op.LOADG, self._reg(rd), addr)
+
+    def storeg(self, rs: Reg, addr: Imm) -> None:
+        self._emit(Op.STOREG, self._reg(rs), addr)
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+    def fetchadd(self, rd: Reg, ra: Reg, off: int, rs: Reg) -> None:
+        self._emit(Op.FETCHADD, self._reg(rd), self._reg(ra), off, self._reg(rs))
+
+    def cas(self, rd: Reg, ra: Reg, off: int, rs_expect: Reg, rs_new: Reg) -> None:
+        self._emit(
+            Op.CAS,
+            self._reg(rd),
+            self._reg(ra),
+            off,
+            (self._reg(rs_expect), self._reg(rs_new)),
+        )
+
+    def xchg(self, rd: Reg, ra: Reg, off: int, rs: Reg) -> None:
+        self._emit(Op.XCHG, self._reg(rd), self._reg(ra), off, self._reg(rs))
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    def lock(self, ra: Reg) -> None:
+        self._emit(Op.LOCK, self._reg(ra))
+
+    def unlock(self, ra: Reg) -> None:
+        self._emit(Op.UNLOCK, self._reg(ra))
+
+    def barrier(self, ra: Reg, rs_count: Reg) -> None:
+        self._emit(Op.BARRIER, self._reg(ra), self._reg(rs_count))
+
+    def condwait(self, ra_cond: Reg, ra_mutex: Reg) -> None:
+        self._emit(Op.CONDWAIT, self._reg(ra_cond), self._reg(ra_mutex))
+
+    def condsignal(self, ra_cond: Reg) -> None:
+        self._emit(Op.CONDSIGNAL, self._reg(ra_cond))
+
+    def condbcast(self, ra_cond: Reg) -> None:
+        self._emit(Op.CONDBCAST, self._reg(ra_cond))
+
+    def seminit(self, ra: Reg, rs_value: Reg) -> None:
+        self._emit(Op.SEMINIT, self._reg(ra), self._reg(rs_value))
+
+    def semwait(self, ra: Reg) -> None:
+        self._emit(Op.SEMWAIT, self._reg(ra))
+
+    def sempost(self, ra: Reg) -> None:
+        self._emit(Op.SEMPOST, self._reg(ra))
+
+    # ------------------------------------------------------------------
+    # Threads and OS
+    # ------------------------------------------------------------------
+    def spawn(self, rd: Reg, target: str, args: Sequence[Reg] = ()) -> None:
+        """Spawn a thread at ``target``; ``args`` copy into the child's r0..rk."""
+        if len(args) > 4:
+            raise AssemblerError("spawn passes at most 4 argument registers")
+        self._emit(
+            Op.SPAWN,
+            self._reg(rd),
+            _Label(target),
+            tuple(self._reg(arg) for arg in args),
+        )
+
+    def join(self, rs: Reg) -> None:
+        self._emit(Op.JOIN, self._reg(rs))
+
+    def exit_(self) -> None:
+        self._emit(Op.EXIT)
+
+    def syscall(self, rd: Reg, kind, args: Sequence[Reg] = ()) -> None:
+        """Issue a system call; ``kind`` is a ``SyscallKind`` member."""
+        if len(args) > 3:
+            raise AssemblerError("syscalls take at most 3 argument registers")
+        self._emit(
+            Op.SYSCALL,
+            self._reg(rd),
+            kind,
+            tuple(self._reg(arg) for arg in args),
+        )
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def assemble(self, entry: str = "main") -> ProgramImage:
+        """Resolve labels and symbols; returns the immutable image."""
+        if entry not in self._labels:
+            raise AssemblerError(f"entry function {entry!r} not defined")
+        code = tuple(
+            Instruction(
+                pending.op,
+                self._resolve(pending.a, pending),
+                self._resolve(pending.b, pending),
+                self._resolve(pending.c, pending),
+                self._resolve(pending.d, pending),
+            )
+            for pending in self._pending
+        )
+        functions = {
+            name: index
+            for name, index in self._labels.items()
+            if "." not in name
+        }
+        heap_base = self._data_cursor + (PAGE_WORDS - self._data_cursor % PAGE_WORDS)
+        return ProgramImage(
+            code=code,
+            entry=self._labels[entry],
+            data=dict(self._data),
+            symbols=dict(self._symbols),
+            functions=functions,
+            register_count=self.registers,
+            heap_base=heap_base,
+            name=self.name,
+        )
+
+    def _resolve(self, operand, pending: _Pending):
+        if isinstance(operand, _Label):
+            return self._resolve_label(operand.name, pending.function)
+        if isinstance(operand, str):
+            # String immediates are data symbols.
+            if operand not in self._symbols:
+                raise AssemblerError(f"unknown data symbol {operand!r}")
+            return self._symbols[operand]
+        return operand
+
+    def _resolve_label(self, name: str, function: Optional[str]) -> int:
+        if function is not None:
+            local = f"{function}.{name}"
+            if local in self._labels:
+                return self._labels[local]
+        if name in self._labels:
+            return self._labels[name]
+        raise AssemblerError(
+            f"unknown label {name!r}"
+            + (f" in function {function!r}" if function else "")
+        )

@@ -1,0 +1,236 @@
+"""Structured guest-code builder.
+
+Raw assembler programs need hand-managed labels and registers. The
+:class:`GuestBuilder` layers structured control flow (``for_range``,
+``while_true``, ``if_*`` as context managers), scoped register allocation,
+and the idioms every workload repeats (critical sections, array checksum
+folds) on top of :class:`~repro.isa.assembler.Assembler` — a small
+compiler front-end for the guest ISA.
+
+Example::
+
+    asm = Assembler(name="demo")
+    asm.word("mutex", 0)
+    asm.word("total", 0)
+    build = GuestBuilder(asm)
+    with asm.function("worker"):
+        with build.scope() as s:
+            i = s.reg()
+            with build.for_range(i, 0, 10):
+                with build.critical("mutex"):
+                    tmp = s.reg()
+                    asm.loadg(tmp, "total")
+                    asm.addi(tmp, tmp, 1)
+                    asm.storeg(tmp, "total")
+                    s.release(tmp)
+        asm.exit_()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Union
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import Assembler, Reg
+
+
+class RegisterScope:
+    """Hands out registers and reclaims them when the scope closes."""
+
+    def __init__(self, builder: "GuestBuilder"):
+        self._builder = builder
+        self._held: List[str] = []
+
+    def reg(self, init: Optional[int] = None) -> str:
+        name = self._builder._allocate()
+        self._held.append(name)
+        if init is not None:
+            self._builder.asm.li(name, init)
+        return name
+
+    def release(self, name: str) -> None:
+        if name not in self._held:
+            raise AssemblerError(f"register {name} not held by this scope")
+        self._held.remove(name)
+        self._builder._free(name)
+
+    def close(self) -> None:
+        for name in self._held:
+            self._builder._free(name)
+        self._held = []
+
+
+class GuestBuilder:
+    """Structured control flow over an :class:`Assembler`.
+
+    Registers r0–r3 are reserved for spawn arguments and r20+ for the
+    conventional main-thread join registers; the builder allocates from
+    the band in between.
+    """
+
+    FIRST_REG = 4
+    LAST_REG = 19
+
+    def __init__(self, asm: Assembler):
+        self.asm = asm
+        self._pool = [f"r{index}" for index in range(self.FIRST_REG, self.LAST_REG + 1)]
+        self._label_seq = 0
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+    def _allocate(self) -> str:
+        if not self._pool:
+            raise AssemblerError("builder register pool exhausted")
+        return self._pool.pop(0)
+
+    def _free(self, name: str) -> None:
+        if name in self._pool:
+            raise AssemblerError(f"double free of register {name}")
+        self._pool.insert(0, name)
+
+    @contextlib.contextmanager
+    def scope(self):
+        """A register scope; everything allocated in it is reclaimed."""
+        scope = RegisterScope(self)
+        try:
+            yield scope
+        finally:
+            scope.close()
+
+    def _fresh(self, stem: str) -> str:
+        self._label_seq += 1
+        return f"__{stem}{self._label_seq}"
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def for_range(self, counter: Reg, start: int, stop: Union[int, Reg]):
+        """``for counter in range(start, stop)`` over the body."""
+        top = self._fresh("for")
+        self.asm.li(counter, start)
+        self.asm.label(top)
+        yield
+        self.asm.addi(counter, counter, 1)
+        if isinstance(stop, int):
+            self.asm.blti(counter, stop, top)
+        else:
+            self.asm.blt(counter, stop, top)
+
+    class _Loop:
+        def __init__(self, builder: "GuestBuilder", top: str, end: str):
+            self._builder = builder
+            self.top = top
+            self.end = end
+
+        def break_(self) -> None:
+            self._builder.asm.jmp(self.end)
+
+        def break_if_zero(self, reg: Reg) -> None:
+            self._builder.asm.beqi(reg, 0, self.end)
+
+        def break_if_ge(self, reg: Reg, bound: Union[int, Reg]) -> None:
+            if isinstance(bound, int):
+                self._builder.asm.bgei(reg, bound, self.end)
+            else:
+                self._builder.asm.bge(reg, bound, self.end)
+
+        def continue_(self) -> None:
+            self._builder.asm.jmp(self.top)
+
+    @contextlib.contextmanager
+    def while_true(self):
+        """An infinite loop; exit through the yielded handle's breaks."""
+        top = self._fresh("while")
+        end = self._fresh("endwhile")
+        self.asm.label(top)
+        loop = self._Loop(self, top, end)
+        yield loop
+        self.asm.jmp(top)
+        self.asm.label(end)
+
+    @contextlib.contextmanager
+    def if_zero(self, reg: Reg):
+        """Body runs when ``reg == 0``."""
+        end = self._fresh("endif")
+        self.asm.bnei(reg, 0, end)
+        yield
+        self.asm.label(end)
+
+    @contextlib.contextmanager
+    def if_nonzero(self, reg: Reg):
+        """Body runs when ``reg != 0``."""
+        end = self._fresh("endif")
+        self.asm.beqi(reg, 0, end)
+        yield
+        self.asm.label(end)
+
+    @contextlib.contextmanager
+    def if_ge(self, reg: Reg, bound: int):
+        """Body runs when ``reg >= bound``."""
+        end = self._fresh("endif")
+        self.asm.blti(reg, bound, end)
+        yield
+        self.asm.label(end)
+
+    @contextlib.contextmanager
+    def if_lt(self, reg: Reg, bound: int):
+        """Body runs when ``reg < bound``."""
+        end = self._fresh("endif")
+        self.asm.bgei(reg, bound, end)
+        yield
+        self.asm.label(end)
+
+    # ------------------------------------------------------------------
+    # Idioms
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def critical(self, mutex_symbol: str):
+        """Lock/unlock the mutex at ``mutex_symbol`` around the body."""
+        with self.scope() as scope:
+            lock_reg = scope.reg()
+            self.asm.li(lock_reg, mutex_symbol)
+            self.asm.lock(lock_reg)
+            yield
+            self.asm.unlock(lock_reg)
+
+    def barrier(self, barrier_symbol: str, participants: int) -> None:
+        """Arrive at the named barrier with a fixed participant count."""
+        with self.scope() as scope:
+            addr = scope.reg()
+            count = scope.reg()
+            self.asm.li(addr, barrier_symbol)
+            self.asm.li(count, participants)
+            self.asm.barrier(addr, count)
+
+    def atomic_add(self, symbol: str, value_reg: Reg) -> None:
+        """Atomically add ``value_reg`` into the word at ``symbol``."""
+        with self.scope() as scope:
+            addr = scope.reg()
+            old = scope.reg()
+            self.asm.li(addr, symbol)
+            self.asm.fetchadd(old, addr, 0, value_reg)
+
+    def checksum_array(self, dest: Reg, symbol: str, length: int) -> None:
+        """``dest = fold(31 * acc + word)`` over the named array."""
+        with self.scope() as scope:
+            index = scope.reg()
+            addr = scope.reg()
+            word = scope.reg()
+            scaled = scope.reg()
+            self.asm.li(dest, 0)
+            with self.for_range(index, 0, length):
+                self.asm.li(addr, symbol)
+                self.asm.add(addr, addr, index)
+                self.asm.load(word, addr, 0)
+                self.asm.muli(scaled, dest, 31)
+                self.asm.add(dest, scaled, word)
+
+    def print_reg(self, reg: Reg) -> None:
+        from repro.oskernel.syscalls import SyscallKind
+
+        with self.scope() as scope:
+            result = scope.reg()
+            self.asm.syscall(result, SyscallKind.PRINT, args=[reg])

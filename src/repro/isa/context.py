@@ -1,0 +1,118 @@
+"""Thread contexts — the checkpointable per-thread machine state.
+
+A :class:`ThreadContext` is deliberately plain data: integers, a register
+list, a call stack of return addresses, and a :class:`BlockedReason` tag
+describing why a blocked thread is waiting. ``copy()`` is the primitive
+that makes DoublePlay checkpoints cheap and exact.
+
+``retired`` counts completed instructions since thread start. DoublePlay
+epoch boundaries are expressed as per-thread retired-op targets: the
+epoch-parallel run executes each thread until its counter reaches the
+count the thread-parallel checkpoint recorded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ThreadStatus(enum.Enum):
+    """Lifecycle state of a guest thread."""
+
+    READY = "ready"        # runnable, waiting for a core
+    RUNNING = "running"    # currently scheduled on a core
+    BLOCKED = "blocked"    # waiting on a sync object, join, or syscall
+    EXITED = "exited"      # finished; joinable
+    PARKED = "parked"      # epoch-parallel only: reached its epoch target
+
+
+@dataclass(frozen=True)
+class BlockedReason:
+    """Why a thread is blocked, as plain copyable data.
+
+    ``kind`` is one of ``lock``, ``cond``, ``cond-reacquire``, ``sem``,
+    ``barrier``, ``join``, ``syscall``. ``detail`` carries the object
+    address / target tid / syscall descriptor needed to complete the
+    operation when the thread is woken.
+    """
+
+    kind: str
+    detail: Tuple = ()
+
+
+@dataclass
+class ThreadContext:
+    """Complete execution state of one guest thread."""
+
+    tid: int
+    pc: int
+    registers: List[int]
+    status: ThreadStatus = ThreadStatus.READY
+    call_stack: List[int] = field(default_factory=list)
+    retired: int = 0
+    blocked: Optional[BlockedReason] = None
+    #: number of threads this thread has spawned (gives children stable ids)
+    spawn_count: int = 0
+    #: number of syscalls this thread has issued (indexes the syscall log)
+    syscall_count: int = 0
+    #: tid of the thread that spawned this one (-1 for the initial thread)
+    parent: int = -1
+    #: completion data for a blocked op that has been granted but not yet
+    #: consumed. Forms: ("sync",), ("join",),
+    #: ("syscall", retval, writes, transferred). The op retires — and all
+    #: its memory effects apply — when the thread is next scheduled, so
+    #: retirement always happens inside the owning thread's timeslice.
+    pending_grant: Optional[Tuple] = None
+    #: handler pcs of signals that have fired but not yet been delivered
+    #: (live executions only; injected executions deliver from the log)
+    pending_signals: List[int] = field(default_factory=list)
+
+    def copy(self) -> "ThreadContext":
+        """Deep-enough copy: registers and call stack are fresh lists."""
+        return ThreadContext(
+            tid=self.tid,
+            pc=self.pc,
+            registers=list(self.registers),
+            status=self.status,
+            call_stack=list(self.call_stack),
+            retired=self.retired,
+            blocked=self.blocked,
+            spawn_count=self.spawn_count,
+            syscall_count=self.syscall_count,
+            parent=self.parent,
+            pending_grant=self.pending_grant,
+            pending_signals=list(self.pending_signals),
+        )
+
+    def is_runnable(self) -> bool:
+        return self.status in (ThreadStatus.READY, ThreadStatus.RUNNING)
+
+    def state_tuple(self) -> Tuple:
+        """Canonical comparable form used by divergence detection.
+
+        Scheduling-only distinctions are normalised away: READY, RUNNING,
+        PARKED and BLOCKED all compare as "live", and blocked reasons and
+        pending grants are excluded. A thread blocked mid-op at ``pc`` is
+        semantically identical to one parked just before issuing the op at
+        ``pc``: in both cases the op has not retired, so registers, memory
+        and ``retired`` agree — and those are what the tuple captures.
+        """
+        norm_status = "exited" if self.status == ThreadStatus.EXITED else "live"
+        return (
+            self.tid,
+            self.pc,
+            tuple(self.registers),
+            tuple(self.call_stack),
+            self.retired,
+            norm_status,
+            self.spawn_count,
+            self.syscall_count,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadContext(tid={self.tid}, pc={self.pc}, "
+            f"status={self.status.value}, retired={self.retired})"
+        )

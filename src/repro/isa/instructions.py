@@ -1,0 +1,141 @@
+"""Instruction encoding for the guest ISA.
+
+An :class:`Instruction` is an opcode plus up to four generic operand slots
+``a``–``d``. Operand meaning is per-opcode and documented in the
+:class:`Op` members below; the assembler is the only producer, the
+interpreter (``repro.exec.interpreter``) the only consumer, so the generic
+encoding never leaks into workload code.
+
+Conventions used in the operand docs:
+
+* ``rd`` / ``rs`` — register indices (destination / source),
+* ``imm`` — an integer immediate,
+* ``tgt`` — an absolute code index (the assembler resolves labels),
+* ``addr`` — an absolute word address in guest memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Op(enum.Enum):
+    """Opcodes of the guest ISA, grouped by cost class."""
+
+    # --- ALU (cost: alu) -------------------------------------------------
+    LI = "li"            # a=rd, b=imm            rd ← imm
+    MOV = "mov"          # a=rd, b=rs             rd ← rs
+    ADD = "add"          # a=rd, b=rs1, c=rs2     rd ← rs1 + rs2
+    SUB = "sub"          # a=rd, b=rs1, c=rs2     rd ← rs1 - rs2
+    MUL = "mul"          # a=rd, b=rs1, c=rs2     rd ← rs1 * rs2
+    DIV = "div"          # a=rd, b=rs1, c=rs2     rd ← rs1 // rs2 (fault on 0)
+    MOD = "mod"          # a=rd, b=rs1, c=rs2     rd ← rs1 % rs2 (fault on 0)
+    AND = "and"          # a=rd, b=rs1, c=rs2     rd ← rs1 & rs2
+    OR = "or"            # a=rd, b=rs1, c=rs2     rd ← rs1 | rs2
+    XOR = "xor"          # a=rd, b=rs1, c=rs2     rd ← rs1 ^ rs2
+    ADDI = "addi"        # a=rd, b=rs, c=imm      rd ← rs + imm
+    MULI = "muli"        # a=rd, b=rs, c=imm      rd ← rs * imm
+    SHLI = "shli"        # a=rd, b=rs, c=imm      rd ← rs << imm
+    SHRI = "shri"        # a=rd, b=rs, c=imm      rd ← rs >> imm
+    SLT = "slt"          # a=rd, b=rs1, c=rs2     rd ← 1 if rs1 < rs2 else 0
+    SLTI = "slti"        # a=rd, b=rs, c=imm      rd ← 1 if rs < imm else 0
+    SEQ = "seq"          # a=rd, b=rs1, c=rs2     rd ← 1 if rs1 == rs2 else 0
+    SEQI = "seqi"        # a=rd, b=rs, c=imm      rd ← 1 if rs == imm else 0
+    TID = "tid"          # a=rd                   rd ← own thread id
+    NOP = "nop"          #                        no effect
+
+    # --- Compute block (cost: operand cycles) ----------------------------
+    WORK = "work"        # a=imm                  burn imm cycles of compute
+    WORKR = "workr"      # a=rs                   burn max(rs, 1) cycles
+
+    # --- Control flow (cost: branch) --------------------------------------
+    JMP = "jmp"          # a=tgt                  pc ← tgt
+    BEQ = "beq"          # a=rs1, b=rs2, c=tgt    if rs1 == rs2: pc ← tgt
+    BNE = "bne"          # a=rs1, b=rs2, c=tgt    if rs1 != rs2: pc ← tgt
+    BLT = "blt"          # a=rs1, b=rs2, c=tgt    if rs1 <  rs2: pc ← tgt
+    BGE = "bge"          # a=rs1, b=rs2, c=tgt    if rs1 >= rs2: pc ← tgt
+    BEQI = "beqi"        # a=rs, b=imm, c=tgt     if rs == imm: pc ← tgt
+    BNEI = "bnei"        # a=rs, b=imm, c=tgt     if rs != imm: pc ← tgt
+    BLTI = "blti"        # a=rs, b=imm, c=tgt     if rs <  imm: pc ← tgt
+    BGEI = "bgei"        # a=rs, b=imm, c=tgt     if rs >= imm: pc ← tgt
+    CALL = "call"        # a=tgt                  push pc+1; pc ← tgt
+    RET = "ret"          #                        pc ← pop()
+
+    # --- Memory (cost: mem) ------------------------------------------------
+    LOAD = "load"        # a=rd, b=ra, c=off      rd ← mem[ra + off]
+    STORE = "store"      # a=rs, b=ra, c=off      mem[ra + off] ← rs
+    LOADG = "loadg"      # a=rd, b=addr           rd ← mem[addr]
+    STOREG = "storeg"    # a=rs, b=addr           mem[addr] ← rs
+
+    # --- Atomics (cost: atomic) ---------------------------------------------
+    FETCHADD = "fetchadd"  # a=rd, b=ra, c=off, d=rs   rd ← mem[ra+off]; mem += rs
+    CAS = "cas"            # a=rd, b=ra, c=off, d=(rs_exp, rs_new)
+    #                        rd ← 1 and swap if mem[ra+off] == rs_exp else 0
+    XCHG = "xchg"          # a=rd, b=ra, c=off, d=rs   rd ← mem[ra+off]; mem ← rs
+
+    # --- Kernel-mediated synchronisation (cost: sync; may block) -----------
+    LOCK = "lock"          # a=ra        acquire mutex object at address ra
+    UNLOCK = "unlock"      # a=ra        release mutex object at address ra
+    BARRIER = "barrier"    # a=ra, b=rs  wait at barrier ra with rs participants
+    CONDWAIT = "condwait"  # a=ra_cond, b=ra_mutex   wait; mutex released/reacquired
+    CONDSIGNAL = "condsignal"  # a=ra_cond   wake one waiter
+    CONDBCAST = "condbcast"    # a=ra_cond   wake all waiters
+    SEMINIT = "seminit"    # a=ra, b=rs  initialise semaphore value to rs
+    SEMWAIT = "semwait"    # a=ra        P(): block while value == 0, then decrement
+    SEMPOST = "sempost"    # a=ra        V(): increment, wake one waiter
+
+    # --- Threads (cost: spawn / alu) -----------------------------------------
+    SPAWN = "spawn"        # a=rd, b=tgt, c=(arg regs...)  rd ← new tid;
+    #                        child starts at tgt with r0..rk = copies of args
+    JOIN = "join"          # a=rs        block until thread rs exits
+    EXIT = "exit"          #             terminate this thread
+
+    # --- Operating system (cost: syscall; may block) --------------------------
+    SYSCALL = "syscall"    # a=rd, b=kind, c=(arg regs...)  rd ← result
+
+
+#: Opcodes that the happens-before race detector treats as synchronisation.
+SYNC_OPS = frozenset(
+    {
+        Op.LOCK,
+        Op.UNLOCK,
+        Op.BARRIER,
+        Op.CONDWAIT,
+        Op.CONDSIGNAL,
+        Op.CONDBCAST,
+        Op.SEMINIT,
+        Op.SEMWAIT,
+        Op.SEMPOST,
+    }
+)
+
+#: Opcodes that can suspend the executing thread.
+BLOCKING_OPS = frozenset(
+    {Op.LOCK, Op.BARRIER, Op.CONDWAIT, Op.SEMWAIT, Op.JOIN, Op.SYSCALL}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded guest instruction.
+
+    Immutable so that program images can be shared freely between the
+    thread-parallel execution, every epoch-parallel executor and every
+    replay without copying.
+    """
+
+    op: Op
+    a: Any = 0
+    b: Any = 0
+    c: Any = 0
+    d: Any = 0
+
+    def __repr__(self) -> str:
+        operands = ", ".join(
+            str(operand)
+            for operand in (self.a, self.b, self.c, self.d)
+            if operand != 0 or self.op in (Op.LI, Op.MOV)
+        )
+        return f"{self.op.value} {operands}".strip()

@@ -1,0 +1,5 @@
+"""Simulated machine configuration: core counts and the cycle cost model."""
+
+from repro.machine.config import CostModel, MachineConfig
+
+__all__ = ["CostModel", "MachineConfig"]

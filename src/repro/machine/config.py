@@ -1,0 +1,82 @@
+"""Machine configuration and the cycle cost model.
+
+Every duration in the library comes from this table, so experiments that
+sweep a cost (e.g. the checkpoint-cost ablation) replace one field and
+re-run. Values are chosen to sit in realistic *ratios* — a syscall is tens
+of ALU ops, a copied page costs roughly a page worth of word copies, a CREW
+page-protection fault is on the order of a syscall — because the paper's
+shapes depend on ratios, not on absolute nanoseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged by the execution engines."""
+
+    #: plain ALU / register instruction
+    alu: int = 1
+    #: taken or not-taken branch, call, ret
+    branch: int = 1
+    #: load or store hitting guest memory
+    mem: int = 2
+    #: atomic read-modify-write
+    atomic: int = 6
+    #: uncontended synchronisation operation (lock/unlock/sem/barrier entry)
+    sync: int = 8
+    #: spawning a thread
+    spawn: int = 60
+    #: completing a previously granted blocked op
+    grant: int = 2
+    #: syscall trap overhead, on top of per-word transfer cost
+    syscall_base: int = 80
+    #: per word moved between kernel and guest buffers
+    io_word: int = 1
+    #: scheduler context switch between guest threads on one core
+    context_switch: int = 15
+    #: copy-on-write clone of one page (charged to the writer)
+    page_cow_copy: int = 10
+    #: hashing one page during a divergence check
+    page_hash: int = 4
+    #: fixed cost of taking a checkpoint (quiesce + bookkeeping)
+    checkpoint_base: int = 60
+    #: per page referenced by a new checkpoint
+    checkpoint_page: int = 1
+    #: restoring an execution from a checkpoint (forward recovery, replay)
+    restore_base: int = 300
+    #: handing a checkpoint to a spare core to start an epoch
+    epoch_dispatch: int = 60
+    #: one CREW page-protection fault + ownership transfer (baseline only)
+    crew_fault: int = 90
+    #: logging one value-log entry (baseline only)
+    value_log_entry: int = 3
+
+    def replace(self, **overrides) -> "CostModel":
+        """A copy with some fields overridden (for ablation sweeps)."""
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A simulated machine: cores plus the cost model.
+
+    ``quantum`` is the timeslice used whenever guest threads share a core —
+    both by the multicore engine when oversubscribed and by the
+    uniprocessor engine that DoublePlay's epoch-parallel execution runs on.
+    """
+
+    cores: int = 4
+    quantum: int = 600
+    costs: CostModel = CostModel()
+    #: hard cap on retired ops per execution (infinite-loop guard)
+    max_ops: int = 20_000_000
+
+    def with_cores(self, cores: int) -> "MachineConfig":
+        return dataclasses.replace(self, cores=cores)
+
+    def replace(self, **overrides) -> "MachineConfig":
+        return dataclasses.replace(self, **overrides)

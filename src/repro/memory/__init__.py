@@ -1,0 +1,27 @@
+"""Guest memory: paged, word-addressed, with copy-on-write snapshots.
+
+Snapshots are the mechanism behind DoublePlay checkpoints: the
+thread-parallel execution snapshots its address space at each epoch
+boundary, and every epoch-parallel executor materialises a private
+copy-on-write view of its start checkpoint, so concurrent epochs operate on
+different copies of memory exactly as the paper describes. Per-page cached
+hashing makes the epoch-boundary divergence check proportional to the
+number of pages, not words.
+"""
+
+from repro.memory.layout import PAGE_WORDS, DATA_BASE, page_of, offset_of
+from repro.memory.page import Page
+from repro.memory.address_space import AddressSpace, MemorySnapshot
+from repro.memory.hashing import fnv1a_words, combine_hashes
+
+__all__ = [
+    "PAGE_WORDS",
+    "DATA_BASE",
+    "page_of",
+    "offset_of",
+    "Page",
+    "AddressSpace",
+    "MemorySnapshot",
+    "fnv1a_words",
+    "combine_hashes",
+]

@@ -1,0 +1,228 @@
+"""Address spaces and copy-on-write snapshots.
+
+An :class:`AddressSpace` is the live memory of one execution. Taking a
+:class:`MemorySnapshot` is O(pages): both sides keep referencing the same
+:class:`~repro.memory.page.Page` objects, and the first write to a shared
+page clones it. ``cow_copies`` and ``dirty`` bookkeeping feed the
+checkpoint cost model (checkpoint cost in DoublePlay is dominated by the
+pages dirtied per epoch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import GuestFault
+from repro.memory.hashing import combine_hashes
+from repro.memory.layout import PAGE_WORDS, page_of, offset_of
+from repro.memory.page import Page
+
+
+class MemorySnapshot:
+    """An immutable point-in-time view of an address space.
+
+    Holds page references (not copies). Call :meth:`release` when the
+    snapshot is discarded so that pages it pinned stop triggering
+    copy-on-write in live spaces; forgetting to release is safe but makes
+    later writes copy more than necessary.
+    """
+
+    __slots__ = ("_pages", "_hash", "_released")
+
+    def __init__(self, pages: Dict[int, Page]):
+        self._pages = pages
+        self._hash: Optional[int] = None
+        self._released = False
+
+    @property
+    def pages(self) -> Dict[int, Page]:
+        return self._pages
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def read(self, addr: int) -> int:
+        """Read a word from the snapshot (used by tests and diffing)."""
+        page = self._pages.get(page_of(addr))
+        if page is None:
+            raise GuestFault(f"snapshot read from unmapped address {addr}")
+        return page.words[offset_of(addr)]
+
+    def content_hash(self) -> int:
+        """Stable hash of the full snapshot contents."""
+        if self._hash is None:
+            parts = []
+            for page_no in sorted(self._pages):
+                parts.append(page_no)
+                parts.append(self._pages[page_no].content_hash())
+            self._hash = combine_hashes(parts)
+        return self._hash
+
+    def release(self) -> None:
+        """Drop the snapshot's pins on shared pages (idempotent)."""
+        if self._released:
+            return
+        for page in self._pages.values():
+            page.refs -= 1
+        self._released = True
+
+    def __repr__(self) -> str:
+        return f"MemorySnapshot(pages={len(self._pages)})"
+
+
+class AddressSpace:
+    """Live, writable, paged guest memory."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, Page] = {}
+        #: pages written since the last snapshot (drives checkpoint cost)
+        self.dirty: Set[int] = set()
+        #: pages cloned by copy-on-write since construction (statistics)
+        self.cow_copies: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_data(cls, data: Dict[int, int]) -> "AddressSpace":
+        """Build an address space from a program image's data segment."""
+        space = cls()
+        for addr, value in data.items():
+            space.map_addr(addr)
+            space.write(addr, value)
+        space.dirty.clear()
+        return space
+
+    @classmethod
+    def from_snapshot(cls, snapshot: MemorySnapshot) -> "AddressSpace":
+        """A private copy-on-write view of ``snapshot``.
+
+        This is how each epoch-parallel executor gets "a different copy of
+        the memory" without actually copying it.
+        """
+        space = cls()
+        space._pages = dict(snapshot.pages)
+        for page in space._pages.values():
+            page.refs += 1
+        return space
+
+    @property
+    def pages(self) -> Dict[int, Page]:
+        """Live page table (read-only by convention)."""
+        return self._pages
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_addr(self, addr: int) -> None:
+        """Ensure the page containing ``addr`` is mapped (zero-filled)."""
+        self.map_page(page_of(addr))
+
+    def map_page(self, page_no: int) -> None:
+        if page_no not in self._pages:
+            self._pages[page_no] = Page()
+
+    def map_range(self, base: int, length: int) -> None:
+        """Map every page overlapped by ``[base, base+length)``."""
+        if length <= 0:
+            return
+        for page_no in range(page_of(base), page_of(base + length - 1) + 1):
+            self.map_page(page_no)
+
+    def is_mapped(self, addr: int) -> bool:
+        return page_of(addr) in self._pages
+
+    def check_range(self, base: int, length: int) -> None:
+        """Fault unless ``[base, base+length)`` is fully mapped.
+
+        Kernel buffer transfers validate up front so a bad buffer faults
+        *before* any word moves — faults must be clean op boundaries
+        (no partial effects), or crash recordings would not replay.
+        """
+        if length <= 0:
+            return
+        for page_no in range(page_of(base), page_of(base + length - 1) + 1):
+            if page_no not in self._pages:
+                raise GuestFault(
+                    f"buffer [{base}, {base + length}) touches unmapped page {page_no}"
+                )
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> int:
+        page = self._pages.get(page_of(addr))
+        if page is None:
+            raise GuestFault(f"load from unmapped address {addr}")
+        return page.words[offset_of(addr)]
+
+    def write(self, addr: int, value: int) -> None:
+        page_no = page_of(addr)
+        page = self._pages.get(page_no)
+        if page is None:
+            raise GuestFault(f"store to unmapped address {addr}")
+        if page.refs > 1:
+            page.refs -= 1
+            page = page.clone()
+            self._pages[page_no] = page
+            self.cow_copies += 1
+        page.words[offset_of(addr)] = value
+        page.invalidate_hash()
+        self.dirty.add(page_no)
+
+    def read_block(self, base: int, length: int) -> list:
+        """Read ``length`` consecutive words (syscall buffers)."""
+        return [self.read(base + index) for index in range(length)]
+
+    def write_block(self, base: int, values: Iterable[int]) -> None:
+        """Write consecutive words starting at ``base`` (syscall buffers)."""
+        for index, value in enumerate(values):
+            self.write(base + index, value)
+
+    # ------------------------------------------------------------------
+    # Snapshots and comparison
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MemorySnapshot:
+        """Pin current pages into a snapshot; resets the dirty set."""
+        for page in self._pages.values():
+            page.refs += 1
+        self.dirty.clear()
+        return MemorySnapshot(dict(self._pages))
+
+    def take_dirty(self) -> Set[int]:
+        """Return and clear the set of pages written since last snapshot."""
+        dirty, self.dirty = self.dirty, set()
+        return dirty
+
+    def content_hash(self) -> int:
+        parts = []
+        for page_no in sorted(self._pages):
+            parts.append(page_no)
+            parts.append(self._pages[page_no].content_hash())
+        return combine_hashes(parts)
+
+    def same_content(self, other: "AddressSpace") -> bool:
+        """Deep content equality with cheap shared-page short-circuiting."""
+        if self._pages.keys() != other._pages.keys():
+            return False
+        return all(
+            self._pages[page_no].same_content(other._pages[page_no])
+            for page_no in self._pages
+        )
+
+    def diff_pages(self, other: "AddressSpace") -> Tuple[Set[int], Set[int]]:
+        """(pages differing in content, pages mapped on only one side)."""
+        mine, theirs = set(self._pages), set(other._pages)
+        only_one_side = mine ^ theirs
+        differing = {
+            page_no
+            for page_no in mine & theirs
+            if not self._pages[page_no].same_content(other._pages[page_no])
+        }
+        return differing, only_one_side
+
+    def __repr__(self) -> str:
+        return f"AddressSpace(pages={len(self._pages)}, dirty={len(self.dirty)})"

@@ -1,0 +1,57 @@
+"""Stable content hashing for guest memory.
+
+Python's built-in ``hash`` is salted for strings and unstable across
+interpreter versions; recordings store state hashes, so we use an explicit
+FNV-1a fold over 64-bit-wrapped words instead. The same functions hash
+pages, whole address spaces, thread contexts and kernel digests, so every
+"states equal?" question in the library is answered consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_words(words: Iterable[int], seed: int = _FNV_OFFSET) -> int:
+    """FNV-1a over a sequence of integers (each wrapped to 64 bits)."""
+    value = seed
+    for word in words:
+        value ^= word & _MASK64
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def combine_hashes(parts: Iterable[int]) -> int:
+    """Order-sensitive combination of already-computed 64-bit hashes."""
+    return fnv1a_words(parts, seed=0x9E3779B97F4A7C15)
+
+
+def hash_structure(obj) -> int:
+    """Hash nested tuples/lists/dicts/ints/strs deterministically.
+
+    Used for kernel digests and thread-context comparison, where the state
+    is plain data but not flat. Dicts are folded in sorted-key order.
+    """
+    if isinstance(obj, bool):
+        return fnv1a_words([3 if obj else 5])
+    if isinstance(obj, int):
+        return fnv1a_words([obj, 0x11])
+    if obj is None:
+        return fnv1a_words([0x71AF, 0x13])
+    if isinstance(obj, str):
+        return fnv1a_words(obj.encode(), seed=0x811C9DC5)
+    if isinstance(obj, (tuple, list)):
+        return combine_hashes([0x7E57, len(obj)] + [hash_structure(x) for x in obj])
+    if isinstance(obj, dict):
+        parts = [0xD1C7, len(obj)]
+        for key in sorted(obj, key=repr):
+            parts.append(hash_structure(key))
+            parts.append(hash_structure(obj[key]))
+        return combine_hashes(parts)
+    if isinstance(obj, frozenset):
+        return combine_hashes(sorted(hash_structure(x) for x in obj))
+    raise TypeError(f"cannot hash structure of type {type(obj).__name__}")

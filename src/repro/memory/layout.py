@@ -1,0 +1,38 @@
+"""Guest memory layout constants.
+
+Memory is word addressed (one guest word = one Python int, wrapped to 64
+bits by the interpreter). Page 0 is never mapped so that address 0 behaves
+like a null pointer and faults.
+"""
+
+from __future__ import annotations
+
+#: Words per page. Small enough that partial sharing shows up in the CREW
+#: baseline, large enough that copy-on-write bookkeeping stays cheap.
+PAGE_WORDS = 64
+
+#: First address the assembler hands out for global data (start of page 1).
+DATA_BASE = PAGE_WORDS
+
+#: Mask/wrap width of a guest word.
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+WORD_SIGN = 1 << (WORD_BITS - 1)
+
+
+def page_of(addr: int) -> int:
+    """Page number containing word address ``addr``."""
+    return addr // PAGE_WORDS
+
+
+def offset_of(addr: int) -> int:
+    """Offset of ``addr`` within its page."""
+    return addr % PAGE_WORDS
+
+
+def wrap_word(value: int) -> int:
+    """Wrap an arbitrary int to a signed 64-bit guest word."""
+    value &= WORD_MASK
+    if value & WORD_SIGN:
+        value -= 1 << WORD_BITS
+    return value

@@ -1,0 +1,56 @@
+"""A single page of guest memory with cached content hash.
+
+Pages are shared between address spaces and snapshots via reference
+counting (``refs``). A page with ``refs > 1`` must be treated as read-only;
+:class:`~repro.memory.address_space.AddressSpace` clones it before writing
+(copy-on-write). The content hash is computed lazily and invalidated on
+write, so repeated divergence checks over unchanged pages are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.memory.hashing import fnv1a_words
+from repro.memory.layout import PAGE_WORDS
+
+
+class Page:
+    """``PAGE_WORDS`` guest words plus sharing bookkeeping."""
+
+    __slots__ = ("words", "refs", "_hash")
+
+    def __init__(self, words: Optional[List[int]] = None):
+        if words is None:
+            words = [0] * PAGE_WORDS
+        elif len(words) != PAGE_WORDS:
+            raise ValueError(f"page needs {PAGE_WORDS} words, got {len(words)}")
+        self.words = words
+        self.refs = 1
+        self._hash: Optional[int] = None
+
+    def clone(self) -> "Page":
+        """Private writable copy (refs=1); the hash cache carries over."""
+        page = Page(list(self.words))
+        page._hash = self._hash
+        return page
+
+    def content_hash(self) -> int:
+        """Stable hash of the page contents (cached until next write)."""
+        if self._hash is None:
+            self._hash = fnv1a_words(self.words)
+        return self._hash
+
+    def invalidate_hash(self) -> None:
+        self._hash = None
+
+    def same_content(self, other: "Page") -> bool:
+        """Content equality, cheap when pages are literally shared."""
+        if self is other:
+            return True
+        if self.content_hash() != other.content_hash():
+            return False
+        return self.words == other.words
+
+    def __repr__(self) -> str:
+        return f"Page(refs={self.refs})"

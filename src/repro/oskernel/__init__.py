@@ -1,0 +1,30 @@
+"""Simulated operating system services.
+
+The kernel is the source of every input a guest cannot compute for itself:
+file contents, network arrivals, the clock, random numbers. During the
+thread-parallel execution these are *live* and their results are logged;
+during epoch-parallel execution and replay the logged results are injected
+instead (``repro.exec.services`` provides both personalities behind one
+interface). The whole kernel state is snapshot/restorable so that forward
+recovery can restart the thread-parallel execution from a committed epoch
+state.
+"""
+
+from repro.oskernel.syscalls import SyscallKind, SyscallDone, SyscallBlock, Wakeup
+from repro.oskernel.files import SimFileSystem
+from repro.oskernel.net import SimNetwork, Arrival
+from repro.oskernel.sync import SyncManager
+from repro.oskernel.kernel import Kernel, KernelSetup
+
+__all__ = [
+    "SyscallKind",
+    "SyscallDone",
+    "SyscallBlock",
+    "Wakeup",
+    "SimFileSystem",
+    "SimNetwork",
+    "Arrival",
+    "SyncManager",
+    "Kernel",
+    "KernelSetup",
+]

@@ -1,0 +1,88 @@
+"""Simulated filesystem.
+
+Files are integer-named sequences of guest words. An open file descriptor
+carries an offset; when several threads share one descriptor (the pfscan
+and pbzip2 workloads do), the *order* of their reads is nondeterministic
+input that DoublePlay must log — which is why the kernel, not the guest,
+owns offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import SyscallError
+
+
+@dataclass
+class _OpenFile:
+    file_id: int
+    offset: int
+
+
+class SimFileSystem:
+    """Integer-named files plus a per-process descriptor table."""
+
+    def __init__(self, files: Dict[int, List[int]]):
+        #: file id → word contents; writes append
+        self.files: Dict[int, List[int]] = {fid: list(data) for fid, data in files.items()}
+        self._descriptors: Dict[int, _OpenFile] = {}
+        self._next_fd = 3  # 0..2 reserved by convention
+
+    def open(self, file_id: int) -> int:
+        if file_id not in self.files:
+            self.files[file_id] = []
+        fd = self._next_fd
+        self._next_fd += 1
+        self._descriptors[fd] = _OpenFile(file_id=file_id, offset=0)
+        return fd
+
+    def close(self, fd: int) -> int:
+        if fd not in self._descriptors:
+            raise SyscallError(f"close of unknown fd {fd}")
+        del self._descriptors[fd]
+        return 0
+
+    def read(self, fd: int, maxlen: int) -> List[int]:
+        """Read up to ``maxlen`` words at the descriptor's offset, advancing it."""
+        handle = self._descriptors.get(fd)
+        if handle is None:
+            raise SyscallError(f"read from unknown fd {fd}")
+        if maxlen < 0:
+            raise SyscallError(f"read with negative length {maxlen}")
+        data = self.files[handle.file_id]
+        chunk = data[handle.offset : handle.offset + maxlen]
+        handle.offset += len(chunk)
+        return chunk
+
+    def write(self, fd: int, words: List[int]) -> int:
+        """Append ``words`` to the file behind ``fd``."""
+        handle = self._descriptors.get(fd)
+        if handle is None:
+            raise SyscallError(f"write to unknown fd {fd}")
+        self.files[handle.file_id].extend(words)
+        return len(words)
+
+    def file_contents(self, file_id: int) -> List[int]:
+        """Contents of a file (workload validators use this)."""
+        return list(self.files.get(file_id, []))
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple:
+        return (
+            {fid: tuple(data) for fid, data in self.files.items()},
+            {fd: (h.file_id, h.offset) for fd, h in self._descriptors.items()},
+            self._next_fd,
+        )
+
+    def restore(self, state: Tuple) -> None:
+        files, descriptors, next_fd = state
+        self.files = {fid: list(data) for fid, data in files.items()}
+        self._descriptors = {
+            fd: _OpenFile(file_id=file_id, offset=offset)
+            for fd, (file_id, offset) in descriptors.items()
+        }
+        self._next_fd = next_fd

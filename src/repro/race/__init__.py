@@ -1,0 +1,13 @@
+"""Happens-before data-race detection over execution traces.
+
+DoublePlay's divergences come from data races (the epoch-parallel
+re-execution resolves a race differently than the thread-parallel run).
+The detector makes that connection testable: workloads the detector calls
+race-free must record with zero divergences when sync hints are on, and the
+divergence experiments use detector-confirmed racy workloads.
+"""
+
+from repro.race.vector_clock import VectorClock
+from repro.race.detector import RaceDetector, Race, find_races
+
+__all__ = ["VectorClock", "RaceDetector", "Race", "find_races"]

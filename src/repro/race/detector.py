@@ -1,0 +1,195 @@
+"""Happens-before race detection over a collected trace.
+
+The detector consumes :class:`~repro.exec.trace.TraceEvent` streams in
+retirement order and maintains:
+
+* a vector clock per thread,
+* a release clock per synchronisation object (``acquire`` joins it in,
+  ``release`` stores the releaser's clock),
+* barrier generations (grouped by ``(addr, time)``) as all-to-all joins,
+* spawn/join/exit edges,
+* per word address: the last write (clock + tid) and the reads since
+  that write.
+
+Two accesses to the same word race when at least one is a write and their
+clocks are concurrent. Each distinct racing address is reported once.
+
+Precision notes: condition variables create edges through the recorded
+``release``/``acquire`` events on the condvar address *and* the protecting
+mutex; programs that signal without holding the associated mutex may
+produce false positives — which is fine, because such programs are exactly
+the "racy" class DoublePlay's divergence path exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.exec.trace import TraceEvent
+from repro.race.vector_clock import VectorClock
+
+
+@dataclass(frozen=True)
+class Race:
+    """One detected data race on a word address."""
+
+    addr: int
+    first_tid: int
+    second_tid: int
+    #: "write-write", "read-write" or "write-read"
+    kind: str
+
+
+@dataclass
+class _Location:
+    write_clock: VectorClock = field(default_factory=VectorClock)
+    write_tid: int = -1
+    has_write: bool = False
+    #: reads since the last write: tid → clock
+    read_clocks: Dict[int, VectorClock] = field(default_factory=dict)
+
+
+class RaceDetector:
+    """Streaming happens-before detector."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[int, VectorClock] = {}
+        self._objects: Dict[int, VectorClock] = {}
+        self._locations: Dict[int, _Location] = {}
+        self._barrier_pending: Dict[Tuple[int, int], List[int]] = {}
+        self._exit_clocks: Dict[int, VectorClock] = {}
+        self.races: List[Race] = []
+        self._raced_addrs: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._threads.get(tid)
+        if clock is None:
+            clock = VectorClock().tick(tid)
+            self._threads[tid] = clock
+        return clock
+
+    def consume(self, events: Iterable[TraceEvent]) -> None:
+        batch: List[TraceEvent] = list(events)
+        index = 0
+        while index < len(batch):
+            event = batch[index]
+            if event.kind == "barrier":
+                # All releases of one barrier generation share (addr, time).
+                group = [event]
+                while (
+                    index + 1 < len(batch)
+                    and batch[index + 1].kind == "barrier"
+                    and batch[index + 1].addr == event.addr
+                    and batch[index + 1].time == event.time
+                ):
+                    index += 1
+                    group.append(batch[index])
+                self._on_barrier(group)
+            else:
+                self._dispatch(event)
+            index += 1
+
+    def _dispatch(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == "read":
+            self._on_read(event.tid, event.addr)
+        elif kind == "write":
+            self._on_write(event.tid, event.addr)
+        elif kind == "acquire":
+            self._on_acquire(event.tid, event.addr)
+        elif kind == "release":
+            self._on_release(event.tid, event.addr)
+        elif kind == "spawn":
+            self._on_spawn(event.tid, event.addr)
+        elif kind == "exit":
+            self._on_exit(event.tid)
+        elif kind == "join":
+            self._on_join(event.tid, event.addr)
+        # "syscall" events carry no ordering information here
+
+    # ------------------------------------------------------------------
+    # Synchronisation edges
+    # ------------------------------------------------------------------
+    def _on_acquire(self, tid: int, addr: int) -> None:
+        release_clock = self._objects.get(addr)
+        if release_clock is not None:
+            self._threads[tid] = self._clock(tid).join(release_clock)
+
+    def _on_release(self, tid: int, addr: int) -> None:
+        clock = self._clock(tid)
+        existing = self._objects.get(addr)
+        self._objects[addr] = clock.join(existing) if existing else clock
+        self._threads[tid] = clock.tick(tid)
+
+    def _on_barrier(self, group: List[TraceEvent]) -> None:
+        merged = VectorClock()
+        for event in group:
+            merged = merged.join(self._clock(event.tid))
+        for event in group:
+            self._threads[event.tid] = merged.tick(event.tid)
+
+    def _on_spawn(self, parent: int, child: int) -> None:
+        parent_clock = self._clock(parent)
+        self._threads[child] = parent_clock.tick(child)
+        self._threads[parent] = parent_clock.tick(parent)
+
+    def _on_exit(self, tid: int) -> None:
+        self._exit_clocks[tid] = self._clock(tid)
+
+    def _on_join(self, joiner: int, target: int) -> None:
+        target_clock = self._exit_clocks.get(target)
+        if target_clock is not None:
+            self._threads[joiner] = self._clock(joiner).join(target_clock)
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+    # ------------------------------------------------------------------
+    def _on_read(self, tid: int, addr: int) -> None:
+        location = self._locations.setdefault(addr, _Location())
+        clock = self._clock(tid)
+        if (
+            location.has_write
+            and location.write_tid != tid
+            and not location.write_clock.happens_before(clock)
+        ):
+            self._report(addr, location.write_tid, tid, "write-read")
+        location.read_clocks[tid] = clock
+
+    def _on_write(self, tid: int, addr: int) -> None:
+        location = self._locations.setdefault(addr, _Location())
+        clock = self._clock(tid)
+        if (
+            location.has_write
+            and location.write_tid != tid
+            and not location.write_clock.happens_before(clock)
+        ):
+            self._report(addr, location.write_tid, tid, "write-write")
+        for reader, read_clock in location.read_clocks.items():
+            if reader != tid and not read_clock.happens_before(clock):
+                self._report(addr, reader, tid, "read-write")
+        location.write_clock = clock
+        location.write_tid = tid
+        location.has_write = True
+        location.read_clocks = {}
+
+    def _report(self, addr: int, first: int, second: int, kind: str) -> None:
+        if addr in self._raced_addrs:
+            return
+        self._raced_addrs.add(addr)
+        self.races.append(Race(addr=addr, first_tid=first, second_tid=second, kind=kind))
+
+    # ------------------------------------------------------------------
+    def racy_addresses(self) -> Set[int]:
+        return set(self._raced_addrs)
+
+    def is_racy(self) -> bool:
+        return bool(self.races)
+
+
+def find_races(events: Iterable[TraceEvent]) -> List[Race]:
+    """Convenience wrapper: detect races in a complete trace."""
+    detector = RaceDetector()
+    detector.consume(events)
+    return detector.races

@@ -1,0 +1,64 @@
+"""Vector clocks.
+
+Sparse (dict-backed): a missing component is zero. Values are immutable
+from the outside — every operation returns a new clock — so clocks can be
+stored as last-access metadata without defensive copying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A partial-order timestamp over thread ids."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> "VectorClock":
+        """Advance ``tid``'s component by one."""
+        clocks = dict(self._clocks)
+        clocks[tid] = clocks.get(tid, 0) + 1
+        return VectorClock(clocks)
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum."""
+        clocks = dict(self._clocks)
+        for tid, value in other._clocks.items():
+            if value > clocks.get(tid, 0):
+                clocks[tid] = value
+        return VectorClock(clocks)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """True when self ≤ other component-wise (and they differ or equal).
+
+        ``a.happens_before(b)`` being False for both orders means the two
+        timestamps are concurrent.
+        """
+        return all(value <= other.get(tid) for tid, value in self._clocks.items())
+
+    def ordered_with(self, other: "VectorClock") -> bool:
+        return self.happens_before(other) or other.happens_before(self)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._clocks.items()))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        mine = {t: v for t, v in self._clocks.items() if v}
+        theirs = {t: v for t, v in other._clocks.items() if v}
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((t, v) for t, v in self._clocks.items() if v)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._clocks.items()))
+        return f"VC({inner})"

@@ -1,0 +1,30 @@
+"""Recording logs.
+
+DoublePlay's core claim is that uniparallelism shrinks the log: instead of
+the order of every shared-memory access, a recording holds
+
+* a **schedule log** per epoch — the timeslice order of the uniprocessor
+  epoch-parallel execution (tiny),
+* a **syscall log** — results of every system call the thread-parallel
+  execution performed (dominated by input data),
+* a **sync-order log** per epoch — the per-object acquisition order hints
+  sampled from the thread-parallel execution.
+
+:class:`~repro.record.recording.Recording` bundles these with per-epoch
+start checkpoints and final-state digests; ``serialize``/``deserialize``
+round-trip it through plain JSON-compatible data, and the size accounting
+feeds the paper's log-size table.
+"""
+
+from repro.record.schedule_log import Timeslice, ScheduleLog
+from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
+from repro.record.recording import EpochRecord, Recording
+
+__all__ = [
+    "Timeslice",
+    "ScheduleLog",
+    "SyncOrderLog",
+    "SyncOrderOracle",
+    "EpochRecord",
+    "Recording",
+]

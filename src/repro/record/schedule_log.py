@@ -1,0 +1,72 @@
+"""The schedule log: timeslice order of a uniprocessor execution.
+
+Because an epoch runs on a single processor, reproducing it needs only the
+order and length of its timeslices — this is the log that replaces
+shared-memory access logging in DoublePlay. ``ops`` counts *retired*
+instructions; ``ended_blocked`` marks a slice that ended with the thread
+issuing an operation that blocked (the issue itself does not retire, but
+replay must perform it so wait queues evolve identically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Timeslice:
+    """One scheduling quantum of the epoch-parallel execution."""
+
+    tid: int
+    ops: int
+    ended_blocked: bool = False
+
+
+class ScheduleLog:
+    """Ordered timeslices of one epoch."""
+
+    def __init__(self, slices: Tuple[Timeslice, ...] = ()):
+        self._slices: List[Timeslice] = list(slices)
+
+    def append(self, tid: int, ops: int, ended_blocked: bool) -> None:
+        # Merge with the previous slice when the same thread continues
+        # (keeps logs compact, exactly like run-length encoding).
+        if (
+            self._slices
+            and self._slices[-1].tid == tid
+            and not self._slices[-1].ended_blocked
+        ):
+            previous = self._slices[-1]
+            self._slices[-1] = Timeslice(
+                tid=tid, ops=previous.ops + ops, ended_blocked=ended_blocked
+            )
+            return
+        self._slices.append(Timeslice(tid=tid, ops=ops, ended_blocked=ended_blocked))
+
+    def __iter__(self) -> Iterator[Timeslice]:
+        return iter(self._slices)
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    @property
+    def slices(self) -> Tuple[Timeslice, ...]:
+        return tuple(self._slices)
+
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self._slices)
+
+    def size_words(self) -> int:
+        """Approximate log footprint: (tid, ops, flag) per slice."""
+        return 3 * len(self._slices)
+
+    def to_plain(self) -> List[List]:
+        return [[s.tid, s.ops, s.ended_blocked] for s in self._slices]
+
+    @classmethod
+    def from_plain(cls, plain) -> "ScheduleLog":
+        return cls(tuple(Timeslice(tid, ops, bool(flag)) for tid, ops, flag in plain))
+
+    def __repr__(self) -> str:
+        return f"ScheduleLog(slices={len(self._slices)}, ops={self.total_ops()})"

@@ -1,0 +1,101 @@
+"""Synchronisation-order hints.
+
+During the thread-parallel execution DoublePlay samples the order in which
+threads acquire each synchronisation object. The epoch-parallel execution
+replays acquisitions in that order (via the
+:class:`~repro.oskernel.sync.SyncManager` acquisition oracle), which makes
+race-free programs converge deterministically and greatly reduces
+divergence for racy ones. The hints are *per epoch*: an oracle is built
+from one epoch's slice of the acquisition stream.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+#: (kind, object address, acquiring tid)
+AcquisitionEvent = Tuple[str, int, int]
+
+
+class SyncOrderLog:
+    """One epoch's acquisition events, in thread-parallel global order."""
+
+    def __init__(self, events: Tuple[AcquisitionEvent, ...] = ()):
+        self.events: Tuple[AcquisitionEvent, ...] = tuple(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def size_words(self) -> int:
+        """Approximate footprint: (addr, tid) per event."""
+        return 2 * len(self.events)
+
+    def per_object(self) -> Dict[int, List[int]]:
+        """addr → acquiring tids in order."""
+        sequences: Dict[int, List[int]] = defaultdict(list)
+        for _, addr, tid in self.events:
+            sequences[addr].append(tid)
+        return dict(sequences)
+
+    def to_plain(self) -> List[Tuple[str, int, int]]:
+        return [list(event) for event in self.events]
+
+    @classmethod
+    def from_plain(cls, plain) -> "SyncOrderLog":
+        return cls(tuple((kind, addr, tid) for kind, addr, tid in plain))
+
+    def __repr__(self) -> str:
+        return f"SyncOrderLog(events={len(self.events)})"
+
+
+class SyncOrderOracle:
+    """Grant-order oracle over a recorded acquisition sequence.
+
+    Implements the duck-typed interface the sync manager consults:
+    ``may_acquire`` (is it this thread's turn?), ``next_turn`` (whose turn
+    is it?), ``consume`` (an acquisition happened). An *exhausted* order
+    for an object means the recorded execution acquired it no further:
+    the oracle then defers every attempt. Epoch executors receive the
+    thread-parallel order from their epoch's start to the segment end, so
+    every in-epoch acquisition has its event; attempts beyond that are
+    boundary-straddling issues that must block anyway, or divergences that
+    the resulting stall surfaces.
+    """
+
+    def __init__(self, log: SyncOrderLog):
+        self._queues: Dict[int, List[int]] = defaultdict(list)
+        for _, addr, tid in log.events:
+            self._queues[addr].append(tid)
+        self._cursors: Dict[int, int] = defaultdict(int)
+        #: acquisitions that happened out of hinted order (diagnostics)
+        self.violations = 0
+
+    def next_turn(self, addr: int) -> Optional[int]:
+        queue = self._queues.get(addr)
+        if queue is None:
+            return None
+        cursor = self._cursors[addr]
+        if cursor >= len(queue):
+            return None
+        return queue[cursor]
+
+    def may_acquire(self, addr: int, tid: int) -> bool:
+        return self.next_turn(addr) == tid
+
+    def consume(self, addr: int, tid: int) -> None:
+        turn = self.next_turn(addr)
+        if turn is None:
+            return
+        if turn == tid:
+            self._cursors[addr] += 1
+        else:
+            # Should not happen while the manager honours the oracle, but
+            # sem_post fallbacks may grant past the hints; count it.
+            self.violations += 1
+
+    def remaining(self) -> int:
+        return sum(
+            len(queue) - self._cursors[addr]
+            for addr, queue in self._queues.items()
+        )

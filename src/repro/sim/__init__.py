@@ -1,0 +1,15 @@
+"""Deterministic discrete-event simulation primitives.
+
+Everything in the repro library measures *simulated* cycles, never wall
+clock. This subpackage provides the shared building blocks: a simulated
+clock, an ordered event queue with deterministic tie-breaking, a seeded
+random-number source with independent named substreams, and a statistics
+registry used by engines and the analysis layer.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["SimClock", "Event", "EventQueue", "DeterministicRng", "StatsRegistry"]

@@ -1,0 +1,46 @@
+"""Simulated clock.
+
+Simulated time is a non-negative integer number of *cycles*. The clock is
+deliberately dumb — engines advance it explicitly — but it centralises the
+monotonicity check so a scheduling bug that moves time backwards fails fast
+instead of silently corrupting a recording.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically non-decreasing cycle counter."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    def advance(self, cycles: int) -> int:
+        """Move time forward by ``cycles`` and return the new time."""
+        if cycles < 0:
+            raise SimulationError(f"cannot advance clock by negative cycles {cycles}")
+        self._now += cycles
+        return self._now
+
+    def advance_to(self, when: int) -> int:
+        """Move time forward to ``when`` (a no-op if already past it is an error)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now})"

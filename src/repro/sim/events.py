@@ -1,0 +1,68 @@
+"""Ordered event queue with deterministic tie-breaking.
+
+The simulated kernel uses the queue for timed wakeups (I/O completion,
+network arrivals, sleeps). Two events scheduled for the same cycle pop in
+the order they were pushed, so a simulation's outcome is a pure function of
+its inputs — a property every record/replay test in this repository relies
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled occurrence at a simulated time.
+
+    ``kind`` is a short string tag (e.g. ``"io-complete"``); ``payload``
+    carries whatever the producer needs back when the event fires.
+    """
+
+    time: int
+    seq: int
+    kind: str
+    payload: Any = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event and return it."""
+        event = Event(time=time, seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest pending event without removing it."""
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        return heapq.heappop(self._heap)
+
+    def pop_ready(self, now: int) -> List[Event]:
+        """Remove and return every event scheduled at or before ``now``."""
+        ready: List[Event] = []
+        while self._heap and self._heap[0].time <= now:
+            ready.append(heapq.heappop(self._heap))
+        return ready
+
+    def next_time(self) -> Optional[int]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,61 @@
+"""Seeded randomness with independent named substreams.
+
+A single integer seed must determine *every* random choice in a simulation,
+and adding a new consumer of randomness must not perturb existing ones.
+``DeterministicRng.fork(name)`` derives an independent stream from the
+parent seed and the name, so e.g. the network arrival process and the
+guest RAND syscall never interleave draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class DeterministicRng:
+    """A ``random.Random`` wrapper whose streams are stable by name."""
+
+    def __init__(self, seed: int, path: str = ""):
+        self.seed = seed
+        self.path = path
+        self._random = random.Random(self._derive(seed, path))
+
+    @staticmethod
+    def _derive(seed: int, path: str) -> int:
+        digest = hashlib.sha256(f"{seed}:{path}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def fork(self, name: str) -> "DeterministicRng":
+        """Derive an independent substream; same (seed, path, name) → same stream."""
+        child_path = f"{self.path}/{name}" if self.path else name
+        return DeterministicRng(self.seed, child_path)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi], inclusive."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def choice(self, seq):
+        return self._random.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        self._random.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def sample(self, population, k: int):
+        return self._random.sample(population, k)
+
+    def getstate(self):
+        """Plain-data stream state, for kernel snapshots."""
+        return self._random.getstate()
+
+    def setstate(self, state) -> None:
+        self._random.setstate(state)
+
+    def __repr__(self) -> str:
+        return f"DeterministicRng(seed={self.seed}, path={self.path!r})"

@@ -1,0 +1,54 @@
+"""Counters and aggregates collected during simulation.
+
+Engines increment named counters (instructions retired, pages copied,
+syscalls logged...) through a :class:`StatsRegistry`. The analysis layer
+reads the registry to build the paper's tables; tests read it to assert
+cost-model behaviour without reaching into engine internals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class StatsRegistry:
+    """A mapping of counter name → integer value with merge support."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (negative amounts are allowed)."""
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def set(self, name: str, value: int) -> None:
+        """Overwrite ``name`` with ``value``."""
+        self._counters[name] = value
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Add every counter from ``other`` into this registry."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters (for reports and assertions)."""
+        return dict(self._counters)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def update_from(self, mapping: Mapping[str, int]) -> None:
+        for name, value in mapping.items():
+            self._counters[name] += value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatsRegistry({inner})"

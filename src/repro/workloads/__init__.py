@@ -1,0 +1,56 @@
+"""Workloads: the paper's benchmark suite as guest programs.
+
+Client utilities (pbzip2-, pfscan-, aget-like), servers (Apache-, MySQL-
+like), SPLASH-2-style scientific kernels (fft, lu, ocean, radix, water)
+and racy microbenchmarks. Each workload reproduces the synchronisation
+structure that matters to DoublePlay — lock-protected work queues, barrier
+phases, accept loops, fine-grained row locking, unsynchronised accesses —
+and validates its own output end to end, so record/replay fidelity is
+checked on real program results, not just state hashes.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    WORKLOADS,
+    build_workload,
+    workload_names,
+    register_workload,
+)
+from repro.workloads.pbzip import PbzipWorkload
+from repro.workloads.pfscan import PfscanWorkload
+from repro.workloads.aget import AgetWorkload
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.mysql import MysqlWorkload
+from repro.workloads.prodcons import ProdConsWorkload, ProdConsSemWorkload
+from repro.workloads.racey import RacyCounterWorkload, RacyLazyInitWorkload
+from repro.workloads.splash import (
+    FftWorkload,
+    LuWorkload,
+    OceanWorkload,
+    RadixWorkload,
+    WaterWorkload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadInstance",
+    "WORKLOADS",
+    "build_workload",
+    "workload_names",
+    "register_workload",
+    "PbzipWorkload",
+    "PfscanWorkload",
+    "AgetWorkload",
+    "ApacheWorkload",
+    "MysqlWorkload",
+    "ProdConsWorkload",
+    "ProdConsSemWorkload",
+    "RacyCounterWorkload",
+    "RacyLazyInitWorkload",
+    "FftWorkload",
+    "LuWorkload",
+    "OceanWorkload",
+    "RadixWorkload",
+    "WaterWorkload",
+]

@@ -1,0 +1,121 @@
+"""aget-like segmented download.
+
+The real tool fetches byte ranges of one URL concurrently and assembles
+them in place. Here each worker round-robins over "segments" (modelled as
+per-segment input files, our stand-in for HTTP range requests), copies
+each into its slice of a shared output buffer (disjoint ranges — no
+locking needed, like aget's pwrite), with per-segment jitter drawn from
+the kernel's RAND stream (logged nondeterministic input). The assembled
+buffer is checksummed and written out by main.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+SEGMENT_FILE_BASE = 10
+OUTPUT_FILE = 2
+
+
+def _checksum(words) -> int:
+    value = 0
+    for word in words:
+        value = wrap_word(value * 31 + word)
+    return value
+
+
+@register_workload
+class AgetWorkload(Workload):
+    """Parallel segmented fetch + reassembly."""
+
+    name = "aget"
+    category = "client"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        segments = 4 * scale + workers
+        seg_words = 24
+        segments_data = [
+            [rng.randint(1, 1 << 30) for _ in range(seg_words)]
+            for _ in range(segments)
+        ]
+        total_words = segments * seg_words
+
+        asm = Assembler(name="aget")
+        asm.page_aligned_array("outbuf", total_words)
+
+        with asm.function("worker"):
+            # r0 = worker index; handle segments r0, r0+W, r0+2W, ...
+            asm.mov("r2", "r0")
+            asm.label("segloop")
+            asm.blti("r2", segments, "fetch")
+            asm.exit_()
+            asm.label("fetch")
+            asm.addi("r3", "r2", SEGMENT_FILE_BASE)
+            asm.syscall("r4", SyscallKind.OPEN, args=["r3"])
+            asm.li("r5", "outbuf")
+            asm.muli("r6", "r2", seg_words)
+            asm.add("r5", "r5", "r6")          # destination slice
+            asm.li("r7", seg_words)
+            asm.syscall("r8", SyscallKind.READ, args=["r4", "r5", "r7"])
+            asm.syscall("r9", SyscallKind.CLOSE, args=["r4"])
+            # jitter: model variable link speed with a logged random draw
+            asm.syscall("r10", SyscallKind.RAND, args=[])
+            asm.li("r11", 127)
+            asm.and_("r10", "r10", "r11")
+            asm.addi("r10", "r10", 30)
+            asm.workr("r10")
+            asm.addi("r2", "r2", workers)
+            asm.jmp("segloop")
+
+        def epilogue(a: Assembler) -> None:
+            a.li("r2", 0)   # checksum
+            a.li("r3", 0)   # index
+            a.label("cks")
+            a.li("r4", "outbuf")
+            a.add("r4", "r4", "r3")
+            a.load("r5", "r4", 0)
+            a.muli("r6", "r2", 31)
+            a.add("r2", "r6", "r5")
+            a.addi("r3", "r3", 1)
+            a.blti("r3", total_words, "cks")
+            a.syscall("r7", SyscallKind.PRINT, args=["r2"])
+            a.li("r8", OUTPUT_FILE)
+            a.syscall("r9", SyscallKind.OPEN, args=["r8"])
+            a.li("r10", "outbuf")
+            a.li("r11", total_words)
+            a.syscall("r12", SyscallKind.WRITE, args=["r9", "r10", "r11"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        flattened = [word for segment in segments_data for word in segment]
+        expected_checksum = _checksum(flattened)
+        files = {OUTPUT_FILE: []}
+        for index, segment in enumerate(segments_data):
+            files[SEGMENT_FILE_BASE + index] = list(segment)
+
+        def validate(kernel: Kernel) -> bool:
+            return (
+                kernel.output == [expected_checksum]
+                and kernel.fs.file_contents(OUTPUT_FILE) == flattened
+            )
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(files=files, rand_seed=seed),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"segments": segments, "total_words": total_words},
+        )

@@ -1,0 +1,115 @@
+"""Apache-like multi-threaded request server.
+
+A pool of worker threads shares one listening socket behind an accept
+mutex (Apache's worker MPM accept serialisation). Each worker claims a
+request slot, accepts a connection — *blocking* until a request arrives,
+which exercises kernel waiters crossing epoch boundaries — receives the
+request, computes the response, and sends it back. Arrival times come
+from a seeded schedule; which worker serves which request is scheduling
+nondeterminism, so every response is validated against its own request.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.net import Arrival
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+
+def _response(payload) -> int:
+    reqid, a, b = payload
+    return a * b + reqid
+
+
+@register_workload
+class ApacheWorkload(Workload):
+    """Accept-loop web server with a worker pool."""
+
+    name = "apache"
+    category = "server"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        requests = 8 * scale + 2 * workers
+        service_cost = 180
+        arrivals = []
+        when = 0
+        for reqid in range(requests):
+            when += rng.randint(20, 400)
+            arrivals.append(
+                Arrival(
+                    time=when,
+                    payload=(reqid, rng.randint(2, 99), rng.randint(2, 99)),
+                )
+            )
+
+        asm = Assembler(name="apache")
+        asm.word("sock", 0)
+        asm.word("acceptlock", 0)
+        asm.word("served", 0)
+
+        with asm.function("worker"):
+            asm.li("r2", 3)
+            asm.syscall("r10", SyscallKind.ALLOC, args=["r2"])
+            asm.label("loop")
+            asm.li("r3", "acceptlock")
+            asm.lock("r3")
+            asm.loadg("r4", "served")
+            asm.bgei("r4", requests, "drain")
+            asm.addi("r5", "r4", 1)
+            asm.storeg("r5", "served")
+            asm.loadg("r6", "sock")
+            asm.syscall("r7", SyscallKind.ACCEPT, args=["r6"])
+            asm.unlock("r3")
+            asm.li("r8", 3)
+            asm.syscall("r9", SyscallKind.RECV, args=["r7", "r10", "r8"])
+            asm.work(service_cost)
+            asm.load("r11", "r10", 0)   # reqid
+            asm.load("r12", "r10", 1)   # a
+            asm.load("r13", "r10", 2)   # b
+            asm.mul("r14", "r12", "r13")
+            asm.add("r14", "r14", "r11")
+            asm.store("r14", "r10", 0)
+            asm.li("r15", 1)
+            asm.syscall("r16", SyscallKind.SEND, args=["r7", "r10", "r15"])
+            asm.jmp("loop")
+            asm.label("drain")
+            asm.unlock("r3")
+            asm.exit_()
+
+        def prologue(a: Assembler) -> None:
+            a.syscall("r2", SyscallKind.LISTEN, args=[])
+            a.storeg("r2", "sock")
+
+        def epilogue(a: Assembler) -> None:
+            a.loadg("r2", "served")
+            a.syscall("r3", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, prologue=prologue, epilogue=epilogue)
+        image = asm.assemble()
+
+        def validate(kernel: Kernel) -> bool:
+            conversations = kernel.net.all_conversations()
+            if len(conversations) != requests:
+                return False
+            for payload, responses in conversations.values():
+                if responses != [_response(payload)]:
+                    return False
+            return kernel.output == [requests]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(arrivals=arrivals, rand_seed=seed),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"requests": requests},
+        )

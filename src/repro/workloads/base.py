@@ -1,0 +1,114 @@
+"""Workload abstraction and registry.
+
+A :class:`Workload` builds a :class:`WorkloadInstance` for a given worker
+count / scale / seed: an assembled program image, the kernel setup (file
+contents, network arrivals, RAND seed) and a validator that checks the
+finished kernel's externally visible results against values the workload
+computed in Python. Validators accept any *legal* outcome (e.g. a
+work-queue's output in any order), so they pass for every correct schedule
+while still catching real corruption.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Type
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import ProgramImage
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass
+class WorkloadInstance:
+    """One buildable, runnable, checkable workload configuration."""
+
+    name: str
+    image: ProgramImage
+    setup: KernelSetup
+    workers: int
+    racy: bool
+    #: checks a finished kernel's output/files/responses
+    validate: Callable[[Kernel], bool]
+    #: descriptive values for reports (input words, expected results...)
+    expected: Dict[str, int] = field(default_factory=dict)
+
+
+class Workload(abc.ABC):
+    """A parameterisable benchmark program."""
+
+    #: registry key, e.g. "pbzip"
+    name: str = ""
+    #: paper-style grouping: "client", "server", "scientific", "micro"
+    category: str = "client"
+    #: does the program contain intentional data races?
+    racy: bool = False
+
+    @abc.abstractmethod
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        """Assemble the program and its inputs."""
+
+    def rng(self, seed: int) -> DeterministicRng:
+        return DeterministicRng(seed, f"workload/{self.name}")
+
+
+#: registry: name → workload class
+WORKLOADS: Dict[str, Type[Workload]] = {}
+
+
+def register_workload(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise ValueError(f"workload class {cls.__name__} needs a name")
+    if cls.name in WORKLOADS:
+        raise ValueError(f"duplicate workload name {cls.name!r}")
+    WORKLOADS[cls.name] = cls
+    return cls
+
+
+def build_workload(
+    name: str, workers: int = 2, scale: int = 1, seed: int = 0
+) -> WorkloadInstance:
+    """Build a registered workload by name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return cls().build(workers=workers, scale=scale, seed=seed)
+
+
+def workload_names(category: str = "") -> List[str]:
+    """Registered workload names, optionally filtered by category."""
+    names = [
+        name
+        for name, cls in WORKLOADS.items()
+        if not category or cls.category == category
+    ]
+    return sorted(names)
+
+
+def fork_join_main(
+    asm: Assembler,
+    workers: int,
+    prologue: Callable[[Assembler], None] = None,
+    epilogue: Callable[[Assembler], None] = None,
+) -> None:
+    """Emit the standard main: prologue, spawn W workers (r0 = worker
+    index), join them, epilogue, exit. Uses registers r20..r20+W-1."""
+    if workers > 8:
+        raise ValueError(f"fork_join_main supports at most 8 workers, got {workers}")
+    with asm.function("main"):
+        if prologue is not None:
+            prologue(asm)
+        for index in range(workers):
+            asm.li("r1", index)
+            asm.spawn(f"r{20 + index}", "worker", args=["r1"])
+        for index in range(workers):
+            asm.join(f"r{20 + index}")
+        if epilogue is not None:
+            epilogue(asm)
+        asm.exit_()

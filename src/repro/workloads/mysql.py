@@ -1,0 +1,175 @@
+"""MySQL-like transactional server.
+
+Worker threads claim transaction ids from an atomic counter and execute
+transfers between account rows under per-row locks (taken in address order
+to avoid deadlock — InnoDB-style fine-grained locking), then append a
+commit record to a log file under the log mutex. Transfers commute, so the
+final balance vector is schedule-independent even though row-lock
+interleavings differ run to run — a good stress of sync-order hints.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+LOG_FILE = 3
+
+
+def _txn(txnid: int, accounts: int):
+    src = (txnid * 7 + 3) % accounts
+    dst = (txnid * 13 + 5) % accounts
+    if src == dst:
+        dst = (dst + 1) % accounts
+    amount = txnid % 9 + 1
+    return src, dst, amount
+
+
+def _balances_checksum(balances) -> int:
+    value = 0
+    for balance in balances:
+        value = wrap_word(value * 31 + balance)
+    return value
+
+
+@register_workload
+class MysqlWorkload(Workload):
+    """Row-locked transfer transactions with a commit log."""
+
+    name = "mysql"
+    category = "server"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        accounts = 12
+        transactions = 10 * scale + 2 * workers
+        txn_cost = 120
+        initial = [rng.randint(100, 999) for _ in range(accounts)]
+
+        asm = Assembler(name="mysql")
+        asm.array("balances", accounts, values=initial)
+        asm.page_aligned_array("rowlocks", accounts)
+        asm.word("nexttxn", 0)
+        asm.word("loglock", 0)
+        asm.word("logfd", 0)
+
+        with asm.function("worker"):
+            asm.li("r2", 1)
+            asm.syscall("r18", SyscallKind.ALLOC, args=["r2"])  # commit record buf
+            asm.label("loop")
+            asm.li("r3", "nexttxn")
+            asm.li("r4", 1)
+            asm.fetchadd("r5", "r3", 0, "r4")   # r5 = txn id
+            asm.bgei("r5", transactions, "done")
+            # src = (id*7+3) % accounts ; dst = (id*13+5) % accounts
+            asm.muli("r6", "r5", 7)
+            asm.addi("r6", "r6", 3)
+            asm.li("r7", accounts)
+            asm.mod("r6", "r6", "r7")           # src
+            asm.muli("r8", "r5", 13)
+            asm.addi("r8", "r8", 5)
+            asm.mod("r8", "r8", "r7")           # dst
+            asm.bne("r6", "r8", "distinct")
+            asm.addi("r8", "r8", 1)
+            asm.mod("r8", "r8", "r7")
+            asm.label("distinct")
+            # amount = id % 9 + 1
+            asm.li("r9", 9)
+            asm.mod("r9", "r5", "r9")
+            asm.addi("r9", "r9", 1)
+            # lock rows in index order
+            asm.slt("r10", "r6", "r8")
+            asm.beqi("r10", 1, "ordered")
+            asm.mov("r11", "r8")    # lo = dst
+            asm.mov("r12", "r6")    # hi = src
+            asm.jmp("locks")
+            asm.label("ordered")
+            asm.mov("r11", "r6")    # lo = src
+            asm.mov("r12", "r8")    # hi = dst
+            asm.label("locks")
+            asm.li("r13", "rowlocks")
+            asm.add("r14", "r13", "r11")
+            asm.lock("r14")
+            asm.add("r15", "r13", "r12")
+            asm.lock("r15")
+            # transfer
+            asm.li("r16", "balances")
+            asm.add("r17", "r16", "r6")
+            asm.load("r19", "r17", 0)
+            asm.sub("r19", "r19", "r9")
+            asm.store("r19", "r17", 0)
+            asm.add("r17", "r16", "r8")
+            asm.load("r19", "r17", 0)
+            asm.add("r19", "r19", "r9")
+            asm.store("r19", "r17", 0)
+            asm.work(txn_cost)
+            asm.unlock("r15")
+            asm.unlock("r14")
+            # commit record
+            asm.store("r5", "r18", 0)
+            asm.li("r2", "loglock")
+            asm.lock("r2")
+            asm.loadg("r19", "logfd")
+            asm.li("r17", 1)
+            asm.syscall("r16", SyscallKind.WRITE, args=["r19", "r18", "r17"])
+            asm.unlock("r2")
+            asm.jmp("loop")
+            asm.label("done")
+            asm.exit_()
+
+        def prologue(a: Assembler) -> None:
+            a.li("r2", LOG_FILE)
+            a.syscall("r3", SyscallKind.OPEN, args=["r2"])
+            a.storeg("r3", "logfd")
+
+        def epilogue(a: Assembler) -> None:
+            a.li("r2", 0)
+            a.li("r3", 0)
+            a.label("cks")
+            a.li("r4", "balances")
+            a.add("r4", "r4", "r3")
+            a.load("r5", "r4", 0)
+            a.muli("r6", "r2", 31)
+            a.add("r2", "r6", "r5")
+            a.addi("r3", "r3", 1)
+            a.blti("r3", accounts, "cks")
+            a.syscall("r7", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, prologue=prologue, epilogue=epilogue)
+        image = asm.assemble()
+
+        final = list(initial)
+        for txnid in range(transactions):
+            src, dst, amount = _txn(txnid, accounts)
+            final[src] -= amount
+            final[dst] += amount
+        expected_checksum = _balances_checksum(final)
+
+        def validate(kernel: Kernel) -> bool:
+            log = kernel.fs.file_contents(LOG_FILE)
+            return (
+                kernel.output == [expected_checksum]
+                and sorted(log) == list(range(transactions))
+            )
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(files={LOG_FILE: []}),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={
+                "transactions": transactions,
+                "accounts": accounts,
+                "balance_sum": sum(final),
+            },
+        )

@@ -1,0 +1,135 @@
+"""pbzip2-like parallel compression.
+
+Structure matched to the real tool: worker threads pull fixed-size blocks
+from a shared input descriptor under a mutex (block id assigned with the
+read, so the id ↔ data pairing is deterministic), "compress" each block
+privately (a checksum fold plus a compute burst), and append
+``(block id, checksum)`` records to the output file under an output mutex.
+Output order is schedule-dependent; the *set* of records is not, which is
+exactly what the validator checks.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+INPUT_FILE = 0
+OUTPUT_FILE = 1
+
+
+def _checksum(words) -> int:
+    value = 0
+    for word in words:
+        value = wrap_word(value * 31 + word)
+    return value
+
+
+@register_workload
+class PbzipWorkload(Workload):
+    """Pipeline-parallel block compression."""
+
+    name = "pbzip"
+    category = "client"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        blocks = 6 * scale + 2 * workers
+        block_words = 24
+        compress_cost = 160
+        data = [rng.randint(1, 1 << 30) for _ in range(blocks * block_words)]
+
+        asm = Assembler(name="pbzip")
+        asm.word("infd", 0)
+        asm.word("outfd", 0)
+        asm.word("inlock", 0)
+        asm.word("outlock", 0)
+        asm.word("nextblk", 0)
+
+        with asm.function("worker"):
+            asm.li("r2", block_words)
+            asm.syscall("r10", SyscallKind.ALLOC, args=["r2"])  # block buffer
+            asm.li("r2", 2)
+            asm.syscall("r16", SyscallKind.ALLOC, args=["r2"])  # record buffer
+            asm.label("loop")
+            asm.li("r3", "inlock")
+            asm.lock("r3")
+            asm.loadg("r4", "infd")
+            asm.li("r6", block_words)
+            asm.syscall("r5", SyscallKind.READ, args=["r4", "r10", "r6"])
+            asm.loadg("r7", "nextblk")
+            asm.addi("r8", "r7", 1)
+            asm.storeg("r8", "nextblk")
+            asm.unlock("r3")
+            asm.beqi("r5", 0, "done")
+            # checksum fold over the words read
+            asm.li("r9", 0)
+            asm.li("r11", 0)
+            asm.label("csloop")
+            asm.add("r12", "r10", "r11")
+            asm.load("r13", "r12", 0)
+            asm.muli("r14", "r9", 31)
+            asm.add("r9", "r14", "r13")
+            asm.addi("r11", "r11", 1)
+            asm.blt("r11", "r5", "csloop")
+            asm.work(compress_cost)
+            # append (block id, checksum) under the output lock
+            asm.store("r7", "r16", 0)
+            asm.store("r9", "r16", 1)
+            asm.li("r17", "outlock")
+            asm.lock("r17")
+            asm.loadg("r18", "outfd")
+            asm.li("r19", 2)
+            asm.syscall("r2", SyscallKind.WRITE, args=["r18", "r16", "r19"])
+            asm.unlock("r17")
+            asm.jmp("loop")
+            asm.label("done")
+            asm.exit_()
+
+        def prologue(a: Assembler) -> None:
+            a.li("r2", INPUT_FILE)
+            a.syscall("r3", SyscallKind.OPEN, args=["r2"])
+            a.storeg("r3", "infd")
+            a.li("r4", OUTPUT_FILE)
+            a.syscall("r5", SyscallKind.OPEN, args=["r4"])
+            a.storeg("r5", "outfd")
+
+        def epilogue(a: Assembler) -> None:
+            a.loadg("r2", "nextblk")
+            a.syscall("r3", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, prologue=prologue, epilogue=epilogue)
+        image = asm.assemble()
+
+        expected_records = {
+            (index, _checksum(data[index * block_words : (index + 1) * block_words]))
+            for index in range(blocks)
+        }
+
+        def validate(kernel: Kernel) -> bool:
+            out = kernel.fs.file_contents(OUTPUT_FILE)
+            if len(out) != 2 * blocks:
+                return False
+            records = {(out[i], out[i + 1]) for i in range(0, len(out), 2)}
+            # block counter overshoots by the number of workers that saw EOF
+            return records == expected_records and kernel.output == [
+                blocks + workers
+            ]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(files={INPUT_FILE: data, OUTPUT_FILE: []}),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"blocks": blocks, "input_words": len(data)},
+        )

@@ -1,0 +1,95 @@
+"""pfscan-like parallel file scan.
+
+Workers pull chunks from a shared descriptor under a mutex, count
+occurrences of a needle value privately, and fold their counts into a
+global total with an atomic add — the real tool's structure (parallel
+grep with a work-stealing file cursor). The total is schedule-independent.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+INPUT_FILE = 0
+NEEDLE = 7
+
+
+@register_workload
+class PfscanWorkload(Workload):
+    """Parallel scan/grep over one input file."""
+
+    name = "pfscan"
+    category = "client"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        chunk_words = 32
+        chunks = 8 * scale + workers
+        data = [rng.randint(0, 15) for _ in range(chunks * chunk_words)]
+        expected_count = data.count(NEEDLE)
+        scan_cost = 40
+
+        asm = Assembler(name="pfscan")
+        asm.word("infd", 0)
+        asm.word("inlock", 0)
+        asm.word("count", 0)
+
+        with asm.function("worker"):
+            asm.li("r2", chunk_words)
+            asm.syscall("r10", SyscallKind.ALLOC, args=["r2"])
+            asm.li("r15", 0)  # private running count
+            asm.label("loop")
+            asm.li("r3", "inlock")
+            asm.lock("r3")
+            asm.loadg("r4", "infd")
+            asm.li("r6", chunk_words)
+            asm.syscall("r5", SyscallKind.READ, args=["r4", "r10", "r6"])
+            asm.unlock("r3")
+            asm.beqi("r5", 0, "done")
+            asm.li("r11", 0)
+            asm.label("scan")
+            asm.add("r12", "r10", "r11")
+            asm.load("r13", "r12", 0)
+            asm.seqi("r14", "r13", NEEDLE)
+            asm.add("r15", "r15", "r14")
+            asm.addi("r11", "r11", 1)
+            asm.blt("r11", "r5", "scan")
+            asm.work(scan_cost)
+            asm.jmp("loop")
+            asm.label("done")
+            asm.li("r16", "count")
+            asm.fetchadd("r17", "r16", 0, "r15")
+            asm.exit_()
+
+        def prologue(a: Assembler) -> None:
+            a.li("r2", INPUT_FILE)
+            a.syscall("r3", SyscallKind.OPEN, args=["r2"])
+            a.storeg("r3", "infd")
+
+        def epilogue(a: Assembler) -> None:
+            a.loadg("r2", "count")
+            a.syscall("r3", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, prologue=prologue, epilogue=epilogue)
+        image = asm.assemble()
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected_count]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(files={INPUT_FILE: data}),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"matches": expected_count, "input_words": len(data)},
+        )

@@ -1,0 +1,330 @@
+"""Producer/consumer bounded buffers — condvar and semaphore flavours.
+
+A make-jobserver-like pipeline: producers enqueue work items into a small
+ring buffer, consumers drain and checksum them. Two classic
+synchronisation styles, each its own workload:
+
+* ``prodcons`` — one mutex plus *not-full*/*not-empty* condition
+  variables with wait loops (pthread_cond discipline);
+* ``prodcons-sem`` — counting semaphores for slots and items plus a mutex
+  for the ring indices (the semaphore-pipeline idiom).
+
+The item multiset is schedule-independent, so the summed checksum
+validates exactly. These are the suite's only workloads driving condition
+variables and semaphores through the full record/replay pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+RING = 4
+
+
+def _split_workers(workers: int):
+    producers = max(workers // 2, 1)
+    consumers = max(workers - producers, 1)
+    return producers, consumers
+
+
+def _item_value(producer: int, seq: int) -> int:
+    return (producer + 1) * 1000 + seq * 7 + 1
+
+
+def _emit_ring_setup(asm: Assembler) -> None:
+    asm.array("ring", RING)
+    asm.word("head", 0)      # next slot to fill
+    asm.word("tail", 0)      # next slot to drain
+    asm.word("count", 0)     # occupied slots
+    asm.word("mutex", 0)
+    asm.word("notfull", 0)
+    asm.word("notempty", 0)
+    asm.word("sum", 0)
+    asm.word("slots_sem", 0)
+    asm.word("items_sem", 0)
+
+
+def _emit_enqueue(asm: Assembler) -> None:
+    """ring[head] = r4; head = (head+1) % RING; count++ (mutex held)."""
+    asm.loadg("r5", "head")
+    asm.li("r6", "ring")
+    asm.add("r6", "r6", "r5")
+    asm.store("r4", "r6", 0)
+    asm.addi("r5", "r5", 1)
+    asm.li("r7", RING)
+    asm.mod("r5", "r5", "r7")
+    asm.storeg("r5", "head")
+    asm.loadg("r8", "count")
+    asm.addi("r8", "r8", 1)
+    asm.storeg("r8", "count")
+
+
+def _emit_dequeue(asm: Assembler) -> None:
+    """r4 = ring[tail]; tail = (tail+1) % RING; count-- (mutex held)."""
+    asm.loadg("r5", "tail")
+    asm.li("r6", "ring")
+    asm.add("r6", "r6", "r5")
+    asm.load("r4", "r6", 0)
+    asm.addi("r5", "r5", 1)
+    asm.li("r7", RING)
+    asm.mod("r5", "r5", "r7")
+    asm.storeg("r5", "tail")
+    asm.loadg("r8", "count")
+    asm.addi("r8", "r8", -1)
+    asm.storeg("r8", "count")
+
+
+def _epilogue(asm: Assembler):
+    def epilogue(a: Assembler) -> None:
+        a.loadg("r2", "sum")
+        a.syscall("r3", SyscallKind.PRINT, args=["r2"])
+
+    return epilogue
+
+
+def _expected_sum(producers: int, per_producer: int) -> int:
+    return sum(
+        _item_value(producer, seq)
+        for producer in range(producers)
+        for seq in range(per_producer)
+    )
+
+
+@register_workload
+class ProdConsWorkload(Workload):
+    """Bounded buffer with condition variables."""
+
+    name = "prodcons"
+    category = "client"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        producers, consumers = _split_workers(workers)
+        per_consumer = 4 * max(scale, 1)
+        total_items = consumers * per_consumer
+        # distribute items over producers (first producer takes the slack)
+        base_quota = total_items // producers
+        quotas = [base_quota] * producers
+        quotas[0] += total_items - base_quota * producers
+
+        asm = Assembler(name="prodcons")
+        _emit_ring_setup(asm)
+
+        quota_base = asm.array("quotas", producers, values=quotas)
+        with asm.function("producer"):
+            # r0 = producer index; quota looked up from the table
+            asm.li("r2", quota_base)
+            asm.add("r2", "r2", "r0")
+            asm.load("r3", "r2", 0)     # my quota
+            asm.li("r9", 0)             # seq
+            asm.label("produce")
+            asm.bge("r9", "r3", "done")
+            # item = (idx+1)*1000 + seq*7 + 1
+            asm.addi("r4", "r0", 1)
+            asm.muli("r4", "r4", 1000)
+            asm.muli("r10", "r9", 7)
+            asm.add("r4", "r4", "r10")
+            asm.addi("r4", "r4", 1)
+            asm.li("r11", "mutex")
+            asm.lock("r11")
+            asm.label("fullcheck")
+            asm.loadg("r12", "count")
+            asm.blti("r12", RING, "space")
+            asm.li("r13", "notfull")
+            asm.condwait("r13", "r11")
+            asm.jmp("fullcheck")
+            asm.label("space")
+            _emit_enqueue(asm)
+            asm.li("r14", "notempty")
+            asm.condsignal("r14")
+            asm.unlock("r11")
+            asm.work(12)
+            asm.addi("r9", "r9", 1)
+            asm.jmp("produce")
+            asm.label("done")
+            asm.exit_()
+
+        with asm.function("consumer"):
+            asm.li("r3", per_consumer)
+            asm.li("r9", 0)             # consumed
+            asm.li("r15", 0)            # private sum
+            asm.label("consume")
+            asm.bge("r9", "r3", "done")
+            asm.li("r11", "mutex")
+            asm.lock("r11")
+            asm.label("emptycheck")
+            asm.loadg("r12", "count")
+            asm.bnei("r12", 0, "avail")
+            asm.li("r13", "notempty")
+            asm.condwait("r13", "r11")
+            asm.jmp("emptycheck")
+            asm.label("avail")
+            _emit_dequeue(asm)
+            asm.li("r14", "notfull")
+            asm.condsignal("r14")
+            asm.unlock("r11")
+            asm.add("r15", "r15", "r4")
+            asm.work(15)
+            asm.addi("r9", "r9", 1)
+            asm.jmp("consume")
+            asm.label("done")
+            asm.li("r16", "sum")
+            asm.fetchadd("r17", "r16", 0, "r15")
+            asm.exit_()
+
+        with asm.function("main"):
+            regs = []
+            for index in range(producers):
+                asm.li("r1", index)
+                reg = f"r{20 + index}"
+                asm.spawn(reg, "producer", args=["r1"])
+                regs.append(reg)
+            for index in range(consumers):
+                reg = f"r{20 + producers + index}"
+                asm.spawn(reg, "consumer")
+                regs.append(reg)
+            for reg in regs:
+                asm.join(reg)
+            _epilogue(asm)(asm)
+            asm.exit_()
+
+        image = asm.assemble()
+        expected = sum(
+            _item_value(producer, seq)
+            for producer in range(producers)
+            for seq in range(quotas[producer])
+        )
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"items": total_items, "producers": producers,
+                      "consumers": consumers},
+        )
+
+
+@register_workload
+class ProdConsSemWorkload(Workload):
+    """Bounded buffer with counting semaphores."""
+
+    name = "prodcons-sem"
+    category = "client"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        producers, consumers = _split_workers(workers)
+        per_consumer = 4 * max(scale, 1)
+        total_items = consumers * per_consumer
+        base_quota = total_items // producers
+        quotas = [base_quota] * producers
+        quotas[0] += total_items - base_quota * producers
+
+        asm = Assembler(name="prodcons-sem")
+        _emit_ring_setup(asm)
+        quota_base = asm.array("quotas", producers, values=quotas)
+
+        with asm.function("producer"):
+            asm.li("r2", quota_base)
+            asm.add("r2", "r2", "r0")
+            asm.load("r3", "r2", 0)
+            asm.li("r9", 0)
+            asm.label("produce")
+            asm.bge("r9", "r3", "done")
+            asm.addi("r4", "r0", 1)
+            asm.muli("r4", "r4", 1000)
+            asm.muli("r10", "r9", 7)
+            asm.add("r4", "r4", "r10")
+            asm.addi("r4", "r4", 1)
+            asm.li("r11", "slots_sem")
+            asm.semwait("r11")          # claim a free slot
+            asm.li("r12", "mutex")
+            asm.lock("r12")
+            _emit_enqueue(asm)
+            asm.unlock("r12")
+            asm.li("r13", "items_sem")
+            asm.sempost("r13")          # publish an item
+            asm.work(12)
+            asm.addi("r9", "r9", 1)
+            asm.jmp("produce")
+            asm.label("done")
+            asm.exit_()
+
+        with asm.function("consumer"):
+            asm.li("r3", per_consumer)
+            asm.li("r9", 0)
+            asm.li("r15", 0)
+            asm.label("consume")
+            asm.bge("r9", "r3", "done")
+            asm.li("r11", "items_sem")
+            asm.semwait("r11")
+            asm.li("r12", "mutex")
+            asm.lock("r12")
+            _emit_dequeue(asm)
+            asm.unlock("r12")
+            asm.li("r13", "slots_sem")
+            asm.sempost("r13")
+            asm.add("r15", "r15", "r4")
+            asm.work(15)
+            asm.addi("r9", "r9", 1)
+            asm.jmp("consume")
+            asm.label("done")
+            asm.li("r16", "sum")
+            asm.fetchadd("r17", "r16", 0, "r15")
+            asm.exit_()
+
+        with asm.function("main"):
+            # initialise the slot semaphore to the ring size
+            asm.li("r2", "slots_sem")
+            asm.li("r3", RING)
+            asm.seminit("r2", "r3")
+            asm.li("r4", "items_sem")
+            asm.li("r5", 0)
+            asm.seminit("r4", "r5")
+            regs = []
+            for index in range(producers):
+                asm.li("r1", index)
+                reg = f"r{20 + index}"
+                asm.spawn(reg, "producer", args=["r1"])
+                regs.append(reg)
+            for index in range(consumers):
+                reg = f"r{20 + producers + index}"
+                asm.spawn(reg, "consumer")
+                regs.append(reg)
+            for reg in regs:
+                asm.join(reg)
+            _epilogue(asm)(asm)
+            asm.exit_()
+
+        image = asm.assemble()
+        expected = sum(
+            _item_value(producer, seq)
+            for producer in range(producers)
+            for seq in range(quotas[producer])
+        )
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"items": total_items, "producers": producers,
+                      "consumers": consumers},
+        )

@@ -1,0 +1,146 @@
+"""Racy microbenchmarks.
+
+These exist to exercise DoublePlay's divergence detection and forward
+recovery: their data races make the epoch-parallel re-execution resolve
+conflicting accesses differently than the thread-parallel run, so epochs
+mismatch and recovery must commit the uniprocessor result. Validators
+accept any outcome a sequentially consistent execution could produce —
+the recording guarantee is "replay reproduces *the recorded* execution",
+not any particular race resolution.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+
+@register_workload
+class RacyCounterWorkload(Workload):
+    """Unsynchronised read-modify-write increments (lost updates)."""
+
+    name = "racy-counter"
+    category = "micro"
+    racy = True
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        iterations = 40 * max(scale, 1)
+        total = workers * iterations
+
+        asm = Assembler(name="racy-counter")
+        asm.word("counter", 0)
+
+        with asm.function("worker"):
+            asm.li("r2", 0)
+            asm.label("loop")
+            asm.loadg("r3", "counter")
+            asm.work(4)
+            asm.addi("r3", "r3", 1)
+            asm.storeg("r3", "counter")
+            asm.work(9)
+            asm.addi("r2", "r2", 1)
+            asm.blti("r2", iterations, "loop")
+            asm.exit_()
+
+        def epilogue(a: Assembler) -> None:
+            a.loadg("r2", "counter")
+            a.syscall("r3", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        def validate(kernel: Kernel) -> bool:
+            # Lost updates may shrink the count; it can never exceed the
+            # number of increments nor drop below one thread's worth.
+            if len(kernel.output) != 1:
+                return False
+            counted = kernel.output[0]
+            return iterations <= counted <= total
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=True,
+            validate=validate,
+            expected={"increments": total},
+        )
+
+
+@register_workload
+class RacyLazyInitWorkload(Workload):
+    """Unsynchronised check-then-init (double initialisation / torn reads).
+
+    Every worker checks a shared flag without a lock, initialises the
+    shared value if it looks unset, then consumes the value. Under some
+    interleavings workers observe the value before it is published.
+    """
+
+    name = "racy-lazyinit"
+    category = "micro"
+    racy = True
+
+    MAGIC = 42
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rounds = 8 * max(scale, 1)
+
+        asm = Assembler(name="racy-lazyinit")
+        asm.word("flag", 0)
+        asm.word("value", 0)
+        asm.word("sum", 0)
+
+        with asm.function("worker"):
+            asm.li("r2", 0)          # round
+            asm.li("r3", 0)          # private sum
+            asm.label("round")
+            asm.loadg("r4", "flag")
+            asm.bnei("r4", 0, "ready")
+            asm.work(25)             # "expensive" initialisation
+            asm.li("r5", self.MAGIC)
+            asm.storeg("r5", "value")
+            asm.li("r6", 1)
+            asm.storeg("r6", "flag")
+            asm.label("ready")
+            asm.loadg("r7", "value")
+            asm.add("r3", "r3", "r7")
+            asm.work(12)
+            asm.addi("r2", "r2", 1)
+            asm.blti("r2", rounds, "round")
+            asm.li("r8", "sum")
+            asm.fetchadd("r9", "r8", 0, "r3")
+            asm.exit_()
+
+        def epilogue(a: Assembler) -> None:
+            a.loadg("r2", "sum")
+            a.syscall("r3", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        max_sum = workers * rounds * self.MAGIC
+
+        def validate(kernel: Kernel) -> bool:
+            if len(kernel.output) != 1:
+                return False
+            observed = kernel.output[0]
+            # Unpublished reads contribute 0; everything else MAGIC.
+            return 0 <= observed <= max_sum and observed % self.MAGIC == 0
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=True,
+            validate=validate,
+            expected={"max_sum": max_sum},
+        )

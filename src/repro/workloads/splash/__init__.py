@@ -1,0 +1,25 @@
+"""SPLASH-2-style scientific kernels.
+
+Barrier-phased data-parallel programs with the sharing patterns of the
+originals: fft (all-to-all stride access, double buffered), lu (one owner
+computes a diagonal block everyone reads), ocean (stencil with
+partition-boundary sharing; simplified to a 1-D ring — the boundary
+sharing is what matters), radix (histogram + prefix + permute), and water
+(read-all positions, lock-protected global accumulation). All race-free
+by construction; each validates a final checksum against a Python model
+of the same integer recurrence.
+"""
+
+from repro.workloads.splash.fft import FftWorkload
+from repro.workloads.splash.lu import LuWorkload
+from repro.workloads.splash.ocean import OceanWorkload
+from repro.workloads.splash.radix import RadixWorkload
+from repro.workloads.splash.water import WaterWorkload
+
+__all__ = [
+    "FftWorkload",
+    "LuWorkload",
+    "OceanWorkload",
+    "RadixWorkload",
+    "WaterWorkload",
+]

@@ -1,0 +1,124 @@
+"""fft: barrier-phased strided butterfly over a double-buffered array.
+
+Each phase p combines element i with element (i + 2^p) mod n from the
+previous phase's buffer — the cross-partition strided reads of a real FFT
+— then all threads barrier before the buffers swap roles.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+
+def _model(data, phases):
+    current = list(data)
+    n = len(current)
+    for phase in range(phases):
+        stride = (1 << phase) % n
+        current = [
+            wrap_word(current[i] * 3 + current[(i + stride) % n])
+            for i in range(n)
+        ]
+    return current
+
+
+def _checksum(words) -> int:
+    value = 0
+    for word in words:
+        value = wrap_word(value * 31 + word)
+    return value
+
+
+@register_workload
+class FftWorkload(Workload):
+    """Strided butterfly kernel."""
+
+    name = "fft"
+    category = "scientific"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        n = 16 * workers * max(scale, 1)
+        phases = 4  # even: final data ends up in buffer A
+        chunk = n // workers
+        flop_cost = 4 * chunk
+        data = [rng.randint(1, 1 << 30) for _ in range(n)]
+
+        asm = Assembler(name="fft")
+        asm.page_aligned_array("bufA", n, values=data)
+        asm.page_aligned_array("bufB", n)
+        asm.word("barrier", 0)
+
+        with asm.function("worker"):
+            # r0 = index; r2 = lo, r3 = hi
+            asm.muli("r2", "r0", chunk)
+            asm.addi("r3", "r2", chunk)
+            asm.li("r4", "bufA")   # src
+            asm.li("r5", "bufB")   # dst
+            asm.li("r6", 1)        # stride
+            for _ in range(phases):
+                asm.mov("r7", "r2")            # i
+                asm.label(f"inner{_}")
+                asm.add("r8", "r7", "r6")
+                asm.li("r9", n)
+                asm.mod("r8", "r8", "r9")      # (i + stride) % n
+                asm.add("r10", "r4", "r7")
+                asm.load("r11", "r10", 0)      # src[i]
+                asm.add("r12", "r4", "r8")
+                asm.load("r13", "r12", 0)      # src[(i+stride)%n]
+                asm.muli("r11", "r11", 3)
+                asm.add("r11", "r11", "r13")
+                asm.add("r14", "r5", "r7")
+                asm.store("r11", "r14", 0)
+                asm.addi("r7", "r7", 1)
+                asm.blt("r7", "r3", f"inner{_}")
+                asm.work(flop_cost)
+                # swap buffers, double the stride, barrier
+                asm.mov("r15", "r4")
+                asm.mov("r4", "r5")
+                asm.mov("r5", "r15")
+                asm.muli("r6", "r6", 2)
+                asm.li("r16", "barrier")
+                asm.li("r17", workers)
+                asm.barrier("r16", "r17")
+            asm.exit_()
+
+        def epilogue(a: Assembler) -> None:
+            a.li("r2", 0)
+            a.li("r3", 0)
+            a.label("cks")
+            a.li("r4", "bufA")
+            a.add("r4", "r4", "r3")
+            a.load("r5", "r4", 0)
+            a.muli("r6", "r2", 31)
+            a.add("r2", "r6", "r5")
+            a.addi("r3", "r3", 1)
+            a.blti("r3", n, "cks")
+            a.syscall("r7", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        expected = _checksum(_model(data, phases))
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"n": n, "phases": phases},
+        )

@@ -1,0 +1,144 @@
+"""lu: blocked LU-style factorisation phases.
+
+Step k: the thread owning step k (k mod W) recomputes the shared diagonal
+block; everyone barriers; all threads update their private blocks reading
+the diagonal block (one-writer-then-all-readers sharing); barrier again.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+
+def _model(diag, blocks, steps, workers):
+    diag = list(diag)
+    blocks = [list(block) for block in blocks]
+    width = len(diag)
+    for k in range(steps):
+        diag = [wrap_word(diag[j] * 5 + k + j) for j in range(width)]
+        for block in blocks:
+            for j in range(width):
+                block[j] = wrap_word(block[j] + diag[j] * (k + 1))
+    return diag, blocks
+
+
+def _checksum(words) -> int:
+    value = 0
+    for word in words:
+        value = wrap_word(value * 31 + word)
+    return value
+
+
+@register_workload
+class LuWorkload(Workload):
+    """Diagonal-block factorisation."""
+
+    name = "lu"
+    category = "scientific"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        width = 16
+        steps = 3 * max(scale, 1) + 1
+        compute_cost = 6 * width
+        diag0 = [rng.randint(1, 1 << 20) for _ in range(width)]
+        blocks0 = [
+            [rng.randint(1, 1 << 20) for _ in range(width)] for _ in range(workers)
+        ]
+
+        asm = Assembler(name="lu")
+        asm.page_aligned_array("diag", width, values=diag0)
+        for index, block in enumerate(blocks0):
+            asm.page_aligned_array(f"block{index}", width, values=block)
+        asm.word("barrier", 0)
+        block_base = asm.address_of("block0")
+        block_pitch = (
+            asm.address_of("block1") - block_base if workers > 1 else 0
+        )
+
+        with asm.function("worker"):
+            # r2 = my block base
+            asm.muli("r2", "r0", block_pitch)
+            asm.addi("r2", "r2", block_base)
+            for k in range(steps):
+                owner = k % workers
+                # owner recomputes the diagonal block
+                asm.bnei("r0", owner, f"skip{k}")
+                asm.li("r3", 0)
+                asm.label(f"diag{k}")
+                asm.li("r4", "diag")
+                asm.add("r4", "r4", "r3")
+                asm.load("r5", "r4", 0)
+                asm.muli("r5", "r5", 5)
+                asm.addi("r5", "r5", k)
+                asm.add("r5", "r5", "r3")
+                asm.store("r5", "r4", 0)
+                asm.addi("r3", "r3", 1)
+                asm.blti("r3", width, f"diag{k}")
+                asm.work(compute_cost)
+                asm.label(f"skip{k}")
+                asm.li("r6", "barrier")
+                asm.li("r7", workers)
+                asm.barrier("r6", "r7")
+                # everyone folds the diagonal into their own block
+                asm.li("r3", 0)
+                asm.label(f"upd{k}")
+                asm.li("r4", "diag")
+                asm.add("r4", "r4", "r3")
+                asm.load("r5", "r4", 0)
+                asm.muli("r5", "r5", k + 1)
+                asm.add("r8", "r2", "r3")
+                asm.load("r9", "r8", 0)
+                asm.add("r9", "r9", "r5")
+                asm.store("r9", "r8", 0)
+                asm.addi("r3", "r3", 1)
+                asm.blti("r3", width, f"upd{k}")
+                asm.work(compute_cost)
+                asm.barrier("r6", "r7")
+            asm.exit_()
+
+        def epilogue(a: Assembler) -> None:
+            a.li("r2", 0)
+            # fold diag then every block
+            for sym in ["diag"] + [f"block{i}" for i in range(workers)]:
+                a.li("r3", 0)
+                a.label(f"cks_{sym}")
+                a.li("r4", sym)
+                a.add("r4", "r4", "r3")
+                a.load("r5", "r4", 0)
+                a.muli("r6", "r2", 31)
+                a.add("r2", "r6", "r5")
+                a.addi("r3", "r3", 1)
+                a.blti("r3", width, f"cks_{sym}")
+            a.syscall("r7", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        diag_final, blocks_final = _model(diag0, blocks0, steps, workers)
+        flat = list(diag_final)
+        for block in blocks_final:
+            flat.extend(block)
+        expected = _checksum(flat)
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"steps": steps, "width": width},
+        )

@@ -1,0 +1,172 @@
+"""radix: parallel radix sort (histogram → prefix → permute per pass).
+
+Per 4-bit digit pass: each thread histograms its segment of the source
+array into a private counts row; after a barrier, thread 0 turns the
+count matrix into per-(thread, digit) starting offsets (a stable prefix
+sum); after another barrier every thread permutes its segment into the
+destination array through its private offset row; a final barrier swaps
+the buffers. Stable and race-free — and heavy on barriers, like the
+original.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+DIGITS = 16  # 4-bit digits
+PASSES = 3   # sorts keys < 16**3 = 4096
+
+
+def _checksum(words) -> int:
+    value = 0
+    for index, word in enumerate(words):
+        value = wrap_word(value * 31 + word + index)
+    return value
+
+
+@register_workload
+class RadixWorkload(Workload):
+    """Parallel stable radix sort."""
+
+    name = "radix"
+    category = "scientific"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        n = 16 * workers * max(scale, 1)
+        chunk = n // workers
+        keys = [rng.randint(0, (DIGITS ** PASSES) - 1) for _ in range(n)]
+
+        asm = Assembler(name="radix")
+        asm.page_aligned_array("keysA", n, values=keys)
+        asm.page_aligned_array("keysB", n)
+        asm.page_aligned_array("counts", workers * DIGITS)
+        asm.page_aligned_array("offsets", workers * DIGITS)
+        asm.word("barrier", 0)
+
+        with asm.function("worker"):
+            asm.muli("r2", "r0", chunk)        # lo
+            asm.addi("r3", "r2", chunk)        # hi
+            asm.muli("r4", "r0", DIGITS)       # my counts/offsets row offset
+            asm.li("r5", "keysA")              # src
+            asm.li("r6", "keysB")              # dst
+            for p in range(PASSES):
+                shift = 4 * p
+                # zero my counts row
+                asm.li("r7", 0)
+                asm.label(f"zero{p}")
+                asm.li("r8", "counts")
+                asm.add("r8", "r8", "r4")
+                asm.add("r8", "r8", "r7")
+                asm.li("r9", 0)
+                asm.store("r9", "r8", 0)
+                asm.addi("r7", "r7", 1)
+                asm.blti("r7", DIGITS, f"zero{p}")
+                # histogram my segment
+                asm.mov("r7", "r2")
+                asm.label(f"hist{p}")
+                asm.add("r8", "r5", "r7")
+                asm.load("r9", "r8", 0)
+                asm.shri("r10", "r9", shift)
+                asm.li("r11", DIGITS - 1)
+                asm.and_("r10", "r10", "r11")
+                asm.li("r12", "counts")
+                asm.add("r12", "r12", "r4")
+                asm.add("r12", "r12", "r10")
+                asm.load("r13", "r12", 0)
+                asm.addi("r13", "r13", 1)
+                asm.store("r13", "r12", 0)
+                asm.addi("r7", "r7", 1)
+                asm.blt("r7", "r3", f"hist{p}")
+                asm.li("r14", "barrier")
+                asm.li("r15", workers)
+                asm.barrier("r14", "r15")
+                # thread 0: stable prefix over (digit, thread)
+                asm.bnei("r0", 0, f"noprefix{p}")
+                asm.li("r7", 0)    # running offset
+                asm.li("r8", 0)    # digit
+                asm.label(f"pfd{p}")
+                asm.li("r9", 0)    # thread
+                asm.label(f"pft{p}")
+                asm.muli("r10", "r9", DIGITS)
+                asm.add("r10", "r10", "r8")
+                asm.li("r11", "offsets")
+                asm.add("r11", "r11", "r10")
+                asm.store("r7", "r11", 0)
+                asm.li("r12", "counts")
+                asm.add("r12", "r12", "r10")
+                asm.load("r13", "r12", 0)
+                asm.add("r7", "r7", "r13")
+                asm.addi("r9", "r9", 1)
+                asm.blti("r9", workers, f"pft{p}")
+                asm.addi("r8", "r8", 1)
+                asm.blti("r8", DIGITS, f"pfd{p}")
+                asm.label(f"noprefix{p}")
+                asm.barrier("r14", "r15")
+                # permute my segment through my offset row
+                asm.mov("r7", "r2")
+                asm.label(f"perm{p}")
+                asm.add("r8", "r5", "r7")
+                asm.load("r9", "r8", 0)
+                asm.shri("r10", "r9", shift)
+                asm.li("r11", DIGITS - 1)
+                asm.and_("r10", "r10", "r11")
+                asm.li("r12", "offsets")
+                asm.add("r12", "r12", "r4")
+                asm.add("r12", "r12", "r10")
+                asm.load("r13", "r12", 0)       # my next slot for this digit
+                asm.addi("r16", "r13", 1)
+                asm.store("r16", "r12", 0)
+                asm.add("r17", "r6", "r13")
+                asm.store("r9", "r17", 0)
+                asm.addi("r7", "r7", 1)
+                asm.blt("r7", "r3", f"perm{p}")
+                asm.barrier("r14", "r15")
+                # swap src/dst
+                asm.mov("r18", "r5")
+                asm.mov("r5", "r6")
+                asm.mov("r6", "r18")
+            asm.exit_()
+
+        final_symbol = "keysB" if PASSES % 2 else "keysA"
+
+        def epilogue(a: Assembler) -> None:
+            a.li("r2", 0)
+            a.li("r3", 0)
+            a.label("cks")
+            a.li("r4", final_symbol)
+            a.add("r4", "r4", "r3")
+            a.load("r5", "r4", 0)
+            a.muli("r6", "r2", 31)
+            a.add("r2", "r6", "r5")
+            a.add("r2", "r2", "r3")
+            a.addi("r3", "r3", 1)
+            a.blti("r3", n, "cks")
+            a.syscall("r7", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        expected = _checksum(sorted(keys))
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"keys": n, "passes": PASSES},
+        )

@@ -1,0 +1,161 @@
+"""water: n-body-style iterations with a lock-protected global reduction.
+
+Each iteration every thread reads *all* molecule positions (read-only
+all-to-all sharing, like the original's force computation), folds a
+"potential" contribution into a global accumulator under a mutex, then —
+after a barrier — updates its own molecules' positions. Mixing barriers
+with a contended lock makes this the richest sync pattern in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.memory.layout import wrap_word
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from repro.workloads.base import (
+    Workload,
+    WorkloadInstance,
+    fork_join_main,
+    register_workload,
+)
+
+
+def _model(positions, iterations, workers):
+    positions = list(positions)
+    n = len(positions)
+    chunk = n // workers
+    potential = 0
+    for _ in range(iterations):
+        force_total = sum(positions)
+        forces = [wrap_word(force_total + positions[i]) for i in range(n)]
+        for w in range(workers):
+            contribution = 0
+            for i in range(w * chunk, (w + 1) * chunk):
+                contribution = wrap_word(contribution + forces[i])
+            potential = wrap_word(potential + contribution)
+        positions = [
+            wrap_word(positions[i] * 3 + forces[i]) for i in range(n)
+        ]
+    return positions, potential
+
+
+def _checksum(words) -> int:
+    value = 0
+    for word in words:
+        value = wrap_word(value * 31 + word)
+    return value
+
+
+@register_workload
+class WaterWorkload(Workload):
+    """Force/update iterations with a global potential accumulator."""
+
+    name = "water"
+    category = "scientific"
+
+    def build(self, workers: int = 2, scale: int = 1, seed: int = 0) -> WorkloadInstance:
+        rng = self.rng(seed)
+        n = 8 * workers
+        iterations = 2 * max(scale, 1)
+        chunk = n // workers
+        force_cost = 6 * n
+        positions = [rng.randint(1, 1 << 24) for _ in range(n)]
+
+        asm = Assembler(name="water")
+        asm.page_aligned_array("pos", n, values=positions)
+        asm.page_aligned_array("forces", n)
+        asm.word("potential", 0)
+        asm.word("potlock", 0)
+        asm.word("barrier", 0)
+
+        with asm.function("worker"):
+            asm.muli("r2", "r0", chunk)     # lo
+            asm.addi("r3", "r2", chunk)     # hi
+            for it in range(iterations):
+                # force_total = sum of all positions (read-all sharing)
+                asm.li("r4", 0)
+                asm.li("r5", 0)
+                asm.label(f"sum{it}")
+                asm.li("r6", "pos")
+                asm.add("r6", "r6", "r5")
+                asm.load("r7", "r6", 0)
+                asm.add("r4", "r4", "r7")
+                asm.addi("r5", "r5", 1)
+                asm.blti("r5", n, f"sum{it}")
+                asm.work(force_cost)
+                # my forces and my potential contribution
+                asm.li("r8", 0)                 # contribution
+                asm.mov("r5", "r2")
+                asm.label(f"force{it}")
+                asm.li("r6", "pos")
+                asm.add("r6", "r6", "r5")
+                asm.load("r7", "r6", 0)
+                asm.add("r9", "r4", "r7")       # force[i]
+                asm.li("r10", "forces")
+                asm.add("r10", "r10", "r5")
+                asm.store("r9", "r10", 0)
+                asm.add("r8", "r8", "r9")
+                asm.addi("r5", "r5", 1)
+                asm.blt("r5", "r3", f"force{it}")
+                # fold contribution into the global potential under lock
+                asm.li("r11", "potlock")
+                asm.lock("r11")
+                asm.loadg("r12", "potential")
+                asm.add("r12", "r12", "r8")
+                asm.storeg("r12", "potential")
+                asm.unlock("r11")
+                asm.li("r13", "barrier")
+                asm.li("r14", workers)
+                asm.barrier("r13", "r14")
+                # update my positions from my forces
+                asm.mov("r5", "r2")
+                asm.label(f"upd{it}")
+                asm.li("r6", "pos")
+                asm.add("r6", "r6", "r5")
+                asm.load("r7", "r6", 0)
+                asm.muli("r7", "r7", 3)
+                asm.li("r10", "forces")
+                asm.add("r10", "r10", "r5")
+                asm.load("r9", "r10", 0)
+                asm.add("r7", "r7", "r9")
+                asm.store("r7", "r6", 0)
+                asm.addi("r5", "r5", 1)
+                asm.blt("r5", "r3", f"upd{it}")
+                asm.barrier("r13", "r14")
+            asm.exit_()
+
+        def epilogue(a: Assembler) -> None:
+            a.li("r2", 0)
+            a.li("r3", 0)
+            a.label("cks")
+            a.li("r4", "pos")
+            a.add("r4", "r4", "r3")
+            a.load("r5", "r4", 0)
+            a.muli("r6", "r2", 31)
+            a.add("r2", "r6", "r5")
+            a.addi("r3", "r3", 1)
+            a.blti("r3", n, "cks")
+            a.loadg("r7", "potential")
+            a.muli("r8", "r2", 31)
+            a.add("r2", "r8", "r7")
+            a.syscall("r9", SyscallKind.PRINT, args=["r2"])
+
+        fork_join_main(asm, workers, epilogue=epilogue)
+        image = asm.assemble()
+
+        final_positions, potential = _model(positions, iterations, workers)
+        expected = wrap_word(_checksum(final_positions) * 31 + potential)
+
+        def validate(kernel: Kernel) -> bool:
+            return kernel.output == [expected]
+
+        return WorkloadInstance(
+            name=self.name,
+            image=image,
+            setup=KernelSetup(),
+            workers=workers,
+            racy=False,
+            validate=validate,
+            expected={"molecules": n, "iterations": iterations},
+        )

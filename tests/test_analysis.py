@@ -1,0 +1,123 @@
+"""Analysis layer: metrics, tables, and (fast variants of) the drivers."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.metrics import fmt_bytes, fmt_pct, geomean_overhead
+from repro.analysis.tables import render_table
+
+
+class TestMetrics:
+    def test_geomean_of_equal_values(self):
+        assert geomean_overhead([0.2, 0.2, 0.2]) == pytest.approx(0.2)
+
+    def test_geomean_between_min_and_max(self):
+        value = geomean_overhead([0.1, 0.4])
+        assert 0.1 < value < 0.4
+
+    def test_geomean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean_overhead([])
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.1234) == "12.3%"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3 << 20) == "3.00 MiB"
+
+
+class TestRenderTable:
+    def test_alignment_and_missing_cells(self):
+        rows = [{"a": "x", "b": 1}, {"a": "longer"}]
+        text = render_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in text
+        # all data lines equal width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        text = render_table([], ["a"])
+        assert "a" in text
+
+
+class TestDrivers:
+    """Small-scale runs of every experiment driver (shape assertions; the
+    full-scale numbers live in benchmarks/)."""
+
+    def test_workload_characteristics_fields(self):
+        rows = experiments.workload_characteristics(workers=2, scale=1)
+        assert {row["workload"] for row in rows} >= {"pbzip", "fft"}
+        for row in rows:
+            for key in ("threads", "instructions", "syscalls", "sync_ops",
+                        "shared_pages", "races"):
+                assert key in row
+
+    def test_overhead_experiment_small(self):
+        rows = experiments.overhead_experiment(
+            workers=2, scale=4, names=["pfscan", "ocean"]
+        )
+        assert rows[-1]["workload"] == "GEOMEAN"
+        assert all(row["divergences"] == 0 for row in rows[:-1])
+
+    def test_overhead_experiment_shared_cores_costs_more(self):
+        spare = experiments.overhead_experiment(
+            workers=2, scale=4, names=["pfscan"]
+        )
+        shared = experiments.overhead_experiment(
+            workers=2, scale=4, names=["pfscan"], spare_cores=False
+        )
+        assert shared[-1]["overhead_raw"] > spare[-1]["overhead_raw"]
+
+    def test_log_size_experiment_small(self):
+        rows = experiments.log_size_experiment(
+            workers=2, scale=4, names=["pfscan", "water"]
+        )
+        for row in rows:
+            assert row["dp_total_raw"] > 0
+
+    def test_replay_speed_experiment_small(self):
+        rows = experiments.replay_speed_experiment(
+            workers=2, scale=4, names=["ocean"]
+        )
+        assert rows[0]["verified"]
+        assert rows[0]["par_x_raw"] < rows[0]["seq_x_raw"]
+
+    def test_divergence_experiment_small(self):
+        rows = experiments.divergence_experiment(workers=2, scale=3)
+        assert all(row["replay_ok"] for row in rows)
+        hinted_clean = [
+            row for row in rows if not row["racy"] and row["sync_hints"]
+        ]
+        assert all(row["divergences"] == 0 for row in hinted_clean)
+
+    def test_epoch_length_experiment_small(self):
+        rows = experiments.epoch_length_experiment(
+            name="pfscan", workers=2, scale=6, divisors=(4, 12, 30)
+        )
+        assert [row["epochs"] for row in rows] == sorted(
+            row["epochs"] for row in rows
+        )
+
+    def test_baseline_comparison_small(self):
+        rows = experiments.baseline_comparison(
+            workers=2, scale=4, names=["ocean"]
+        )
+        row = rows[0]
+        assert row["doubleplay_raw"] < row["uniproc_raw"]
+
+    def test_ablation_checkpoint_cost_small(self):
+        rows = experiments.ablation_checkpoint_cost(
+            name="pfscan", workers=2, scale=4, cow_costs=(2, 60)
+        )
+        assert rows[0]["overhead_raw"] <= rows[1]["overhead_raw"]
+
+    def test_race_free_and_racy_name_partitions(self):
+        race_free = set(experiments.race_free_names())
+        racy = set(experiments.racy_names())
+        assert not race_free & racy
+        assert "pbzip" in race_free
+        assert "racy-counter" in racy

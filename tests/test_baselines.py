@@ -1,0 +1,161 @@
+"""Recording baselines: native, uniprocessor, CREW, value logging."""
+
+from repro.baselines import (
+    record_crew,
+    record_uniprocessor,
+    record_value_log,
+    run_native,
+)
+from repro.baselines.crew import CrewInterceptor
+from repro.baselines.value_log import ValueLogInterceptor
+from repro.core import Replayer
+from repro.machine.config import MachineConfig
+from repro.oskernel.kernel import KernelSetup
+from repro.workloads import build_workload
+from tests.conftest import counter_program
+
+
+class TestNative:
+    def test_runs_and_reports(self):
+        image = counter_program(workers=2, iters=20)
+        result = run_native(image, KernelSetup(), MachineConfig(cores=2))
+        assert result.output == [40]
+        assert result.duration > 0
+        assert result.ops > 0
+
+    def test_deterministic(self):
+        image = counter_program(workers=2, iters=20)
+        a = run_native(image, KernelSetup(), MachineConfig(cores=2))
+        b = run_native(image, KernelSetup(), MachineConfig(cores=2))
+        assert a.final_digest == b.final_digest
+        assert a.duration == b.duration
+
+
+class TestUniprocessorBaseline:
+    def test_slower_than_native_for_cpu_bound(self):
+        inst = build_workload("fft", workers=2, scale=2, seed=1)
+        machine = MachineConfig(cores=2)
+        native = run_native(inst.image, inst.setup, machine)
+        uni = record_uniprocessor(
+            build_workload("fft", workers=2, scale=2, seed=1).image,
+            inst.setup,
+            machine,
+        )
+        # W=2 CPU-bound: roughly 2x slowdown
+        assert uni.duration > native.duration * 1.5
+
+    def test_output_is_correct(self):
+        image = counter_program(workers=2, iters=30)
+        result = record_uniprocessor(image, KernelSetup(), MachineConfig(cores=2))
+        assert result.output == [60]
+
+    def test_recording_replays(self):
+        image = counter_program(workers=2, iters=30)
+        machine = MachineConfig(cores=2)
+        result = record_uniprocessor(image, KernelSetup(), machine)
+        replay = Replayer(image, machine).replay_sequential(result.recording)
+        assert replay.verified
+
+    def test_single_epoch_structure(self):
+        image = counter_program(workers=2, iters=30)
+        result = record_uniprocessor(image, KernelSetup(), MachineConfig(cores=2))
+        assert result.recording.epoch_count() == 1
+        assert result.recording.divergences() == 0
+
+
+class TestCrew:
+    def test_sharing_causes_faults(self):
+        inst = build_workload("ocean", workers=2, scale=2, seed=1)
+        crew = record_crew(inst.image, inst.setup, MachineConfig(cores=2))
+        assert crew.faults > 0
+        assert crew.log_bytes > 0
+
+    def test_crew_slower_than_native(self):
+        inst = build_workload("ocean", workers=2, scale=2, seed=1)
+        machine = MachineConfig(cores=2)
+        native = run_native(
+            build_workload("ocean", workers=2, scale=2, seed=1).image,
+            inst.setup,
+            machine,
+        )
+        crew = record_crew(inst.image, inst.setup, machine)
+        assert crew.duration > native.duration
+
+    def test_fine_grained_sharing_worse_than_partitioned(self):
+        """ocean (boundary sharing only) vs racy-counter (one hot word)."""
+        ocean = build_workload("ocean", workers=2, scale=2, seed=1)
+        hot = counter_program(workers=2, iters=200, locked=False, name="hot")
+        machine = MachineConfig(cores=2)
+        ocean_crew = record_crew(ocean.image, ocean.setup, machine)
+        hot_crew = record_crew(hot, KernelSetup(), machine)
+        hot_native = run_native(hot, KernelSetup(), machine)
+        ocean_native = run_native(
+            build_workload("ocean", workers=2, scale=2, seed=1).image,
+            ocean.setup,
+            machine,
+        )
+        hot_overhead = hot_crew.duration / hot_native.duration
+        ocean_overhead = ocean_crew.duration / ocean_native.duration
+        assert hot_overhead > ocean_overhead
+
+    def test_interceptor_state_machine(self):
+        crew = CrewInterceptor(fault_cost=10)
+        # first touch: free
+        assert crew(1, 100, True) == 0
+        # same owner: free
+        assert crew(1, 101, False) == 0
+        # reader joins: downgrade fault
+        assert crew(2, 100, False) == 10
+        # second read by same reader: free
+        assert crew(2, 100, False) == 0
+        # writer upgrades: fault
+        assert crew(2, 100, True) == 10
+        # old owner reads: fault again
+        assert crew(1, 100, False) == 10
+        assert crew.faults == 3
+
+    def test_private_pages_never_fault(self):
+        crew = CrewInterceptor(fault_cost=10)
+        for _ in range(10):
+            assert crew(1, 100, True) == 0
+            assert crew(2, 200, True) == 0
+        assert crew.faults == 0
+
+
+class TestValueLog:
+    def test_shared_reads_logged(self):
+        inst = build_workload("water", workers=2, scale=1, seed=1)
+        result = record_value_log(inst.image, inst.setup, MachineConfig(cores=2))
+        assert result.logged_reads > 0
+        assert result.log_bytes == result.logged_reads * 16
+
+    def test_private_reads_not_logged(self):
+        interceptor = ValueLogInterceptor(entry_cost=3)
+        interceptor(1, 100, True)
+        assert interceptor(1, 100, False) == 0
+        assert interceptor.logged_reads == 0
+
+    def test_cross_thread_read_logged(self):
+        interceptor = ValueLogInterceptor(entry_cost=3)
+        interceptor(1, 100, True)
+        assert interceptor(2, 100, False) == 3
+        assert interceptor.logged_reads == 1
+
+    def test_value_log_bigger_than_doubleplay_log(self):
+        from repro.core import DoublePlayConfig, DoublePlayRecorder
+
+        inst = build_workload("water", workers=2, scale=3, seed=1)
+        machine = MachineConfig(cores=2)
+        native = run_native(inst.image, inst.setup, machine)
+        value = record_value_log(
+            build_workload("water", workers=2, scale=3, seed=1).image,
+            inst.setup,
+            machine,
+        )
+        config = DoublePlayConfig(
+            machine=machine, epoch_cycles=max(native.duration // 15, 500)
+        )
+        dp = DoublePlayRecorder(inst.image, inst.setup, config).record()
+        # value logging records every shared read; DoublePlay's schedule log
+        # is orders smaller (the paper's headline log-size claim)
+        assert value.log_bytes > dp.recording.schedule_log_bytes()

@@ -1,0 +1,85 @@
+"""Regression tests for operations straddling epoch boundaries.
+
+The trickiest part of retired-op-count epoch boundaries is an op that the
+thread-parallel run *issued* (or was even granted) before the boundary but
+that retires after it: barrier arrivals (arrival counts others wait on),
+condition waits (the atomic mutex release), lock/semaphore grants held in
+flight. Each case below pins a configuration that historically stalled or
+diverged spuriously before the corresponding fix.
+"""
+
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.machine.config import MachineConfig
+from repro.oskernel.kernel import KernelSetup
+from repro.workloads import build_workload
+
+
+def record_clean(name, workers, scale, epoch_divisor=14, seed=1):
+    instance = build_workload(name, workers=workers, scale=scale, seed=seed)
+    machine = MachineConfig(cores=workers)
+    from repro.baselines import run_native
+
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // epoch_divisor, 500),
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    replayer = Replayer(instance.image, machine)
+    assert result.recording.divergences() == 0, (
+        f"{name} W={workers} scale={scale}: spurious divergence"
+    )
+    assert instance.validate(
+        result.committed_kernel(instance.setup, instance.image.heap_base)
+    )
+    assert replayer.replay_sequential(result.recording).verified
+    assert replayer.replay_parallel(result.recording).verified
+    return result
+
+
+class TestCondwaitStraddle:
+    def test_grant_pending_condwait_at_boundary(self):
+        """A consumer granted its cond-reacquire right at a boundary must
+        still *issue* the condwait in the epoch run (releasing the mutex),
+        or producers stall behind a parked lock holder. (prodcons, W=3,
+        scale=2 historically deadlocked the epoch executor.)"""
+        record_clean("prodcons", workers=3, scale=2)
+
+    def test_condvar_suite_across_configs(self):
+        for workers in (2, 4):
+            for scale in (1, 3):
+                record_clean("prodcons", workers=workers, scale=scale)
+
+
+class TestSemaphoreStraddle:
+    def test_inherited_token_does_not_eat_future_turns(self):
+        """A semaphore token granted before an epoch's capture begins must
+        not consume the thread's *next* acquisition from the hint suffix.
+        (prodcons-sem, W=3 historically stalled on exactly this.)"""
+        record_clean("prodcons-sem", workers=3, scale=3)
+
+    def test_take_drains_deferred_turns(self):
+        """A successful P() advances the order; an already-deferred thread
+        whose turn arrives must be granted from banked tokens. (W=4
+        epoch 0 historically deadlocked with all threads deferred.)"""
+        record_clean("prodcons-sem", workers=4, scale=3)
+
+
+class TestBarrierStraddle:
+    def test_grant_pending_barrier_arrivals(self):
+        """Barrier release grants held across boundaries (water exercises
+        arrivals straddling epochs heavily at short epoch lengths)."""
+        record_clean("water", workers=3, scale=2, epoch_divisor=20)
+
+    def test_fft_short_epochs(self):
+        record_clean("fft", workers=4, scale=2, epoch_divisor=24)
+
+
+class TestJoinAndIoStraddle:
+    def test_join_granted_at_boundary(self):
+        """Main's join grant straddling a boundary (fft, many epochs)."""
+        record_clean("fft", workers=3, scale=1, epoch_divisor=10)
+
+    def test_blocked_accept_across_boundaries(self):
+        """Server workers blocked in the kernel across several epochs."""
+        record_clean("apache", workers=3, scale=2, epoch_divisor=16)

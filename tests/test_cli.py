@@ -1,0 +1,114 @@
+"""Command-line interface tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_workloads(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in ("pbzip", "apache", "radix", "racy-counter"):
+            assert name in text
+
+
+class TestRun:
+    def test_runs_and_validates(self):
+        code, text = run_cli("run", "pfscan", "--scale", "2")
+        assert code == 0
+        assert "valid=True" in text
+
+    def test_worker_count_respected(self):
+        code, text = run_cli("run", "fft", "--workers", "4", "--scale", "2")
+        assert code == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "nope")
+
+
+class TestRecordReplay:
+    def test_record_reports_stats(self):
+        code, text = run_cli("record", "pbzip", "--scale", "4")
+        assert code == 0
+        assert "divergences" in text
+        assert "schedule_bytes" in text
+
+    def test_record_flags(self):
+        code, text = run_cli(
+            "record", "fft", "--scale", "2", "--no-sync-hints",
+            "--epoch-divisor", "8",
+        )
+        assert code == 0
+
+    def test_record_then_replay_round_trip(self, tmp_path):
+        path = tmp_path / "rec.json"
+        code, _ = run_cli("record", "mysql", "--scale", "4", "-o", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["workload"]["name"] == "mysql"
+
+        code, text = run_cli("replay", str(path))
+        assert code == 0
+        assert "verified" in text
+
+        code, text = run_cli("replay", str(path), "--parallel")
+        assert code == 0
+        assert "verified" in text
+
+        code, text = run_cli("replay", str(path), "--epoch", "1")
+        assert code == 0
+        assert "verified" in text
+
+    def test_racy_recording_replays_from_disk(self, tmp_path):
+        path = tmp_path / "racy.json"
+        code, text = run_cli(
+            "record", "racy-counter", "--scale", "2", "--workers", "3",
+            "-o", str(path),
+        )
+        assert code == 0
+        code, text = run_cli("replay", str(path))
+        assert code == 0
+        assert "verified" in text
+
+
+class TestExperiment:
+    def test_table1(self):
+        code, text = run_cli("experiment", "table1")
+        assert code == 0
+        assert "races" in text
+        assert "pbzip" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("experiment", "fig99")
+
+
+class TestDiagnose:
+    def test_diagnose_racy_recording(self, tmp_path):
+        path = tmp_path / "racy.json"
+        code, _ = run_cli(
+            "record", "racy-counter", "--workers", "3", "--scale", "2",
+            "-o", str(path),
+        )
+        assert code == 0
+        code, text = run_cli("diagnose", str(path))
+        assert code == 0
+        assert "epoch" in text
+
+    def test_diagnose_clean_recording(self, tmp_path):
+        path = tmp_path / "clean.json"
+        run_cli("record", "fft", "--scale", "2", "-o", str(path))
+        code, text = run_cli("diagnose", str(path))
+        assert code == 0
+        assert "nothing to diagnose" in text

@@ -1,0 +1,139 @@
+"""Timing composition: spare-core scheduling and the shared-core fluid model."""
+
+import pytest
+
+from repro.core.pipeline import (
+    EpochTiming,
+    schedule_shared_cores,
+    schedule_spare_cores,
+)
+
+
+def epochs(spans, duration_factor=2, start=0):
+    """Evenly spaced epochs: checkpoint k at start + k*span."""
+    result = []
+    t = start
+    for index, span in enumerate(spans):
+        result.append(
+            EpochTiming(
+                index=index,
+                ready_time=t,
+                boundary_time=t + span,
+                duration=span * duration_factor,
+            )
+        )
+        t += span
+    return result
+
+
+class TestSpareCores:
+    def test_single_epoch(self):
+        result = schedule_spare_cores(epochs([100]), workers=1, dispatch_cost=10)
+        commit = result.commits[0]
+        assert commit.start == 10
+        assert commit.finish == 210  # max(start+200, boundary 100)
+
+    def test_commit_waits_for_boundary(self):
+        timing = [EpochTiming(index=0, ready_time=0, boundary_time=500, duration=50)]
+        result = schedule_spare_cores(timing, workers=1, dispatch_cost=0)
+        assert result.commits[0].finish == 500
+
+    def test_pipelining_overlaps_epochs(self):
+        result = schedule_spare_cores(
+            epochs([100] * 6), workers=2, dispatch_cost=0
+        )
+        # steady state: commits spaced ~span apart, not duration apart
+        finishes = [c.finish for c in result.commits]
+        gaps = [b - a for a, b in zip(finishes, finishes[1:])]
+        assert max(gaps) <= 200
+
+    def test_makespan_is_last_commit(self):
+        result = schedule_spare_cores(epochs([100] * 4), workers=2, dispatch_cost=0)
+        assert result.makespan == max(c.finish for c in result.commits)
+
+    def test_one_worker_serialises(self):
+        result = schedule_spare_cores(epochs([100] * 4), workers=1, dispatch_cost=0)
+        finishes = [c.finish for c in result.commits]
+        assert finishes == sorted(finishes)
+        # each epoch takes 200 on the single worker: total >= 800
+        assert result.makespan >= 800
+
+    def test_throttle_stall_when_executors_lag(self):
+        # epochs take 10x their span: with 1 worker and inflight bound 1,
+        # the thread-parallel run must stall
+        result = schedule_spare_cores(
+            epochs([100] * 6, duration_factor=10),
+            workers=1,
+            dispatch_cost=0,
+            max_inflight=1,
+        )
+        assert result.throttle_stall > 0
+
+    def test_no_stall_with_ample_capacity(self):
+        result = schedule_spare_cores(
+            epochs([100] * 6, duration_factor=1), workers=4, dispatch_cost=0
+        )
+        assert result.throttle_stall == 0
+
+    def test_worker_free_carries_across_segments(self):
+        result = schedule_spare_cores(
+            epochs([100]), workers=2, dispatch_cost=0, worker_free=[1000, 1000]
+        )
+        assert result.commits[0].start >= 1000
+
+    def test_empty_epoch_list(self):
+        result = schedule_spare_cores([], workers=2, dispatch_cost=0, segment_start=50)
+        assert result.makespan == 50
+        assert result.commits == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            schedule_spare_cores([], workers=0, dispatch_cost=0)
+
+    def test_mismatched_worker_free(self):
+        with pytest.raises(ValueError):
+            schedule_spare_cores([], workers=2, dispatch_cost=0, worker_free=[0])
+
+
+class TestSharedCores:
+    def test_sharing_dilates_completion(self):
+        spare = schedule_spare_cores(epochs([100] * 4), workers=2, dispatch_cost=0)
+        shared = schedule_shared_cores(
+            epochs([100] * 4), tp_span=400, cores=2, dispatch_cost=0
+        )
+        assert shared.makespan > spare.makespan
+
+    def test_no_spare_cores_roughly_doubles(self):
+        """Running both executions on the app's cores costs ~2x."""
+        spans = [100] * 10
+        shared = schedule_shared_cores(
+            epochs(spans), tp_span=1000, cores=2, dispatch_cost=0
+        )
+        assert 1.5 * 1000 <= shared.makespan <= 3.2 * 1000
+
+    def test_all_epochs_commit(self):
+        shared = schedule_shared_cores(
+            epochs([100] * 5), tp_span=500, cores=2, dispatch_cost=0
+        )
+        assert [c.index for c in shared.commits] == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        shared = schedule_shared_cores([], tp_span=0, cores=2, dispatch_cost=0)
+        assert shared.commits == []
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            schedule_shared_cores([], tp_span=0, cores=0, dispatch_cost=0)
+
+    def test_segment_start_offsets_everything(self):
+        base = schedule_shared_cores(
+            epochs([100] * 3), tp_span=300, cores=2, dispatch_cost=0
+        )
+        offset = schedule_shared_cores(
+            epochs([100] * 3, start=5000),
+            tp_span=300,
+            cores=2,
+            dispatch_cost=0,
+            segment_start=5000,
+        )
+        assert offset.makespan >= base.makespan + 4900

@@ -1,0 +1,161 @@
+"""Recording crashing programs — replay up to the instant of the crash."""
+
+import pytest
+
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.errors import GuestFault
+from repro.isa.assembler import Assembler
+from repro.machine.config import MachineConfig
+from repro.oskernel.kernel import KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from tests.conftest import boot_multicore
+
+
+def crashing_program(work_before=60, crasher="null-deref"):
+    """Workers do useful lock-protected work; then one thread crashes."""
+    asm = Assembler(name="crash")
+    asm.word("counter", 0)
+    asm.word("mutex", 0)
+    with asm.function("worker"):
+        asm.li("r2", 0)
+        asm.label("loop")
+        asm.li("r3", "mutex")
+        asm.lock("r3")
+        asm.loadg("r4", "counter")
+        asm.addi("r4", "r4", 1)
+        asm.storeg("r4", "counter")
+        asm.unlock("r3")
+        asm.work(10)
+        asm.addi("r2", "r2", 1)
+        asm.blti("r2", work_before, "loop")
+        asm.exit_()
+    with asm.function("main"):
+        asm.spawn("r10", "worker")
+        asm.spawn("r11", "worker")
+        asm.work(400)
+        if crasher == "null-deref":
+            asm.li("r1", 0)
+            asm.load("r2", "r1", 0)       # crash: load from address 0
+        elif crasher == "div-zero":
+            asm.li("r1", 1)
+            asm.li("r2", 0)
+            asm.div("r3", "r1", "r2")     # crash: division by zero
+        asm.join("r10")
+        asm.join("r11")
+        asm.exit_()
+    return asm.assemble()
+
+
+def record(image, epoch_cycles=600):
+    config = DoublePlayConfig(machine=MachineConfig(cores=2), epoch_cycles=epoch_cycles)
+    return DoublePlayRecorder(image, KernelSetup(), config).record()
+
+
+class TestFaultBoundaries:
+    def test_unguarded_engine_still_raises(self):
+        image = crashing_program()
+        engine, _ = boot_multicore(image, MachineConfig(cores=2))
+        with pytest.raises(GuestFault):
+            engine.run()
+
+    def test_halt_on_fault_returns_status(self):
+        image = crashing_program()
+        engine, _ = boot_multicore(image, MachineConfig(cores=2))
+        engine.halt_on_fault = True
+        assert engine.run() == "faulted"
+        assert engine.fault is not None
+
+    def test_faulting_op_applied_no_effects(self):
+        """The crashing thread's retired count excludes the faulting op."""
+        image = crashing_program(crasher="div-zero")
+        engine, _ = boot_multicore(image, MachineConfig(cores=2))
+        engine.halt_on_fault = True
+        engine.run()
+        main = engine.contexts[1]
+        assert main.registers[3] == 0  # div result never written
+
+    def test_partial_syscall_buffer_faults_cleanly(self):
+        """READ into a partially unmapped buffer must move no words."""
+        from repro.oskernel.kernel import Kernel
+        from repro.memory.layout import PAGE_WORDS
+
+        asm = Assembler(name="badbuf")
+        asm.word("cell", 0)
+        with asm.function("main"):
+            asm.li("r1", 0)
+            asm.syscall("r2", SyscallKind.OPEN, args=["r1"])
+            # buffer starting on the last mapped word, spilling onto an
+            # unmapped page
+            asm.li("r3", 1)
+            asm.syscall("r4", SyscallKind.ALLOC, args=["r3"])
+            asm.li("r5", PAGE_WORDS * 2)
+            asm.syscall("r6", SyscallKind.READ, args=["r2", "r4", "r5"])
+            asm.exit_()
+        setup = KernelSetup(files={0: list(range(200))})
+        engine, kernel = boot_multicore(asm.assemble(), MachineConfig(cores=1), setup)
+        engine.halt_on_fault = True
+        assert engine.run() == "faulted"
+        # offset unmoved: the read had no effect at all
+        fd_state = kernel.fs.snapshot()[1]
+        assert all(offset == 0 for _, offset in fd_state.values())
+
+
+class TestCrashRecording:
+    def test_recording_captures_the_crash(self):
+        image = crashing_program()
+        result = record(image)
+        assert result.fault is not None
+        assert "unmapped" in result.fault
+        assert result.recording.epoch_count() >= 1
+
+    def test_crash_recording_replays_to_pre_crash_state(self):
+        image = crashing_program()
+        result = record(image)
+        replayer = Replayer(image, MachineConfig(cores=2))
+        sequential = replayer.replay_sequential(result.recording)
+        assert sequential.verified, sequential.details
+        assert replayer.replay_parallel(result.recording).verified
+
+    def test_final_epoch_time_travel_to_crash(self):
+        """Single-epoch replay of the last epoch = the crash neighbourhood."""
+        image = crashing_program()
+        result = record(image)
+        last = result.recording.epochs[-1].index
+        replayer = Replayer(image, MachineConfig(cores=2))
+        outcome = replayer.replay_epoch(result.recording, last)
+        assert outcome.verified
+
+    def test_crash_recording_is_deterministic(self):
+        image = crashing_program()
+        a = record(image)
+        b = record(image)
+        assert a.fault == b.fault
+        assert a.recording.final_digest == b.recording.final_digest
+
+    def test_racy_crasher_recovers_then_records_crash(self):
+        """Races before the crash forward-recover; the crash still records."""
+        asm = Assembler(name="racycrash")
+        asm.word("counter", 0)
+        with asm.function("worker"):
+            asm.li("r2", 0)
+            asm.label("loop")
+            asm.loadg("r4", "counter")
+            asm.work(5)
+            asm.addi("r4", "r4", 1)
+            asm.storeg("r4", "counter")
+            asm.addi("r2", "r2", 1)
+            asm.blti("r2", 60, "loop")
+            asm.exit_()
+        with asm.function("main"):
+            asm.spawn("r10", "worker")
+            asm.spawn("r11", "worker")
+            asm.join("r10")
+            asm.join("r11")
+            asm.li("r1", 0)
+            asm.load("r2", "r1", 0)   # crash after the racy phase
+            asm.exit_()
+        image = asm.assemble()
+        result = record(image, epoch_cycles=500)
+        assert result.fault is not None
+        replayer = Replayer(image, MachineConfig(cores=2))
+        assert replayer.replay_sequential(result.recording).verified

@@ -1,0 +1,133 @@
+"""Engine guards, faults and bookkeeping edge cases."""
+
+import pytest
+
+from repro.errors import GuestFault, SimulationError
+from repro.exec.services import LiveSyscalls
+from repro.isa.assembler import Assembler
+from repro.machine.config import MachineConfig
+from repro.memory.layout import PAGE_WORDS
+from repro.oskernel.syscalls import SyscallKind
+from tests.conftest import boot_multicore, run_single
+
+
+class TestGuards:
+    def test_infinite_loop_tripped_by_max_ops(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.label("forever")
+            asm.jmp("forever")
+        engine, _ = boot_multicore(
+            asm.assemble(), MachineConfig(cores=1, max_ops=5000)
+        )
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_spawn_limit_faults(self):
+        asm = Assembler()
+        with asm.function("child"):
+            asm.exit_()
+        with asm.function("main"):
+            asm.li("r2", 0)
+            asm.label("loop")
+            asm.spawn("r3", "child")
+            asm.addi("r2", "r2", 1)
+            asm.blti("r2", 1100, "loop")
+            asm.exit_()
+        engine, _ = boot_multicore(
+            asm.assemble(), MachineConfig(cores=2, max_ops=2_000_000)
+        )
+        with pytest.raises(GuestFault):
+            engine.run()
+
+    def test_join_unknown_tid_faults(self):
+        def body(a):
+            a.li("r1", 777)
+            a.join("r1")
+
+        with pytest.raises(GuestFault):
+            run_single(body)
+
+    def test_pc_past_end_raises(self):
+        from repro.errors import AssemblerError
+
+        asm = Assembler()
+        with asm.function("main"):
+            asm.nop()  # no exit: pc runs off the end
+        engine, _ = boot_multicore(asm.assemble(), MachineConfig(cores=1))
+        with pytest.raises(AssemblerError):
+            engine.run()
+
+
+class TestSyscallLogging:
+    def test_live_log_orders_by_completion(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.syscall("r1", SyscallKind.TIME, args=[])
+            asm.syscall("r2", SyscallKind.GETPID, args=[])
+            asm.exit_()
+        log = []
+        engine, _ = boot_multicore(
+            asm.assemble(), MachineConfig(cores=1), log=log
+        )
+        engine.run()
+        assert [r.kind.value for r in log] == ["time", "getpid"]
+        assert [r.seq for r in log] == [0, 1]
+
+    def test_wakeup_completion_logged_at_retirement(self):
+        """A blocking accept's record lands when the op retires."""
+        from repro.oskernel.kernel import KernelSetup
+        from repro.oskernel.net import Arrival
+
+        asm = Assembler()
+        with asm.function("main"):
+            asm.syscall("r1", SyscallKind.LISTEN, args=[])
+            asm.syscall("r2", SyscallKind.ACCEPT, args=["r1"])
+            asm.exit_()
+        log = []
+        setup = KernelSetup(arrivals=[Arrival(time=500, payload=(1,))])
+        engine, _ = boot_multicore(
+            asm.assemble(), MachineConfig(cores=1), setup, log
+        )
+        engine.run()
+        kinds = [r.kind.value for r in log]
+        assert kinds == ["listen", "accept"]
+        accept = log[-1]
+        assert accept.retval >= 1000  # a connection fd
+
+    def test_alloc_pages_do_not_overlap_data(self):
+        def body(a):
+            a.li("r1", 10)
+            a.syscall("r2", SyscallKind.ALLOC, args=["r1"])
+
+        engine, _ = run_single(body, data=[("blob", 3 * PAGE_WORDS, [])])
+        base = engine.contexts[1].registers[2]
+        assert base >= engine.program.heap_base
+
+
+class TestTidDeterminism:
+    def test_tid_function_of_parent_and_order(self):
+        asm = Assembler()
+        with asm.function("child"):
+            asm.exit_()
+        with asm.function("main"):
+            asm.spawn("r1", "child")
+            asm.spawn("r2", "child")
+            asm.join("r1")
+            asm.join("r2")
+            asm.exit_()
+        engine, _ = boot_multicore(asm.assemble(), MachineConfig(cores=2))
+        engine.run()
+        regs = engine.contexts[1].registers
+        assert regs[1] == 1 * 1024 + 1
+        assert regs[2] == 1 * 1024 + 2
+
+    def test_wake_deferred_requires_blocked(self):
+        engine, _ = run_single(lambda a: a.nop())
+        with pytest.raises(SimulationError):
+            engine.wake_deferred(1)
+
+    def test_grant_requires_blocked(self):
+        engine, _ = run_single(lambda a: a.nop())
+        with pytest.raises(SimulationError):
+            engine.grant(1, ("sync",))

@@ -1,0 +1,117 @@
+"""Syscall service personalities: live logging and injection."""
+
+import pytest
+
+from repro.errors import DivergenceSignal
+from repro.exec.services import InjectedSyscalls, LiveSyscalls
+from repro.isa.context import ThreadContext
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import PAGE_WORDS
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.syscalls import SyscallDone, SyscallKind, SyscallRecord
+
+
+def make_ctx(tid=1, syscalls=0):
+    ctx = ThreadContext(tid=tid, pc=0, registers=[0] * 8)
+    ctx.syscall_count = syscalls
+    return ctx
+
+
+def make_mem():
+    mem = AddressSpace()
+    mem.map_range(0, 4 * PAGE_WORDS)
+    return mem
+
+
+class TestLiveSyscalls:
+    def test_logs_completions_with_sequence_numbers(self):
+        kernel = Kernel(KernelSetup(), 10 * PAGE_WORDS)
+        log = []
+        services = LiveSyscalls(kernel, log)
+        mem = make_mem()
+        ctx = make_ctx()
+        services.invoke(ctx, SyscallKind.TIME, (), mem, 5)
+        ctx.syscall_count = 1
+        services.invoke(ctx, SyscallKind.GETPID, (), mem, 6)
+        assert [(r.tid, r.seq, r.kind) for r in log] == [
+            (1, 0, SyscallKind.TIME),
+            (1, 1, SyscallKind.GETPID),
+        ]
+        assert log[0].retval == 5
+
+    def test_no_log_when_disabled(self):
+        kernel = Kernel(KernelSetup(), 10 * PAGE_WORDS)
+        services = LiveSyscalls(kernel, None)
+        services.invoke(make_ctx(), SyscallKind.TIME, (), make_mem(), 0)
+        assert services.log is None  # and nothing crashed
+
+    def test_read_logs_buffer_writes(self):
+        kernel = Kernel(KernelSetup(files={0: [1, 2, 3]}), 10 * PAGE_WORDS)
+        log = []
+        services = LiveSyscalls(kernel, log)
+        mem = make_mem()
+        ctx = make_ctx()
+        fd = services.invoke(ctx, SyscallKind.OPEN, (0,), mem, 0).retval
+        ctx.syscall_count = 1
+        outcome = services.invoke(ctx, SyscallKind.READ, (fd, 8, 3), mem, 0)
+        assert outcome.writes == ((8, (1, 2, 3)),)
+        assert log[-1].writes == ((8, (1, 2, 3)),)
+        assert log[-1].transferred == 3
+
+
+class TestInjectedSyscalls:
+    def test_injects_retval_and_memory(self):
+        records = [
+            SyscallRecord(
+                tid=1, seq=0, kind=SyscallKind.READ, retval=2,
+                writes=((8, (7, 9)),), transferred=2,
+            )
+        ]
+        services = InjectedSyscalls(records)
+        mem = make_mem()
+        outcome = services.invoke(make_ctx(), SyscallKind.READ, (3, 8, 2), mem, 0)
+        assert isinstance(outcome, SyscallDone)
+        assert outcome.retval == 2
+        assert mem.read_block(8, 2) == [7, 9]
+        assert services.consumed == 1
+
+    def test_lookup_is_per_thread_sequence(self):
+        records = [
+            SyscallRecord(tid=2, seq=0, kind=SyscallKind.TIME, retval=111),
+            SyscallRecord(tid=1, seq=0, kind=SyscallKind.TIME, retval=222),
+        ]
+        services = InjectedSyscalls(records)
+        outcome = services.invoke(make_ctx(tid=1), SyscallKind.TIME, (), make_mem(), 0)
+        assert outcome.retval == 222
+
+    def test_missing_record_blocks(self):
+        from repro.oskernel.syscalls import SyscallBlock
+
+        services = InjectedSyscalls([])
+        outcome = services.invoke(make_ctx(), SyscallKind.TIME, (), make_mem(), 0)
+        assert isinstance(outcome, SyscallBlock)
+
+    def test_kind_mismatch_raises_and_calls_back(self):
+        seen = []
+        records = [SyscallRecord(tid=1, seq=0, kind=SyscallKind.RAND, retval=5)]
+        services = InjectedSyscalls(records, on_mismatch=seen.append)
+        with pytest.raises(DivergenceSignal):
+            services.invoke(make_ctx(), SyscallKind.TIME, (), make_mem(), 0)
+        assert seen and "time" in seen[0]
+
+    def test_alloc_injection_maps_pages(self):
+        base = 50 * PAGE_WORDS
+        records = [
+            SyscallRecord(tid=1, seq=0, kind=SyscallKind.ALLOC, retval=base)
+        ]
+        services = InjectedSyscalls(records)
+        mem = make_mem()
+        services.invoke(make_ctx(), SyscallKind.ALLOC, (10,), mem, 0)
+        mem.write(base + 9, 1)
+        assert mem.read(base + 9) == 1
+
+    def test_no_kernel_events(self):
+        services = InjectedSyscalls([])
+        assert services.wakeups(100, make_mem()) == []
+        assert services.signal_deliveries(100) == []
+        assert services.next_event_time() is None

@@ -1,0 +1,50 @@
+"""The full-contract matrix: every workload × worker counts.
+
+For each configuration: the committed recording validates against the
+workload's own oracle, race-free recordings never diverge, and both
+replay strategies verify. This is the repository's strongest single
+integration statement, kept fast with small scales.
+"""
+
+import pytest
+
+from repro.baselines import run_native
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.machine.config import MachineConfig
+from repro.workloads import WORKLOADS, build_workload, workload_names
+
+CONFIGS = [(name, workers) for name in workload_names() for workers in (2, 3)]
+
+
+@pytest.mark.parametrize("name,workers", CONFIGS)
+def test_record_validate_replay(name, workers):
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    recording = result.recording
+
+    # 1. the committed execution produces a correct program result
+    kernel = result.committed_kernel(instance.setup, instance.image.heap_base)
+    assert instance.validate(kernel), f"{name} committed output invalid"
+
+    # 2. race-free workloads never diverge under sync hints
+    if not WORKLOADS[name].racy:
+        assert recording.divergences() == 0, f"{name} diverged spuriously"
+
+    # 3. divergences and recoveries always balance
+    assert recording.divergences() == result.stats["recoveries"]
+
+    # 4. both replay strategies reproduce the committed states exactly
+    replayer = Replayer(instance.image, machine)
+    sequential = replayer.replay_sequential(recording)
+    assert sequential.verified, f"{name}: {sequential.details}"
+    parallel = replayer.replay_parallel(recording)
+    assert parallel.verified, f"{name}: {parallel.details}"
+
+    # 5. recording is never free: makespan at least the app's own time
+    assert result.makespan >= result.app_time - result.stats["checkpoint_cost"]

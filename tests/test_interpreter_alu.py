@@ -1,0 +1,236 @@
+"""ALU / control-flow semantics, exercised through real engine runs."""
+
+import pytest
+
+from repro.errors import GuestFault
+from repro.memory.layout import wrap_word
+from tests.conftest import main_registers, run_single
+
+
+def run_body(body):
+    engine, _ = run_single(body)
+    return main_registers(engine)
+
+
+class TestArithmetic:
+    def test_li_mov(self):
+        regs = run_body(lambda a: (a.li("r1", 42), a.mov("r2", "r1")))
+        assert regs[1] == 42
+        assert regs[2] == 42
+
+    def test_add_sub(self):
+        def body(a):
+            a.li("r1", 10)
+            a.li("r2", 3)
+            a.add("r3", "r1", "r2")
+            a.sub("r4", "r1", "r2")
+
+        regs = run_body(body)
+        assert regs[3] == 13
+        assert regs[4] == 7
+
+    def test_mul_div_mod(self):
+        def body(a):
+            a.li("r1", 17)
+            a.li("r2", 5)
+            a.mul("r3", "r1", "r2")
+            a.div("r4", "r1", "r2")
+            a.mod("r5", "r1", "r2")
+
+        regs = run_body(body)
+        assert regs[3] == 85
+        assert regs[4] == 3
+        assert regs[5] == 2
+
+    def test_division_by_zero_faults(self):
+        def body(a):
+            a.li("r1", 1)
+            a.li("r2", 0)
+            a.div("r3", "r1", "r2")
+
+        with pytest.raises(GuestFault):
+            run_single(body)
+
+    def test_mod_by_zero_faults(self):
+        def body(a):
+            a.li("r1", 1)
+            a.li("r2", 0)
+            a.mod("r3", "r1", "r2")
+
+        with pytest.raises(GuestFault):
+            run_single(body)
+
+    def test_bitwise(self):
+        def body(a):
+            a.li("r1", 0b1100)
+            a.li("r2", 0b1010)
+            a.and_("r3", "r1", "r2")
+            a.or_("r4", "r1", "r2")
+            a.xor("r5", "r1", "r2")
+
+        regs = run_body(body)
+        assert regs[3] == 0b1000
+        assert regs[4] == 0b1110
+        assert regs[5] == 0b0110
+
+    def test_immediates(self):
+        def body(a):
+            a.li("r1", 7)
+            a.addi("r2", "r1", -3)
+            a.muli("r3", "r1", 6)
+            a.shli("r4", "r1", 2)
+            a.shri("r5", "r1", 1)
+
+        regs = run_body(body)
+        assert regs[2] == 4
+        assert regs[3] == 42
+        assert regs[4] == 28
+        assert regs[5] == 3
+
+    def test_comparisons(self):
+        def body(a):
+            a.li("r1", 4)
+            a.li("r2", 9)
+            a.slt("r3", "r1", "r2")
+            a.slt("r4", "r2", "r1")
+            a.slti("r5", "r1", 5)
+            a.seq("r6", "r1", "r1")
+            a.seqi("r7", "r1", 4)
+            a.seqi("r8", "r1", 5)
+
+        regs = run_body(body)
+        assert regs[3:9] == [1, 0, 1, 1, 1, 0]
+
+    def test_overflow_wraps_to_64_bits(self):
+        def body(a):
+            a.li("r1", (1 << 62))
+            a.li("r2", (1 << 62))
+            a.add("r3", "r1", "r2")
+            a.mul("r4", "r1", "r2")
+
+        regs = run_body(body)
+        assert regs[3] == wrap_word((1 << 62) * 2)
+        assert regs[4] == wrap_word((1 << 62) ** 2)
+
+    def test_tid_of_main_is_one(self):
+        regs = run_body(lambda a: a.tid("r1"))
+        assert regs[1] == 1
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        def body(a):
+            a.li("r1", 5)
+            a.beqi("r1", 5, "taken")
+            a.li("r2", 111)  # skipped
+            a.label("taken")
+            a.bnei("r1", 5, "nottaken")
+            a.li("r3", 222)  # executed
+            a.label("nottaken")
+
+        regs = run_body(body)
+        assert regs[2] == 0
+        assert regs[3] == 222
+
+    def test_loop_via_blti(self):
+        def body(a):
+            a.li("r1", 0)
+            a.label("loop")
+            a.addi("r1", "r1", 1)
+            a.blti("r1", 10, "loop")
+
+        assert run_body(body)[1] == 10
+
+    def test_register_branches(self):
+        def body(a):
+            a.li("r1", 2)
+            a.li("r2", 2)
+            a.li("r3", 3)
+            a.beq("r1", "r2", "eq")
+            a.li("r4", 1)
+            a.label("eq")
+            a.blt("r1", "r3", "lt")
+            a.li("r5", 1)
+            a.label("lt")
+            a.bge("r3", "r1", "ge")
+            a.li("r6", 1)
+            a.label("ge")
+            a.bne("r1", "r3", "ne")
+            a.li("r7", 1)
+            a.label("ne")
+
+        regs = run_body(body)
+        assert regs[4] == 0 and regs[5] == 0 and regs[6] == 0 and regs[7] == 0
+
+    def test_call_and_ret(self):
+        from repro.isa.assembler import Assembler
+        from tests.conftest import boot_multicore
+        from repro.machine import MachineConfig
+
+        asm = Assembler()
+        with asm.function("double"):
+            asm.muli("r1", "r1", 2)
+            asm.ret()
+        with asm.function("main"):
+            asm.li("r1", 21)
+            asm.call("double")
+            asm.exit_()
+        engine, _ = boot_multicore(asm.assemble(), MachineConfig(cores=1))
+        engine.run()
+        assert engine.contexts[1].registers[1] == 42
+        assert engine.contexts[1].call_stack == []
+
+    def test_ret_without_call_faults(self):
+        with pytest.raises(GuestFault):
+            run_single(lambda a: a.ret())
+
+    def test_nested_calls(self):
+        from repro.isa.assembler import Assembler
+        from tests.conftest import boot_multicore
+        from repro.machine import MachineConfig
+
+        asm = Assembler()
+        with asm.function("inc"):
+            asm.addi("r1", "r1", 1)
+            asm.ret()
+        with asm.function("inc2"):
+            asm.call("inc")
+            asm.call("inc")
+            asm.ret()
+        with asm.function("main"):
+            asm.li("r1", 0)
+            asm.call("inc2")
+            asm.call("inc2")
+            asm.exit_()
+        engine, _ = boot_multicore(asm.assemble(), MachineConfig(cores=1))
+        engine.run()
+        assert engine.contexts[1].registers[1] == 4
+
+
+class TestCosts:
+    def test_work_consumes_exact_cycles(self):
+        engine_small, _ = run_single(lambda a: a.work(10))
+        engine_big, _ = run_single(lambda a: a.work(510))
+        assert engine_big.time - engine_small.time == 500
+
+    def test_workr_uses_register(self):
+        def body(a):
+            a.li("r1", 300)
+            a.workr("r1")
+
+        engine, _ = run_single(body)
+        engine0, _ = run_single(lambda a: (a.li("r1", 300), a.workr("r1"), a.workr("r1")))
+        assert engine0.time - engine.time == 300
+
+    def test_workr_minimum_one_cycle(self):
+        def body(a):
+            a.li("r1", -5)
+            a.workr("r1")
+
+        engine, _ = run_single(body)  # must terminate, cost >= 1
+        assert engine.time > 0
+
+    def test_retired_counts_instructions(self):
+        engine, _ = run_single(lambda a: (a.nop(), a.nop(), a.nop()))
+        # 3 nops + exit
+        assert engine.contexts[1].retired == 4

@@ -1,0 +1,136 @@
+"""Memory and atomic instruction semantics."""
+
+import pytest
+
+from repro.errors import GuestFault
+from tests.conftest import main_registers, run_single
+
+
+class TestLoadStore:
+    def test_global_store_load(self):
+        def body(a):
+            a.li("r1", 77)
+            a.storeg("r1", "cell")
+            a.loadg("r2", "cell")
+
+        engine, _ = run_single(body, data=[("cell", 1, [0])])
+        assert main_registers(engine)[2] == 77
+
+    def test_indexed_load_store(self):
+        def body(a):
+            a.li("r1", "arr")
+            a.li("r2", 5)
+            a.store("r2", "r1", 2)
+            a.load("r3", "r1", 2)
+            a.load("r4", "r1", 0)
+
+        engine, _ = run_single(body, data=[("arr", 4, [9, 9, 9, 9])])
+        regs = main_registers(engine)
+        assert regs[3] == 5
+        assert regs[4] == 9
+
+    def test_initial_data_visible(self):
+        def body(a):
+            a.loadg("r1", "init")
+
+        engine, _ = run_single(body, data=[("init", 1, [123])])
+        assert main_registers(engine)[1] == 123
+
+    def test_null_load_faults(self):
+        def body(a):
+            a.li("r1", 0)
+            a.load("r2", "r1", 0)
+
+        with pytest.raises(GuestFault):
+            run_single(body)
+
+    def test_wild_store_faults(self):
+        def body(a):
+            a.li("r1", 1 << 40)
+            a.store("r1", "r1", 0)
+
+        with pytest.raises(GuestFault):
+            run_single(body)
+
+
+class TestAtomics:
+    def test_fetchadd_returns_old_value(self):
+        def body(a):
+            a.li("r1", "cell")
+            a.li("r2", 5)
+            a.fetchadd("r3", "r1", 0, "r2")
+            a.loadg("r4", "cell")
+
+        engine, _ = run_single(body, data=[("cell", 1, [10])])
+        regs = main_registers(engine)
+        assert regs[3] == 10
+        assert regs[4] == 15
+
+    def test_cas_success(self):
+        def body(a):
+            a.li("r1", "cell")
+            a.li("r2", 10)   # expected
+            a.li("r3", 99)   # new
+            a.cas("r4", "r1", 0, "r2", "r3")
+            a.loadg("r5", "cell")
+
+        engine, _ = run_single(body, data=[("cell", 1, [10])])
+        regs = main_registers(engine)
+        assert regs[4] == 1
+        assert regs[5] == 99
+
+    def test_cas_failure_leaves_memory(self):
+        def body(a):
+            a.li("r1", "cell")
+            a.li("r2", 11)   # wrong expectation
+            a.li("r3", 99)
+            a.cas("r4", "r1", 0, "r2", "r3")
+            a.loadg("r5", "cell")
+
+        engine, _ = run_single(body, data=[("cell", 1, [10])])
+        regs = main_registers(engine)
+        assert regs[4] == 0
+        assert regs[5] == 10
+
+    def test_xchg(self):
+        def body(a):
+            a.li("r1", "cell")
+            a.li("r2", 7)
+            a.xchg("r3", "r1", 0, "r2")
+            a.loadg("r4", "cell")
+
+        engine, _ = run_single(body, data=[("cell", 1, [3])])
+        regs = main_registers(engine)
+        assert regs[3] == 3
+        assert regs[4] == 7
+
+    def test_atomic_increments_never_lost(self):
+        """FETCHADD from many threads always sums exactly."""
+        from repro.isa.assembler import Assembler
+        from repro.machine import MachineConfig
+        from tests.conftest import boot_multicore
+
+        asm = Assembler()
+        asm.word("total", 0)
+        with asm.function("worker"):
+            asm.li("r2", 0)
+            asm.li("r3", "total")
+            asm.li("r4", 1)
+            asm.label("loop")
+            asm.fetchadd("r5", "r3", 0, "r4")
+            asm.addi("r2", "r2", 1)
+            asm.blti("r2", 25, "loop")
+            asm.exit_()
+        with asm.function("main"):
+            asm.spawn("r10", "worker")
+            asm.spawn("r11", "worker")
+            asm.spawn("r12", "worker")
+            asm.join("r10")
+            asm.join("r11")
+            asm.join("r12")
+            asm.loadg("r1", "total")
+            asm.exit_()
+        image = asm.assemble()
+        engine, _ = boot_multicore(image, MachineConfig(cores=3))
+        engine.run()
+        assert engine.contexts[1].registers[1] == 75

@@ -1,0 +1,213 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import Assembler
+from repro.isa.instructions import Op
+from repro.memory.layout import DATA_BASE, PAGE_WORDS
+
+
+def trivial():
+    asm = Assembler()
+    with asm.function("main"):
+        asm.exit_()
+    return asm
+
+
+class TestDataSegment:
+    def test_word_allocates_sequentially(self):
+        asm = trivial()
+        first = asm.word("a", 1)
+        second = asm.word("b", 2)
+        assert first == DATA_BASE
+        assert second == DATA_BASE + 1
+
+    def test_array_with_values_and_fill(self):
+        asm = trivial()
+        base = asm.array("arr", 4, fill=9, values=[1, 2])
+        image = asm.assemble()
+        assert [image.data[base + i] for i in range(4)] == [1, 2, 9, 9]
+
+    def test_duplicate_symbol_rejected(self):
+        asm = trivial()
+        asm.word("x")
+        with pytest.raises(AssemblerError):
+            asm.word("x")
+
+    def test_zero_length_array_rejected(self):
+        with pytest.raises(AssemblerError):
+            trivial().array("z", 0)
+
+    def test_too_many_values_rejected(self):
+        with pytest.raises(AssemblerError):
+            trivial().array("z", 1, values=[1, 2])
+
+    def test_page_aligned_array(self):
+        asm = trivial()
+        asm.word("pad")
+        base = asm.page_aligned_array("big", 3, values=[5])
+        assert base % PAGE_WORDS == 0
+        assert asm.assemble().data[base] == 5
+
+    def test_address_of(self):
+        asm = trivial()
+        base = asm.word("here")
+        assert asm.address_of("here") == base
+
+    def test_address_of_unknown_raises(self):
+        with pytest.raises(AssemblerError):
+            trivial().address_of("nope")
+
+    def test_heap_base_past_data(self):
+        asm = trivial()
+        asm.array("arr", 100)
+        image = asm.assemble()
+        assert image.heap_base > asm.address_of("arr") + 99
+        assert image.heap_base % PAGE_WORDS == 0
+
+
+class TestLabels:
+    def test_forward_reference_resolves(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.jmp("end")
+            asm.nop()
+            asm.label("end")
+            asm.exit_()
+        image = asm.assemble()
+        assert image.code[0].op is Op.JMP
+        assert image.code[0].a == 2
+
+    def test_labels_are_function_local(self):
+        asm = Assembler()
+        with asm.function("f"):
+            asm.label("spot")
+            asm.jmp("spot")
+            asm.exit_()
+        with asm.function("main"):
+            asm.label("spot")
+            asm.jmp("spot")
+            asm.exit_()
+        image = asm.assemble()
+        # each jmp targets its own function's label
+        assert image.code[0].a == 0
+        assert image.code[2].a == 2
+
+    def test_function_names_visible_everywhere(self):
+        asm = Assembler()
+        with asm.function("helper"):
+            asm.ret()
+        with asm.function("main"):
+            asm.call("helper")
+            asm.exit_()
+        assert asm.assemble().code[1].a == 0
+
+    def test_unknown_label_raises_at_assemble(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.jmp("nowhere")
+            asm.exit_()
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.label("dup")
+            with pytest.raises(AssemblerError):
+                asm.label("dup")
+
+    def test_nested_function_rejected(self):
+        asm = Assembler()
+        with asm.function("main"):
+            with pytest.raises(AssemblerError):
+                with asm.function("inner"):
+                    pass
+            asm.exit_()
+
+    def test_missing_entry_rejected(self):
+        asm = Assembler()
+        with asm.function("notmain"):
+            asm.exit_()
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_custom_entry(self):
+        asm = Assembler()
+        with asm.function("start"):
+            asm.exit_()
+        image = asm.assemble(entry="start")
+        assert image.entry == 0
+
+
+class TestOperands:
+    def test_register_names_and_indices(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.li("r3", 1)
+            asm.li(4, 2)
+            asm.exit_()
+        image = asm.assemble()
+        assert image.code[0].a == 3
+        assert image.code[1].a == 4
+
+    def test_register_out_of_range(self):
+        asm = Assembler(registers=8)
+        with asm.function("main"):
+            with pytest.raises(AssemblerError):
+                asm.li("r8", 0)
+            asm.exit_()
+
+    def test_bad_register_name(self):
+        asm = Assembler()
+        with asm.function("main"):
+            with pytest.raises(AssemblerError):
+                asm.li("x1", 0)
+            asm.exit_()
+
+    def test_symbol_as_immediate(self):
+        asm = Assembler()
+        base = asm.word("target", 0)
+        with asm.function("main"):
+            asm.li("r1", "target")
+            asm.loadg("r2", "target")
+            asm.exit_()
+        image = asm.assemble()
+        assert image.code[0].b == base
+        assert image.code[1].b == base
+
+    def test_unknown_symbol_immediate_raises(self):
+        asm = Assembler()
+        with asm.function("main"):
+            asm.li("r1", "ghost")
+            asm.exit_()
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_spawn_arg_limit(self):
+        asm = Assembler()
+        with asm.function("main"):
+            with pytest.raises(AssemblerError):
+                asm.spawn("r1", "main", args=["r1"] * 5)
+            asm.exit_()
+
+    def test_syscall_arg_limit(self):
+        from repro.oskernel.syscalls import SyscallKind
+
+        asm = Assembler()
+        with asm.function("main"):
+            with pytest.raises(AssemblerError):
+                asm.syscall("r1", SyscallKind.TIME, args=["r1"] * 4)
+            asm.exit_()
+
+    def test_work_must_be_positive(self):
+        asm = Assembler()
+        with asm.function("main"):
+            with pytest.raises(AssemblerError):
+                asm.work(0)
+            asm.exit_()
+
+    def test_too_few_registers_rejected(self):
+        with pytest.raises(AssemblerError):
+            Assembler(registers=2)

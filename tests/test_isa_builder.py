@@ -1,0 +1,257 @@
+"""Structured guest-code builder tests (semantics via real runs)."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import Assembler
+from repro.isa.builder import GuestBuilder
+from repro.machine.config import MachineConfig
+from repro.memory.layout import wrap_word
+from tests.conftest import boot_multicore
+
+
+def run_main(emit, data=()):
+    asm = Assembler(name="builder-test")
+    for symbol, length, values in data:
+        asm.array(symbol, length, values=values)
+    build = GuestBuilder(asm)
+    with asm.function("main"):
+        emit(asm, build)
+        asm.exit_()
+    engine, kernel = boot_multicore(asm.assemble(), MachineConfig(cores=1))
+    engine.run()
+    return engine.contexts[1].registers, kernel
+
+
+class TestControlFlow:
+    def test_for_range_counts(self):
+        def emit(asm, build):
+            with build.scope() as s:
+                total = s.reg(0)
+                i = s.reg()
+                with build.for_range(i, 0, 10):
+                    asm.addi(total, total, 2)
+                asm.mov("r1", total)
+
+        regs, _ = run_main(emit)
+        assert regs[1] == 20
+
+    def test_for_range_register_bound(self):
+        def emit(asm, build):
+            with build.scope() as s:
+                bound = s.reg(7)
+                total = s.reg(0)
+                i = s.reg()
+                with build.for_range(i, 2, bound):
+                    asm.addi(total, total, 1)
+                asm.mov("r1", total)
+
+        regs, _ = run_main(emit)
+        assert regs[1] == 5
+
+    def test_nested_for_ranges(self):
+        def emit(asm, build):
+            with build.scope() as s:
+                total = s.reg(0)
+                i = s.reg()
+                j = s.reg()
+                with build.for_range(i, 0, 4):
+                    with build.for_range(j, 0, 3):
+                        asm.addi(total, total, 1)
+                asm.mov("r1", total)
+
+        regs, _ = run_main(emit)
+        assert regs[1] == 12
+
+    def test_while_true_with_break(self):
+        def emit(asm, build):
+            with build.scope() as s:
+                n = s.reg(0)
+                with build.while_true() as loop:
+                    asm.addi(n, n, 1)
+                    loop.break_if_ge(n, 6)
+                asm.mov("r1", n)
+
+        regs, _ = run_main(emit)
+        assert regs[1] == 6
+
+    def test_if_branches(self):
+        def emit(asm, build):
+            with build.scope() as s:
+                x = s.reg(5)
+                with build.if_zero(x):
+                    asm.li("r1", 111)
+                with build.if_nonzero(x):
+                    asm.li("r2", 222)
+                with build.if_ge(x, 5):
+                    asm.li("r3", 333)
+                with build.if_lt(x, 5):
+                    asm.li("r1", 444)
+
+        regs, _ = run_main(emit)
+        assert regs[1] == 0
+        assert regs[2] == 222
+        assert regs[3] == 333
+
+
+class TestRegisterScopes:
+    def test_registers_recycled_across_scopes(self):
+        asm = Assembler()
+        build = GuestBuilder(asm)
+        with build.scope() as s:
+            first = s.reg()
+        with build.scope() as s:
+            second = s.reg()
+        assert first == second  # reclaimed and reissued
+
+    def test_pool_exhaustion_raises(self):
+        asm = Assembler()
+        build = GuestBuilder(asm)
+        with pytest.raises(AssemblerError):
+            with build.scope() as s:
+                for _ in range(100):
+                    s.reg()
+
+    def test_release_foreign_register_rejected(self):
+        asm = Assembler()
+        build = GuestBuilder(asm)
+        with build.scope() as s:
+            with pytest.raises(AssemblerError):
+                s.release("r9")
+
+
+class TestIdioms:
+    def test_checksum_array_matches_python(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+
+        def emit(asm, build):
+            build.checksum_array("r1", "data", len(values))
+
+        regs, _ = run_main(emit, data=[("data", len(values), values)])
+        expected = 0
+        for value in values:
+            expected = wrap_word(expected * 31 + value)
+        assert regs[1] == expected
+
+    def test_print_reg(self):
+        def emit(asm, build):
+            asm.li("r1", 99)
+            build.print_reg("r1")
+
+        _, kernel = run_main(emit)
+        assert kernel.output == [99]
+
+    def test_atomic_add(self):
+        def emit(asm, build):
+            asm.li("r1", 5)
+            build.atomic_add("cell", "r1")
+            build.atomic_add("cell", "r1")
+            asm.loadg("r2", "cell")
+
+        regs, _ = run_main(emit, data=[("cell", 1, [100])])
+        assert regs[2] == 110
+
+    def test_critical_section_end_to_end(self):
+        """Two workers under build.critical never lose increments."""
+        asm = Assembler(name="crit")
+        asm.word("mutex", 0)
+        asm.word("total", 0)
+        build = GuestBuilder(asm)
+        with asm.function("worker"):
+            with build.scope() as s:
+                i = s.reg()
+                with build.for_range(i, 0, 30):
+                    with build.critical("mutex"):
+                        tmp = s.reg()
+                        asm.loadg(tmp, "total")
+                        asm.work(3)
+                        asm.addi(tmp, tmp, 1)
+                        asm.storeg(tmp, "total")
+                        s.release(tmp)
+            asm.exit_()
+        with asm.function("main"):
+            asm.spawn("r20", "worker")
+            asm.spawn("r21", "worker")
+            asm.join("r20")
+            asm.join("r21")
+            asm.loadg("r1", "total")
+            build.print_reg("r1")
+            asm.exit_()
+        engine, kernel = boot_multicore(asm.assemble(), MachineConfig(cores=2))
+        engine.run()
+        assert kernel.output == [60]
+
+    def test_barrier_idiom_end_to_end(self):
+        asm = Assembler(name="bar")
+        asm.word("barrier", 0)
+        asm.array("cells", 2)
+        build = GuestBuilder(asm)
+        with asm.function("worker"):
+            # r0 = index: write my cell, barrier, read the other
+            with build.scope() as s:
+                addr = s.reg()
+                asm.li(addr, "cells")
+                asm.add(addr, addr, "r0")
+                val = s.reg()
+                asm.addi(val, "r0", 10)
+                asm.store(val, addr, 0)
+                build.barrier("barrier", 2)
+                other = s.reg(1)
+                asm.sub(other, other, "r0")
+                asm.li(addr, "cells")
+                asm.add(addr, addr, other)
+                asm.load(val, addr, 0)
+                build.atomic_add("cells", val)  # fold into cell 0
+            asm.exit_()
+        with asm.function("main"):
+            asm.li("r1", 0)
+            asm.spawn("r20", "worker", args=["r1"])
+            asm.li("r1", 1)
+            asm.spawn("r21", "worker", args=["r1"])
+            asm.join("r20")
+            asm.join("r21")
+            asm.exit_()
+        engine, _ = boot_multicore(asm.assemble(), MachineConfig(cores=2))
+        engine.run()
+
+
+class TestBuilderRecordReplay:
+    def test_builder_program_records_and_replays(self):
+        """Programs written with the builder pass the full pipeline."""
+        from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+        from repro.oskernel.kernel import KernelSetup
+
+        asm = Assembler(name="builderdp")
+        asm.word("mutex", 0)
+        asm.word("total", 0)
+        build = GuestBuilder(asm)
+        with asm.function("worker"):
+            with build.scope() as s:
+                i = s.reg()
+                with build.for_range(i, 0, 40):
+                    with build.critical("mutex"):
+                        tmp = s.reg()
+                        asm.loadg(tmp, "total")
+                        asm.addi(tmp, tmp, 1)
+                        asm.storeg(tmp, "total")
+                        s.release(tmp)
+                    asm.work(8)
+            asm.exit_()
+        with asm.function("main"):
+            asm.spawn("r20", "worker")
+            asm.spawn("r21", "worker")
+            asm.join("r20")
+            asm.join("r21")
+            asm.loadg("r1", "total")
+            build.print_reg("r1")
+            asm.exit_()
+        image = asm.assemble()
+        machine = MachineConfig(cores=2)
+        config = DoublePlayConfig(machine=machine, epoch_cycles=900)
+        result = DoublePlayRecorder(image, KernelSetup(), config).record()
+        assert result.recording.divergences() == 0
+        kernel = result.committed_kernel(KernelSetup(), image.heap_base)
+        assert kernel.output == [80]
+        replayer = Replayer(image, machine)
+        assert replayer.replay_sequential(result.recording).verified
+        assert replayer.replay_parallel(result.recording).verified

@@ -1,0 +1,87 @@
+"""Unit tests for thread contexts."""
+
+from repro.isa.context import BlockedReason, ThreadContext, ThreadStatus
+
+
+def make_ctx(**overrides):
+    defaults = dict(tid=1, pc=0, registers=[0] * 8)
+    defaults.update(overrides)
+    return ThreadContext(**defaults)
+
+
+class TestCopy:
+    def test_copy_is_deep_for_registers(self):
+        ctx = make_ctx()
+        dup = ctx.copy()
+        dup.registers[0] = 99
+        assert ctx.registers[0] == 0
+
+    def test_copy_is_deep_for_call_stack(self):
+        ctx = make_ctx()
+        ctx.call_stack.append(5)
+        dup = ctx.copy()
+        dup.call_stack.append(6)
+        assert ctx.call_stack == [5]
+
+    def test_copy_preserves_all_fields(self):
+        ctx = make_ctx(
+            pc=7,
+            status=ThreadStatus.BLOCKED,
+            retired=42,
+            blocked=BlockedReason("lock", (5,)),
+            spawn_count=2,
+            syscall_count=3,
+            parent=9,
+            pending_grant=("sync",),
+        )
+        dup = ctx.copy()
+        assert dup.state_tuple() == ctx.state_tuple()
+        assert dup.blocked == ctx.blocked
+        assert dup.pending_grant == ctx.pending_grant
+        assert dup.parent == 9
+
+
+class TestStateTuple:
+    def test_scheduling_status_normalised(self):
+        """READY/RUNNING/PARKED/BLOCKED all compare as live."""
+        base = make_ctx(status=ThreadStatus.READY)
+        for status in (ThreadStatus.RUNNING, ThreadStatus.PARKED, ThreadStatus.BLOCKED):
+            other = make_ctx(status=status)
+            assert base.state_tuple() == other.state_tuple()
+
+    def test_exited_is_distinct(self):
+        live = make_ctx()
+        dead = make_ctx(status=ThreadStatus.EXITED)
+        assert live.state_tuple() != dead.state_tuple()
+
+    def test_blocked_reason_excluded(self):
+        a = make_ctx(status=ThreadStatus.BLOCKED, blocked=BlockedReason("lock", (1,)))
+        b = make_ctx(status=ThreadStatus.READY)
+        assert a.state_tuple() == b.state_tuple()
+
+    def test_pending_grant_excluded(self):
+        a = make_ctx(pending_grant=("sync",))
+        b = make_ctx()
+        assert a.state_tuple() == b.state_tuple()
+
+    def test_registers_matter(self):
+        a = make_ctx()
+        b = make_ctx(registers=[1] + [0] * 7)
+        assert a.state_tuple() != b.state_tuple()
+
+    def test_retired_matters(self):
+        assert make_ctx(retired=1).state_tuple() != make_ctx().state_tuple()
+
+    def test_pc_matters(self):
+        assert make_ctx(pc=1).state_tuple() != make_ctx().state_tuple()
+
+    def test_counters_matter(self):
+        assert make_ctx(spawn_count=1).state_tuple() != make_ctx().state_tuple()
+        assert make_ctx(syscall_count=1).state_tuple() != make_ctx().state_tuple()
+
+    def test_is_runnable(self):
+        assert make_ctx(status=ThreadStatus.READY).is_runnable()
+        assert make_ctx(status=ThreadStatus.RUNNING).is_runnable()
+        assert not make_ctx(status=ThreadStatus.BLOCKED).is_runnable()
+        assert not make_ctx(status=ThreadStatus.EXITED).is_runnable()
+        assert not make_ctx(status=ThreadStatus.PARKED).is_runnable()

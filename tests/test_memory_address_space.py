@@ -1,0 +1,221 @@
+"""Unit and property tests for paged memory and copy-on-write snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GuestFault
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import PAGE_WORDS, page_of
+
+
+def make_space(words=None):
+    space = AddressSpace()
+    space.map_range(0, 4 * PAGE_WORDS)
+    for addr, value in (words or {}).items():
+        space.write(addr, value)
+    return space
+
+
+class TestBasicAccess:
+    def test_read_written_value(self):
+        space = make_space()
+        space.write(10, 99)
+        assert space.read(10) == 99
+
+    def test_unwritten_words_are_zero(self):
+        assert make_space().read(3) == 0
+
+    def test_unmapped_read_faults(self):
+        space = make_space()
+        with pytest.raises(GuestFault):
+            space.read(100 * PAGE_WORDS)
+
+    def test_unmapped_write_faults(self):
+        space = make_space()
+        with pytest.raises(GuestFault):
+            space.write(100 * PAGE_WORDS, 1)
+
+    def test_from_data_maps_and_initialises(self):
+        space = AddressSpace.from_data({70: 7, 130: 13})
+        assert space.read(70) == 7
+        assert space.read(130) == 13
+        assert not space.dirty  # initialisation is not "dirtying"
+
+    def test_block_round_trip(self):
+        space = make_space()
+        space.write_block(8, [1, 2, 3])
+        assert space.read_block(8, 3) == [1, 2, 3]
+
+    def test_map_range_spans_pages(self):
+        space = AddressSpace()
+        space.map_range(PAGE_WORDS - 1, 2)
+        assert space.is_mapped(PAGE_WORDS - 1)
+        assert space.is_mapped(PAGE_WORDS)
+
+
+class TestCopyOnWrite:
+    def test_snapshot_preserves_old_values(self):
+        space = make_space({5: 50})
+        snap = space.snapshot()
+        space.write(5, 51)
+        assert snap.read(5) == 50
+        assert space.read(5) == 51
+
+    def test_write_after_snapshot_copies_once_per_page(self):
+        space = make_space()
+        space.snapshot()
+        space.write(0, 1)
+        space.write(1, 2)  # same page: no second copy
+        assert space.cow_copies == 1
+        space.write(PAGE_WORDS, 3)  # different page
+        assert space.cow_copies == 2
+
+    def test_no_copy_without_snapshot(self):
+        space = make_space()
+        space.write(0, 1)
+        assert space.cow_copies == 0
+
+    def test_released_snapshot_stops_causing_copies(self):
+        space = make_space()
+        snap = space.snapshot()
+        snap.release()
+        space.write(0, 1)
+        assert space.cow_copies == 0
+
+    def test_release_is_idempotent(self):
+        space = make_space()
+        snap = space.snapshot()
+        snap.release()
+        snap.release()
+        space.write(0, 1)
+        assert space.cow_copies == 0
+
+    def test_from_snapshot_view_is_isolated_both_ways(self):
+        space = make_space({3: 30})
+        snap = space.snapshot()
+        view = AddressSpace.from_snapshot(snap)
+        view.write(3, 99)
+        space.write(4, 44)
+        assert space.read(3) == 30
+        assert view.read(3) == 99
+        assert view.read(4) == 0
+
+    def test_two_views_of_one_snapshot_are_isolated(self):
+        space = make_space()
+        snap = space.snapshot()
+        a = AddressSpace.from_snapshot(snap)
+        b = AddressSpace.from_snapshot(snap)
+        a.write(0, 1)
+        b.write(0, 2)
+        assert a.read(0) == 1
+        assert b.read(0) == 2
+        assert snap.read(0) == 0
+
+    def test_dirty_tracking_reset_by_snapshot(self):
+        space = make_space()
+        space.write(0, 1)
+        assert page_of(0) in space.dirty
+        space.snapshot()
+        assert not space.dirty
+
+    def test_take_dirty_clears(self):
+        space = make_space()
+        space.write(PAGE_WORDS + 1, 5)
+        dirty = space.take_dirty()
+        assert dirty == {1}
+        assert not space.dirty
+
+
+class TestComparison:
+    def test_same_content_on_identical_spaces(self):
+        a = make_space({1: 10, 64: 9})
+        b = make_space({1: 10, 64: 9})
+        assert a.same_content(b)
+        assert a.content_hash() == b.content_hash()
+
+    def test_different_values_detected(self):
+        a = make_space({1: 10})
+        b = make_space({1: 11})
+        assert not a.same_content(b)
+        assert a.content_hash() != b.content_hash()
+
+    def test_different_mappings_detected(self):
+        a = make_space()
+        b = make_space()
+        b.map_page(50)
+        assert not a.same_content(b)
+
+    def test_snapshot_hash_matches_space_hash(self):
+        space = make_space({2: 22})
+        snap = space.snapshot()
+        assert snap.content_hash() == space.content_hash()
+
+    def test_diff_pages(self):
+        a = make_space({0: 1})
+        b = make_space({0: 2, PAGE_WORDS: 7})
+        differing, _ = a.diff_pages(b)
+        assert differing == {0, 1}
+
+    def test_hash_stable_after_cow_round_trip(self):
+        space = make_space({0: 5})
+        before = space.content_hash()
+        snap = space.snapshot()
+        space.write(0, 6)
+        space.write(0, 5)
+        assert space.content_hash() == before
+        assert snap.content_hash() == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4 * PAGE_WORDS - 1),
+            st.integers(min_value=-(2**40), max_value=2**40),
+        ),
+        max_size=40,
+    ),
+    snapshot_at=st.integers(min_value=0, max_value=40),
+)
+def test_property_snapshot_is_point_in_time(writes, snapshot_at):
+    """A snapshot reads exactly what a dict model held at snapshot time."""
+    space = make_space()
+    model = {}
+    snap = None
+    frozen_model = None
+    for index, (addr, value) in enumerate(writes):
+        if index == snapshot_at:
+            snap = space.snapshot()
+            frozen_model = dict(model)
+        space.write(addr, value)
+        model[addr] = value
+    if snap is None:
+        snap = space.snapshot()
+        frozen_model = dict(model)
+    for addr in range(0, 4 * PAGE_WORDS, 7):
+        assert snap.read(addr) == frozen_model.get(addr, 0)
+    for addr, value in model.items():
+        assert space.read(addr) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2 * PAGE_WORDS - 1),
+            st.integers(min_value=0, max_value=2**32),
+        ),
+        max_size=30,
+    )
+)
+def test_property_content_hash_tracks_content(writes):
+    """Two spaces receiving the same writes always hash identically."""
+    a = make_space()
+    b = make_space()
+    for addr, value in writes:
+        a.write(addr, value)
+    b.snapshot()  # force COW paths on one side only
+    for addr, value in writes:
+        b.write(addr, value)
+    assert a.content_hash() == b.content_hash()
+    assert a.same_content(b)

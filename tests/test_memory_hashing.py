@@ -1,0 +1,73 @@
+"""Tests for stable hashing primitives."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.hashing import combine_hashes, fnv1a_words, hash_structure
+
+
+class TestFnv:
+    def test_known_stability(self):
+        # Pin the value: recordings persist hashes, so the function must
+        # never change silently.
+        assert fnv1a_words([1, 2, 3]) == fnv1a_words([1, 2, 3])
+        assert fnv1a_words([]) == 0xCBF29CE484222325
+
+    def test_order_sensitivity(self):
+        assert fnv1a_words([1, 2]) != fnv1a_words([2, 1])
+
+    def test_negative_values_wrap(self):
+        assert fnv1a_words([-1]) == fnv1a_words([(1 << 64) - 1])
+
+    def test_combine_order_sensitive(self):
+        assert combine_hashes([1, 2]) != combine_hashes([2, 1])
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_deterministic(self, words):
+        assert fnv1a_words(words) == fnv1a_words(list(words))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=20))
+    def test_result_fits_64_bits(self, words):
+        assert 0 <= fnv1a_words(words) < (1 << 64)
+
+
+class TestHashStructure:
+    def test_primitives(self):
+        assert hash_structure(5) == hash_structure(5)
+        assert hash_structure(5) != hash_structure(6)
+        assert hash_structure("a") != hash_structure("b")
+        assert hash_structure(None) == hash_structure(None)
+        assert hash_structure(True) != hash_structure(1)
+
+    def test_tuples_and_lists_equivalent(self):
+        assert hash_structure((1, 2)) == hash_structure([1, 2])
+
+    def test_nesting_matters(self):
+        assert hash_structure([1, [2, 3]]) != hash_structure([[1, 2], 3])
+
+    def test_dict_order_independent(self):
+        assert hash_structure({"a": 1, "b": 2}) == hash_structure({"b": 2, "a": 1})
+
+    def test_dict_value_sensitive(self):
+        assert hash_structure({"a": 1}) != hash_structure({"a": 2})
+
+    def test_empty_containers_distinct_lengths(self):
+        assert hash_structure([]) != hash_structure([0])
+
+    def test_unhashable_type_raises(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            hash_structure(object())
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.text(max_size=5), st.none(), st.booleans()),
+            lambda inner: st.one_of(
+                st.lists(inner, max_size=4),
+                st.dictionaries(st.text(max_size=3), inner, max_size=4),
+            ),
+            max_leaves=20,
+        )
+    )
+    def test_property_deterministic(self, structure):
+        assert hash_structure(structure) == hash_structure(structure)

@@ -1,0 +1,86 @@
+"""Page-level unit tests."""
+
+import pytest
+
+from repro.memory.layout import (
+    DATA_BASE,
+    PAGE_WORDS,
+    offset_of,
+    page_of,
+    wrap_word,
+)
+from repro.memory.page import Page
+
+
+class TestLayout:
+    def test_page_math(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_WORDS - 1) == 0
+        assert page_of(PAGE_WORDS) == 1
+        assert offset_of(PAGE_WORDS + 3) == 3
+
+    def test_data_base_is_off_page_zero(self):
+        assert page_of(DATA_BASE) >= 1
+
+    def test_wrap_word_identity_in_range(self):
+        assert wrap_word(0) == 0
+        assert wrap_word(42) == 42
+        assert wrap_word(-42) == -42
+        assert wrap_word(2**63 - 1) == 2**63 - 1
+        assert wrap_word(-(2**63)) == -(2**63)
+
+    def test_wrap_word_overflow(self):
+        assert wrap_word(2**63) == -(2**63)
+        assert wrap_word(2**64) == 0
+        assert wrap_word(2**64 + 5) == 5
+
+    def test_wrap_word_congruence(self):
+        for value in (3, -7, 2**70 + 9, -(2**65) - 1):
+            assert (wrap_word(value) - value) % (2**64) == 0
+
+
+class TestPage:
+    def test_fresh_page_is_zeroed(self):
+        page = Page()
+        assert page.words == [0] * PAGE_WORDS
+        assert page.refs == 1
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            Page([1, 2, 3])
+
+    def test_clone_is_independent(self):
+        page = Page()
+        page.words[0] = 9
+        page.invalidate_hash()
+        clone = page.clone()
+        clone.words[0] = 10
+        assert page.words[0] == 9
+        assert clone.refs == 1
+
+    def test_hash_cached_and_invalidated(self):
+        page = Page()
+        first = page.content_hash()
+        page.words[5] = 1
+        # without invalidation the stale cache would be returned
+        assert page.content_hash() == first
+        page.invalidate_hash()
+        assert page.content_hash() != first
+
+    def test_same_content_shortcuts_identity(self):
+        page = Page()
+        assert page.same_content(page)
+
+    def test_same_content_by_value(self):
+        a = Page()
+        b = Page()
+        assert a.same_content(b)
+        b.words[1] = 2
+        b.invalidate_hash()
+        assert not a.same_content(b)
+
+    def test_clone_carries_hash_cache(self):
+        page = Page()
+        cached = page.content_hash()
+        clone = page.clone()
+        assert clone.content_hash() == cached

@@ -1,0 +1,139 @@
+"""Direct unit tests for the simulated filesystem and network."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.oskernel.files import SimFileSystem
+from repro.oskernel.net import Arrival, SimNetwork
+
+
+class TestSimFileSystem:
+    def test_open_creates_missing_file(self):
+        fs = SimFileSystem({})
+        fd = fs.open(9)
+        assert fs.read(fd, 5) == []
+        fs.write(fd, [1, 2])
+        assert fs.file_contents(9) == [1, 2]
+
+    def test_reads_advance_offset(self):
+        fs = SimFileSystem({0: [1, 2, 3, 4]})
+        fd = fs.open(0)
+        assert fs.read(fd, 2) == [1, 2]
+        assert fs.read(fd, 10) == [3, 4]
+        assert fs.read(fd, 10) == []
+
+    def test_negative_read_rejected(self):
+        fs = SimFileSystem({0: [1]})
+        fd = fs.open(0)
+        with pytest.raises(SyscallError):
+            fs.read(fd, -1)
+
+    def test_unknown_fd_rejected(self):
+        fs = SimFileSystem({})
+        with pytest.raises(SyscallError):
+            fs.read(99, 1)
+        with pytest.raises(SyscallError):
+            fs.write(99, [1])
+        with pytest.raises(SyscallError):
+            fs.close(99)
+
+    def test_write_appends_not_overwrites(self):
+        fs = SimFileSystem({0: [7]})
+        fd = fs.open(0)
+        fs.write(fd, [8])
+        assert fs.file_contents(0) == [7, 8]
+
+    def test_snapshot_round_trip_preserves_offsets(self):
+        fs = SimFileSystem({0: [1, 2, 3]})
+        fd = fs.open(0)
+        fs.read(fd, 1)
+        state = fs.snapshot()
+        fs.read(fd, 2)
+        fs.restore(state)
+        assert fs.read(fd, 2) == [2, 3]
+
+    def test_snapshot_is_deep(self):
+        fs = SimFileSystem({0: [1]})
+        fd = fs.open(0)
+        state = fs.snapshot()
+        fs.write(fd, [99])
+        fs.restore(state)
+        assert fs.file_contents(0) == [1]
+
+
+class TestSimNetwork:
+    def make(self, *times):
+        return SimNetwork(
+            [Arrival(time=t, payload=(t, t + 1)) for t in times]
+        )
+
+    def test_accept_before_listen_rejected(self):
+        net = self.make(1)
+        net.admit_arrivals(10)
+        with pytest.raises(SyscallError):
+            net.try_accept()
+
+    def test_arrivals_admitted_by_time(self):
+        net = self.make(10, 20, 30)
+        assert net.admit_arrivals(15) == 1
+        assert net.backlog_size() == 1
+        assert net.admit_arrivals(30) == 2
+
+    def test_next_arrival_time_progresses(self):
+        net = self.make(10, 20)
+        assert net.next_arrival_time() == 10
+        net.admit_arrivals(10)
+        assert net.next_arrival_time() == 20
+        net.admit_arrivals(20)
+        assert net.next_arrival_time() is None
+
+    def test_accept_pops_fifo(self):
+        net = self.make(1, 2)
+        net.listen()
+        net.admit_arrivals(5)
+        first = net.try_accept()
+        second = net.try_accept()
+        assert net.recv(first, 10) == [1, 2]
+        assert net.recv(second, 10) == [2, 3]
+        assert net.try_accept() is None
+
+    def test_recv_cursor(self):
+        net = self.make(1)
+        net.listen()
+        net.admit_arrivals(1)
+        fd = net.try_accept()
+        assert net.recv(fd, 1) == [1]
+        assert net.recv(fd, 5) == [2]
+        assert net.recv(fd, 5) == []
+
+    def test_unknown_fd_rejected(self):
+        net = self.make()
+        with pytest.raises(SyscallError):
+            net.recv(5, 1)
+        with pytest.raises(SyscallError):
+            net.send(5, [1])
+
+    def test_conversations_and_pending(self):
+        net = self.make(1, 50)
+        net.listen()
+        net.admit_arrivals(10)
+        fd = net.try_accept()
+        net.send(fd, [42])
+        conversations = net.all_conversations()
+        assert conversations[fd] == ([1, 2], [42])
+        assert net.pending_requests() == 1  # the t=50 arrival
+
+    def test_snapshot_round_trip(self):
+        net = self.make(1, 50)
+        net.listen()
+        net.admit_arrivals(10)
+        fd = net.try_accept()
+        net.recv(fd, 1)
+        state = net.snapshot()
+        net.recv(fd, 5)
+        net.send(fd, [9])
+        net.restore(state)
+        assert net.recv(fd, 5) == [2]
+        assert net.all_responses()[fd] == []
+        # un-admitted arrivals still pending after restore
+        assert net.next_arrival_time() == 50

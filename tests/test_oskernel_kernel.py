@@ -1,0 +1,202 @@
+"""Simulated kernel: syscalls, wakeups, snapshot/restore."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import PAGE_WORDS
+from repro.oskernel.kernel import Kernel, KernelSetup
+from repro.oskernel.net import Arrival
+from repro.oskernel.syscalls import SyscallBlock, SyscallDone, SyscallKind
+
+
+def make_kernel(files=None, arrivals=None, seed=0):
+    setup = KernelSetup(files=files or {}, arrivals=arrivals or [], rand_seed=seed)
+    kernel = Kernel(setup, heap_base=10 * PAGE_WORDS)
+    mem = AddressSpace()
+    mem.map_range(0, 4 * PAGE_WORDS)
+    return kernel, mem
+
+
+def call(kernel, mem, kind, *args, tid=1, now=0):
+    return kernel.syscall(tid, kind, args, mem, now)
+
+
+class TestFiles:
+    def test_open_read_sequential(self):
+        kernel, mem = make_kernel(files={0: [1, 2, 3, 4, 5]})
+        fd = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        first = call(kernel, mem, SyscallKind.READ, fd, 8, 3)
+        assert first.retval == 3
+        assert mem.read_block(8, 3) == [1, 2, 3]
+        assert first.writes == ((8, (1, 2, 3)),)
+        second = call(kernel, mem, SyscallKind.READ, fd, 8, 3)
+        assert second.retval == 2
+        assert mem.read_block(8, 2) == [4, 5]
+
+    def test_read_at_eof_returns_zero(self):
+        kernel, mem = make_kernel(files={0: [1]})
+        fd = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        call(kernel, mem, SyscallKind.READ, fd, 8, 5)
+        assert call(kernel, mem, SyscallKind.READ, fd, 8, 5).retval == 0
+
+    def test_write_appends(self):
+        kernel, mem = make_kernel()
+        fd = call(kernel, mem, SyscallKind.OPEN, 7).retval
+        mem.write_block(8, [10, 20])
+        assert call(kernel, mem, SyscallKind.WRITE, fd, 8, 2).retval == 2
+        mem.write_block(8, [30])
+        call(kernel, mem, SyscallKind.WRITE, fd, 8, 1)
+        assert kernel.fs.file_contents(7) == [10, 20, 30]
+
+    def test_close_invalidates_fd(self):
+        kernel, mem = make_kernel(files={0: [1]})
+        fd = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        call(kernel, mem, SyscallKind.CLOSE, fd)
+        with pytest.raises(SyscallError):
+            call(kernel, mem, SyscallKind.READ, fd, 8, 1)
+
+    def test_two_fds_have_independent_offsets(self):
+        kernel, mem = make_kernel(files={0: [1, 2, 3]})
+        fd1 = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        fd2 = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        call(kernel, mem, SyscallKind.READ, fd1, 8, 2)
+        assert call(kernel, mem, SyscallKind.READ, fd2, 12, 1).retval == 1
+        assert mem.read(12) == 1
+
+
+class TestNetwork:
+    def test_accept_blocks_until_arrival(self):
+        kernel, mem = make_kernel(arrivals=[Arrival(time=100, payload=(7, 8))])
+        call(kernel, mem, SyscallKind.LISTEN)
+        outcome = call(kernel, mem, SyscallKind.ACCEPT, 999, tid=5, now=0)
+        assert isinstance(outcome, SyscallBlock)
+        assert kernel.next_event_time() == 100
+        wakeups = kernel.wakeups(100, mem)
+        assert len(wakeups) == 1
+        assert wakeups[0].tid == 5
+
+    def test_accept_immediate_when_backlogged(self):
+        kernel, mem = make_kernel(arrivals=[Arrival(time=0, payload=(1,))])
+        call(kernel, mem, SyscallKind.LISTEN)
+        outcome = call(kernel, mem, SyscallKind.ACCEPT, 999, now=5)
+        assert isinstance(outcome, SyscallDone)
+
+    def test_recv_and_send(self):
+        kernel, mem = make_kernel(arrivals=[Arrival(time=0, payload=(4, 5, 6))])
+        call(kernel, mem, SyscallKind.LISTEN)
+        fd = call(kernel, mem, SyscallKind.ACCEPT, 999, now=1).retval
+        recv = call(kernel, mem, SyscallKind.RECV, fd, 8, 10)
+        assert recv.retval == 3
+        assert mem.read_block(8, 3) == [4, 5, 6]
+        mem.write_block(20, [99])
+        call(kernel, mem, SyscallKind.SEND, fd, 20, 1)
+        assert kernel.net.all_responses()[fd] == [99]
+
+    def test_recv_drained_returns_zero(self):
+        kernel, mem = make_kernel(arrivals=[Arrival(time=0, payload=(4,))])
+        call(kernel, mem, SyscallKind.LISTEN)
+        fd = call(kernel, mem, SyscallKind.ACCEPT, 999, now=1).retval
+        call(kernel, mem, SyscallKind.RECV, fd, 8, 10)
+        assert call(kernel, mem, SyscallKind.RECV, fd, 8, 10).retval == 0
+
+    def test_fifo_accept_wakeups(self):
+        kernel, mem = make_kernel(
+            arrivals=[Arrival(time=10, payload=(1,)), Arrival(time=20, payload=(2,))]
+        )
+        call(kernel, mem, SyscallKind.LISTEN)
+        call(kernel, mem, SyscallKind.ACCEPT, 999, tid=1)
+        call(kernel, mem, SyscallKind.ACCEPT, 999, tid=2)
+        wakeups = kernel.wakeups(25, mem)
+        assert [w.tid for w in wakeups] == [1, 2]
+
+
+class TestMisc:
+    def test_time_returns_now(self):
+        kernel, mem = make_kernel()
+        assert call(kernel, mem, SyscallKind.TIME, now=1234).retval == 1234
+
+    def test_rand_deterministic_per_seed(self):
+        a, mem = make_kernel(seed=3)
+        b, _ = make_kernel(seed=3)
+        assert [call(a, mem, SyscallKind.RAND).retval for _ in range(5)] == [
+            call(b, mem, SyscallKind.RAND).retval for _ in range(5)
+        ]
+
+    def test_getpid(self):
+        kernel, mem = make_kernel()
+        assert call(kernel, mem, SyscallKind.GETPID).retval == 1
+
+    def test_alloc_maps_fresh_pages(self):
+        kernel, mem = make_kernel()
+        base = call(kernel, mem, SyscallKind.ALLOC, 10).retval
+        mem.write(base + 9, 1)
+        assert mem.read(base + 9) == 1
+
+    def test_allocations_do_not_share_pages(self):
+        kernel, mem = make_kernel()
+        a = call(kernel, mem, SyscallKind.ALLOC, 3).retval
+        b = call(kernel, mem, SyscallKind.ALLOC, 3).retval
+        assert b // PAGE_WORDS > a // PAGE_WORDS
+
+    def test_alloc_nonpositive_faults(self):
+        kernel, mem = make_kernel()
+        with pytest.raises(SyscallError):
+            call(kernel, mem, SyscallKind.ALLOC, 0)
+
+    def test_print_captures_output(self):
+        kernel, mem = make_kernel()
+        call(kernel, mem, SyscallKind.PRINT, 42)
+        call(kernel, mem, SyscallKind.PRINT, 43)
+        assert kernel.output == [42, 43]
+
+    def test_sleep_blocks_and_wakes(self):
+        kernel, mem = make_kernel()
+        outcome = call(kernel, mem, SyscallKind.SLEEP, 50, tid=3, now=100)
+        assert isinstance(outcome, SyscallBlock)
+        assert kernel.next_event_time() == 150
+        assert kernel.wakeups(149, mem) == []
+        wakeups = kernel.wakeups(150, mem)
+        assert [w.tid for w in wakeups] == [3]
+
+    def test_yield_is_immediate(self):
+        kernel, mem = make_kernel()
+        assert call(kernel, mem, SyscallKind.YIELD).retval == 0
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_everything(self):
+        kernel, mem = make_kernel(
+            files={0: [1, 2, 3]},
+            arrivals=[Arrival(time=10, payload=(9,))],
+            seed=7,
+        )
+        fd = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        call(kernel, mem, SyscallKind.READ, fd, 8, 1)
+        call(kernel, mem, SyscallKind.PRINT, 5)
+        rand_before = None
+        state = kernel.snapshot()
+        rand_before = call(kernel, mem, SyscallKind.RAND).retval
+        read_before = call(kernel, mem, SyscallKind.READ, fd, 8, 1).retval
+
+        kernel.restore(state)
+        assert call(kernel, mem, SyscallKind.RAND).retval == rand_before
+        assert call(kernel, mem, SyscallKind.READ, fd, 8, 1).retval == read_before
+        assert kernel.output == [5]
+
+    def test_restore_into_fresh_kernel(self):
+        kernel, mem = make_kernel(files={0: [1, 2]})
+        fd = call(kernel, mem, SyscallKind.OPEN, 0).retval
+        call(kernel, mem, SyscallKind.READ, fd, 8, 1)
+        state = kernel.snapshot()
+
+        fresh = Kernel(KernelSetup(files={0: [1, 2]}), heap_base=10 * PAGE_WORDS)
+        fresh.restore(state)
+        assert call(fresh, mem, SyscallKind.READ, fd, 8, 1).retval == 1
+        assert mem.read(8) == 2  # offset was mid-file
+
+    def test_digest_tracks_output(self):
+        kernel, mem = make_kernel()
+        before = kernel.digest()
+        call(kernel, mem, SyscallKind.PRINT, 1)
+        assert kernel.digest() != before

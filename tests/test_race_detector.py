@@ -1,0 +1,218 @@
+"""Vector clocks and the happens-before race detector."""
+
+from hypothesis import given, strategies as st
+
+from repro.exec.trace import CollectingObserver, TraceEvent
+from repro.race.detector import RaceDetector, find_races
+from repro.race.vector_clock import VectorClock
+
+
+class TestVectorClock:
+    def test_fresh_clock_is_zero(self):
+        assert VectorClock().get(1) == 0
+
+    def test_tick_advances_only_own_component(self):
+        clock = VectorClock().tick(1).tick(1).tick(2)
+        assert clock.get(1) == 2
+        assert clock.get(2) == 1
+        assert clock.get(3) == 0
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 2, 2: 5, 3: 1})
+        joined = a.join(b)
+        assert joined == VectorClock({1: 3, 2: 5, 3: 1})
+
+    def test_happens_before_reflexive(self):
+        clock = VectorClock({1: 2})
+        assert clock.happens_before(clock)
+
+    def test_happens_before_after_tick(self):
+        a = VectorClock({1: 1})
+        b = a.tick(1)
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({2: 1})
+        assert not a.ordered_with(b) or a == b
+
+    def test_operations_do_not_mutate(self):
+        a = VectorClock({1: 1})
+        a.tick(1)
+        a.join(VectorClock({2: 9}))
+        assert a == VectorClock({1: 1})
+
+    def test_zero_components_ignored_in_equality(self):
+        assert VectorClock({1: 0, 2: 3}) == VectorClock({2: 3})
+
+    @given(
+        st.dictionaries(st.integers(1, 5), st.integers(0, 10), max_size=5),
+        st.dictionaries(st.integers(1, 5), st.integers(0, 10), max_size=5),
+    )
+    def test_property_join_upper_bound(self, a_map, b_map):
+        a, b = VectorClock(a_map), VectorClock(b_map)
+        joined = a.join(b)
+        assert a.happens_before(joined)
+        assert b.happens_before(joined)
+
+    @given(st.dictionaries(st.integers(1, 5), st.integers(0, 10), max_size=5))
+    def test_property_join_idempotent(self, mapping):
+        clock = VectorClock(mapping)
+        assert clock.join(clock) == clock
+
+
+def ev(kind, tid, addr, time=0):
+    return TraceEvent(kind=kind, tid=tid, addr=addr, time=time)
+
+
+class TestDetectorHandcrafted:
+    def test_unordered_writes_race(self):
+        races = find_races([ev("write", 1, 100), ev("write", 2, 100)])
+        assert len(races) == 1
+        assert races[0].kind == "write-write"
+
+    def test_write_then_unordered_read_races(self):
+        races = find_races([ev("write", 1, 100), ev("read", 2, 100)])
+        assert len(races) == 1
+        assert races[0].kind == "write-read"
+
+    def test_read_then_unordered_write_races(self):
+        races = find_races([ev("read", 2, 100), ev("write", 1, 100)])
+        assert len(races) == 1
+        assert races[0].kind == "read-write"
+
+    def test_same_thread_never_races(self):
+        races = find_races(
+            [ev("write", 1, 100), ev("read", 1, 100), ev("write", 1, 100)]
+        )
+        assert races == []
+
+    def test_concurrent_reads_do_not_race(self):
+        assert find_races([ev("read", 1, 100), ev("read", 2, 100)]) == []
+
+    def test_lock_orders_accesses(self):
+        events = [
+            ev("acquire", 1, 50),
+            ev("write", 1, 100),
+            ev("release", 1, 50),
+            ev("acquire", 2, 50),
+            ev("write", 2, 100),
+            ev("release", 2, 50),
+        ]
+        assert find_races(events) == []
+
+    def test_different_locks_do_not_order(self):
+        events = [
+            ev("acquire", 1, 50),
+            ev("write", 1, 100),
+            ev("release", 1, 50),
+            ev("acquire", 2, 51),
+            ev("write", 2, 100),
+            ev("release", 2, 51),
+        ]
+        assert len(find_races(events)) == 1
+
+    def test_spawn_orders_parent_before_child(self):
+        events = [
+            ev("write", 1, 100),
+            ev("spawn", 1, 2),
+            ev("write", 2, 100),
+        ]
+        assert find_races(events) == []
+
+    def test_join_orders_child_before_parent(self):
+        events = [
+            ev("spawn", 1, 2),
+            ev("write", 2, 100),
+            ev("exit", 2, 0),
+            ev("join", 1, 2),
+            ev("write", 1, 100),
+        ]
+        assert find_races(events) == []
+
+    def test_barrier_orders_across_generation(self):
+        events = [
+            ev("write", 1, 100),
+            ev("barrier", 1, 60, time=500),
+            ev("barrier", 2, 60, time=500),
+            ev("write", 2, 100),
+        ]
+        assert find_races(events) == []
+
+    def test_distinct_barrier_generations_grouped_separately(self):
+        events = [
+            ev("write", 1, 100),
+            ev("barrier", 1, 60, time=500),
+            ev("barrier", 2, 60, time=500),
+            ev("barrier", 1, 60, time=900),
+            ev("barrier", 2, 60, time=900),
+            ev("write", 2, 100),
+        ]
+        assert find_races(events) == []
+
+    def test_each_address_reported_once(self):
+        events = [
+            ev("write", 1, 100),
+            ev("write", 2, 100),
+            ev("write", 1, 100),
+            ev("write", 2, 100),
+        ]
+        assert len(find_races(events)) == 1
+
+    def test_distinct_addresses_reported_separately(self):
+        events = [
+            ev("write", 1, 100),
+            ev("write", 2, 100),
+            ev("write", 1, 200),
+            ev("write", 2, 200),
+        ]
+        assert len(find_races(events)) == 2
+
+
+class TestDetectorOnWorkloads:
+    def _trace(self, name, workers=2, scale=2, seed=4):
+        from repro.baselines import run_native
+        from repro.machine.config import MachineConfig
+        from repro.workloads import build_workload
+
+        inst = build_workload(name, workers=workers, scale=scale, seed=seed)
+        observer = CollectingObserver()
+        run_native(inst.image, inst.setup, MachineConfig(cores=workers), [observer])
+        return observer.events
+
+    def test_lock_counter_program_race_free(self):
+        from tests.conftest import counter_program
+        from tests.conftest import boot_multicore
+        from repro.machine.config import MachineConfig
+
+        observer = CollectingObserver()
+        engine, _ = boot_multicore(counter_program(iters=20), MachineConfig(cores=2))
+        engine.observers.append(observer)
+        engine.run()
+        assert find_races(observer.events) == []
+
+    def test_unlocked_counter_program_races(self):
+        from tests.conftest import counter_program, boot_multicore
+        from repro.machine.config import MachineConfig
+
+        observer = CollectingObserver()
+        engine, _ = boot_multicore(
+            counter_program(iters=20, locked=False), MachineConfig(cores=2)
+        )
+        engine.observers.append(observer)
+        engine.run()
+        assert len(find_races(observer.events)) >= 1
+
+    def test_race_free_suite_is_race_free(self):
+        for name in ("pbzip", "mysql", "fft", "ocean", "water", "radix", "prodcons", "prodcons-sem"):
+            assert find_races(self._trace(name)) == [], name
+
+    def test_racy_suite_races(self):
+        for name in ("racy-counter", "racy-lazyinit"):
+            assert find_races(self._trace(name)), name
+
+    def test_atomics_are_ordered_not_racing(self):
+        """pfscan's atomic count merge must not be flagged."""
+        assert find_races(self._trace("pfscan")) == []

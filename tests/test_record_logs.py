@@ -1,0 +1,198 @@
+"""Schedule logs, sync-order logs/oracle, recording serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.record.schedule_log import ScheduleLog, Timeslice
+from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
+
+
+class TestScheduleLog:
+    def test_append_and_iterate(self):
+        log = ScheduleLog()
+        log.append(1, 5, False)
+        log.append(2, 3, True)
+        assert [(s.tid, s.ops, s.ended_blocked) for s in log] == [
+            (1, 5, False),
+            (2, 3, True),
+        ]
+
+    def test_consecutive_same_thread_merges(self):
+        log = ScheduleLog()
+        log.append(1, 5, False)
+        log.append(1, 4, False)
+        assert len(log) == 1
+        assert log.slices[0].ops == 9
+
+    def test_no_merge_across_blocking(self):
+        log = ScheduleLog()
+        log.append(1, 5, True)
+        log.append(1, 4, False)
+        assert len(log) == 2
+
+    def test_no_merge_across_threads(self):
+        log = ScheduleLog()
+        log.append(1, 5, False)
+        log.append(2, 4, False)
+        log.append(1, 2, False)
+        assert len(log) == 3
+
+    def test_total_ops(self):
+        log = ScheduleLog()
+        log.append(1, 5, False)
+        log.append(2, 7, True)
+        assert log.total_ops() == 12
+
+    def test_plain_round_trip(self):
+        log = ScheduleLog()
+        log.append(1, 5, True)
+        log.append(2, 1, False)
+        assert ScheduleLog.from_plain(log.to_plain()).slices == log.slices
+
+    def test_size_words_proportional_to_slices(self):
+        log = ScheduleLog()
+        for tid in (1, 2, 1, 2):
+            log.append(tid, 1, False)
+        assert log.size_words() == 3 * 4
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=0, max_value=50),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_merging_preserves_total_ops(self, entries):
+        log = ScheduleLog()
+        for tid, ops, blocked in entries:
+            log.append(tid, ops, blocked)
+        assert log.total_ops() == sum(ops for _, ops, _ in entries)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=0, max_value=50),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_plain_round_trip(self, entries):
+        log = ScheduleLog()
+        for tid, ops, blocked in entries:
+            log.append(tid, ops, blocked)
+        restored = ScheduleLog.from_plain(json.loads(json.dumps(log.to_plain())))
+        assert restored.slices == log.slices
+
+
+class TestSyncOrderOracle:
+    def test_empty_oracle_defers_everyone(self):
+        """No recorded events for an address = no acquisitions happened;
+        an installed oracle therefore never allows one."""
+        oracle = SyncOrderOracle(SyncOrderLog())
+        assert not oracle.may_acquire(5, 1)
+        assert oracle.next_turn(5) is None
+
+    def test_turns_consumed_in_order(self):
+        oracle = SyncOrderOracle(
+            SyncOrderLog((("lock", 5, 1), ("lock", 5, 2), ("lock", 5, 1)))
+        )
+        assert oracle.next_turn(5) == 1
+        assert not oracle.may_acquire(5, 2)
+        oracle.consume(5, 1)
+        assert oracle.next_turn(5) == 2
+        oracle.consume(5, 2)
+        assert oracle.next_turn(5) == 1
+        oracle.consume(5, 1)
+        assert oracle.next_turn(5) is None
+
+    def test_addresses_independent(self):
+        oracle = SyncOrderOracle(SyncOrderLog((("lock", 5, 1), ("lock", 6, 2))))
+        assert oracle.may_acquire(6, 2)
+        assert not oracle.may_acquire(5, 2)
+
+    def test_out_of_turn_consume_counts_violation(self):
+        oracle = SyncOrderOracle(SyncOrderLog((("lock", 5, 1),)))
+        oracle.consume(5, 2)
+        assert oracle.violations == 1
+        assert oracle.next_turn(5) == 1  # not consumed
+
+    def test_remaining(self):
+        oracle = SyncOrderOracle(
+            SyncOrderLog((("lock", 5, 1), ("sem", 6, 2)))
+        )
+        assert oracle.remaining() == 2
+        oracle.consume(5, 1)
+        assert oracle.remaining() == 1
+
+    def test_per_object_view(self):
+        log = SyncOrderLog((("lock", 5, 1), ("lock", 6, 9), ("lock", 5, 2)))
+        assert log.per_object() == {5: [1, 2], 6: [9]}
+
+    def test_plain_round_trip(self):
+        log = SyncOrderLog((("lock", 5, 1), ("atomic", 7, 3)))
+        assert SyncOrderLog.from_plain(
+            json.loads(json.dumps(log.to_plain()))
+        ).events == log.events
+
+
+class TestRecordingSerialisation:
+    def _record(self):
+        from repro.core import DoublePlayConfig, DoublePlayRecorder
+        from repro.machine.config import MachineConfig
+        from repro.oskernel.kernel import KernelSetup
+        from tests.conftest import counter_program
+
+        image = counter_program(workers=2, iters=30)
+        config = DoublePlayConfig(machine=MachineConfig(cores=2), epoch_cycles=1200)
+        return image, DoublePlayRecorder(image, KernelSetup(), config).record()
+
+    def test_plain_form_is_json_compatible(self):
+        _, result = self._record()
+        plain = result.recording.to_plain()
+        assert json.loads(json.dumps(plain)) == plain
+
+    def test_round_trip_preserves_logs(self):
+        from repro.record.recording import Recording
+
+        _, result = self._record()
+        recording = result.recording
+        plain = json.loads(json.dumps(recording.to_plain()))
+        restored = Recording.from_plain(plain, recording.initial_checkpoint)
+        assert restored.epoch_count() == recording.epoch_count()
+        assert restored.final_digest == recording.final_digest
+        for mine, theirs in zip(recording.epochs, restored.epochs):
+            assert mine.schedule.slices == theirs.schedule.slices
+            assert mine.sync_log.events == theirs.sync_log.events
+            assert mine.targets == theirs.targets
+            assert mine.end_digest == theirs.end_digest
+        assert restored.syscall_records == recording.syscall_records
+
+    def test_log_breakdown_sums(self):
+        _, result = self._record()
+        breakdown = result.recording.log_breakdown()
+        assert breakdown["total_bytes"] == (
+            breakdown["schedule_bytes"]
+            + breakdown["sync_bytes"]
+            + breakdown["syscall_bytes"]
+        )
+        assert breakdown["total_bytes"] > 0
+
+    def test_prune_syscall_records(self):
+        from repro.oskernel.syscalls import SyscallKind, SyscallRecord
+        from repro.record.recording import prune_syscall_records
+
+        records = [
+            SyscallRecord(tid=1, seq=0, kind=SyscallKind.TIME, retval=1),
+            SyscallRecord(tid=1, seq=1, kind=SyscallKind.TIME, retval=2),
+            SyscallRecord(tid=2, seq=0, kind=SyscallKind.TIME, retval=3),
+            SyscallRecord(tid=3, seq=0, kind=SyscallKind.TIME, retval=4),
+        ]
+        kept = prune_syscall_records(records, {1: 1, 2: 1})
+        assert [(r.tid, r.seq) for r in kept] == [(1, 0), (2, 0)]

@@ -1,0 +1,179 @@
+"""Asynchronous signal delivery: timers, recording, exact replay.
+
+DoublePlay logs the instruction at which each signal is delivered; we log
+(tid, retired-count, handler) and inject deliveries at the same points
+during epoch-parallel execution and replay.
+"""
+
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.exec.trace import CollectingObserver
+from repro.isa.assembler import Assembler
+from repro.machine.config import MachineConfig
+from repro.oskernel.kernel import KernelSetup
+from repro.oskernel.syscalls import SyscallKind
+from tests.conftest import boot_multicore, boot_uniprocessor
+
+
+def timer_program(workers=1, delay=300, work_iters=40):
+    """Main arms a timer; a handler increments a counter asynchronously."""
+    asm = Assembler(name="sig")
+    asm.word("ticks", 0)
+    asm.word("done", 0)
+    with asm.function("handler"):
+        asm.loadg("r8", "ticks")
+        asm.addi("r8", "r8", 1)
+        asm.storeg("r8", "ticks")
+        asm.ret()
+    with asm.function("worker"):
+        asm.li("r2", 0)
+        asm.label("spin")
+        asm.work(20)
+        asm.addi("r2", "r2", 1)
+        asm.blti("r2", work_iters, "spin")
+        asm.exit_()
+    with asm.function("main"):
+        asm.li("r2", delay)
+        asm.li_label("r3", "handler")
+        asm.syscall("r4", SyscallKind.SETTIMER, args=["r2", "r3"])
+        for index in range(workers):
+            asm.spawn(f"r{10 + index}", "worker")
+        asm.li("r5", 0)
+        asm.label("mainwork")
+        asm.work(25)
+        asm.addi("r5", "r5", 1)
+        asm.blti("r5", work_iters, "mainwork")
+        for index in range(workers):
+            asm.join(f"r{10 + index}")
+        asm.loadg("r6", "ticks")
+        asm.syscall("r7", SyscallKind.PRINT, args=["r6"])
+        asm.exit_()
+    return asm.assemble()
+
+
+class TestDelivery:
+    def test_timer_fires_and_handler_runs(self):
+        engine, kernel = boot_multicore(timer_program(), MachineConfig(cores=2))
+        engine.run()
+        assert kernel.output == [1]
+
+    def test_handler_returns_to_interrupted_code(self):
+        """Main's loop still completes all iterations around the handler."""
+        engine, _ = boot_multicore(timer_program(), MachineConfig(cores=2))
+        engine.run()
+        assert engine.contexts[1].registers[5] == 40
+        assert engine.contexts[1].call_stack == []
+
+    def test_delivery_point_recorded(self):
+        engine, _ = boot_multicore(timer_program(), MachineConfig(cores=2))
+        log = []
+        engine.signal_log = log
+        engine.run()
+        assert len(log) == 1
+        tid, retired, handler_pc = log[0]
+        assert tid == 1
+        assert retired > 0
+        assert handler_pc == engine.program.functions["handler"]
+
+    def test_multiple_timers_all_delivered(self):
+        asm = Assembler(name="multi")
+        asm.word("ticks", 0)
+        with asm.function("handler"):
+            asm.loadg("r8", "ticks")
+            asm.addi("r8", "r8", 1)
+            asm.storeg("r8", "ticks")
+            asm.ret()
+        with asm.function("main"):
+            asm.li_label("r3", "handler")
+            for delay in (100, 300, 600):
+                asm.li("r2", delay)
+                asm.syscall("r4", SyscallKind.SETTIMER, args=["r2", "r3"])
+            asm.li("r5", 0)
+            asm.label("loop")
+            asm.work(20)
+            asm.addi("r5", "r5", 1)
+            asm.blti("r5", 60, "loop")
+            asm.loadg("r6", "ticks")
+            asm.syscall("r7", SyscallKind.PRINT, args=["r6"])
+            asm.exit_()
+        engine, kernel = boot_multicore(asm.assemble(), MachineConfig(cores=1))
+        engine.run()
+        assert kernel.output == [3]
+
+    def test_uniprocessor_delivery(self):
+        engine, kernel = boot_uniprocessor(timer_program(), MachineConfig(cores=1))
+        engine.run()
+        assert kernel.output == [1]
+
+    def test_trace_event_emitted(self):
+        observer = CollectingObserver()
+        engine, _ = boot_multicore(timer_program(), MachineConfig(cores=2))
+        engine.observers.append(observer)
+        engine.run()
+        assert any(e.kind == "signal" for e in observer.events)
+
+    def test_injected_delivery_matches_recorded_point(self):
+        """Re-run from the log: the handler interposes at the exact op."""
+        image = timer_program()
+        machine = MachineConfig(cores=1)
+        rec, rec_kernel = boot_uniprocessor(image, machine)
+        log = []
+        rec.signal_log = log
+        outcome = rec.run()
+        digest = rec.state_digest()
+
+        from repro.exec.services import InjectedSyscalls
+        from repro.exec.uniprocessor import UniprocessorEngine
+
+        # capture the syscall log too for injection
+        rec2, _ = boot_uniprocessor(image, machine, log=(syslog := []))
+        rec2.signal_log = (log2 := [])
+        outcome2 = rec2.run()
+
+        rep = UniprocessorEngine.boot(image, machine, InjectedSyscalls(syslog))
+        rep.install_signal_records(log2)
+        rep.run_schedule(outcome2.schedule)
+        assert rep.state_digest() == rec2.state_digest()
+        assert rep.contexts[1].registers[6] == 1  # handler ran on replay too
+
+
+class TestRecordReplayWithSignals:
+    def test_full_pipeline(self):
+        image = timer_program(workers=2, delay=400, work_iters=60)
+        machine = MachineConfig(cores=2)
+        config = DoublePlayConfig(machine=machine, epoch_cycles=700)
+        result = DoublePlayRecorder(image, KernelSetup(), config).record()
+        recording = result.recording
+        assert result.recording.divergences() == 0
+        assert len(recording.signal_records) == 1
+        kernel = result.committed_kernel(KernelSetup(), image.heap_base)
+        assert kernel.output == [1]
+
+        replayer = Replayer(image, machine)
+        assert replayer.replay_sequential(recording).verified
+        assert replayer.replay_parallel(recording).verified
+
+    def test_signals_serialise(self):
+        import json
+
+        from repro.record import Recording
+
+        image = timer_program(workers=1, delay=200)
+        machine = MachineConfig(cores=2)
+        config = DoublePlayConfig(machine=machine, epoch_cycles=600)
+        result = DoublePlayRecorder(image, KernelSetup(), config).record()
+        plain = json.loads(json.dumps(result.recording.to_plain()))
+        restored = Recording.from_plain(plain, result.recording.initial_checkpoint)
+        assert restored.signal_records == result.recording.signal_records
+        replayer = Replayer(image, machine)
+        assert replayer.replay_sequential(restored).verified
+
+    def test_signal_log_counted_in_sizes(self):
+        image = timer_program(workers=1, delay=200)
+        machine = MachineConfig(cores=2)
+        config = DoublePlayConfig(machine=machine, epoch_cycles=600)
+        result = DoublePlayRecorder(image, KernelSetup(), config).record()
+        breakdown = result.recording.log_breakdown()
+        assert breakdown["signal_bytes"] == 24 * len(
+            result.recording.signal_records
+        )
+        assert breakdown["signal_bytes"] > 0

@@ -1,0 +1,52 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(42).now == 42
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(10) == 10
+        assert clock.advance(5) == 15
+        assert clock.now == 15
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(7)
+        clock.advance(0)
+        assert clock.now == 7
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(SimulationError):
+            clock.advance(-1)
+
+    def test_advance_to(self):
+        clock = SimClock(5)
+        clock.advance_to(9)
+        assert clock.now == 9
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(5)
+        clock.advance_to(5)
+        assert clock.now == 5
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4)
+
+    def test_repr(self):
+        assert "17" in repr(SimClock(17))

@@ -1,0 +1,57 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.peek() is None
+        assert queue.next_time() is None
+
+    def test_push_pop_order_by_time(self):
+        queue = EventQueue()
+        queue.push(30, "c")
+        queue.push(10, "a")
+        queue.push(20, "b")
+        assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_pop_in_push_order(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push(7, f"e{index}")
+        assert [queue.pop().kind for _ in range(5)] == [f"e{i}" for i in range(5)]
+
+    def test_payload_round_trip(self):
+        queue = EventQueue()
+        payload = {"tid": 3}
+        queue.push(1, "io", payload)
+        assert queue.pop().payload is payload
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(5, "x")
+        assert queue.peek().kind == "x"
+        assert len(queue) == 1
+
+    def test_next_time(self):
+        queue = EventQueue()
+        queue.push(9, "later")
+        queue.push(4, "sooner")
+        assert queue.next_time() == 4
+
+    def test_pop_ready_partitions_by_time(self):
+        queue = EventQueue()
+        queue.push(1, "a")
+        queue.push(5, "b")
+        queue.push(10, "c")
+        ready = queue.pop_ready(5)
+        assert [event.kind for event in ready] == ["a", "b"]
+        assert queue.next_time() == 10
+
+    def test_pop_ready_empty_when_nothing_due(self):
+        queue = EventQueue()
+        queue.push(10, "later")
+        assert queue.pop_ready(9) == []

@@ -1,0 +1,61 @@
+"""Unit tests for the statistics registry."""
+
+from repro.sim.stats import StatsRegistry
+
+
+class TestStatsRegistry:
+    def test_get_defaults_to_zero(self):
+        assert StatsRegistry().get("nothing") == 0
+
+    def test_add_accumulates(self):
+        stats = StatsRegistry()
+        stats.add("ops")
+        stats.add("ops", 4)
+        assert stats.get("ops") == 5
+
+    def test_negative_amounts_allowed(self):
+        stats = StatsRegistry()
+        stats.add("delta", -3)
+        assert stats.get("delta") == -3
+
+    def test_set_overwrites(self):
+        stats = StatsRegistry()
+        stats.add("x", 10)
+        stats.set("x", 2)
+        assert stats.get("x") == 2
+
+    def test_merge(self):
+        a = StatsRegistry()
+        b = StatsRegistry()
+        a.add("shared", 1)
+        b.add("shared", 2)
+        b.add("only-b", 5)
+        a.merge(b)
+        assert a.get("shared") == 3
+        assert a.get("only-b") == 5
+
+    def test_snapshot_is_detached(self):
+        stats = StatsRegistry()
+        stats.add("x")
+        snap = stats.snapshot()
+        stats.add("x")
+        assert snap == {"x": 1}
+
+    def test_items_sorted(self):
+        stats = StatsRegistry()
+        stats.add("b")
+        stats.add("a")
+        assert [name for name, _ in stats.items()] == ["a", "b"]
+
+    def test_contains(self):
+        stats = StatsRegistry()
+        stats.add("present")
+        assert "present" in stats
+        assert "absent" not in stats
+
+    def test_update_from_mapping(self):
+        stats = StatsRegistry()
+        stats.update_from({"x": 2, "y": 3})
+        stats.update_from({"x": 1})
+        assert stats.get("x") == 3
+        assert stats.get("y") == 3

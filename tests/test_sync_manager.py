@@ -1,0 +1,288 @@
+"""Unit tests for the sync manager (direct, no engine)."""
+
+import pytest
+
+from repro.errors import GuestFault, SimulationError
+from repro.oskernel.sync import SyncManager
+from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
+
+
+class TestMutex:
+    def test_uncontended_acquire(self):
+        sync = SyncManager()
+        assert sync.acquire(1, 100)
+        assert sync.holds(1, 100)
+
+    def test_contended_acquire_blocks(self):
+        sync = SyncManager()
+        sync.acquire(1, 100)
+        assert not sync.acquire(2, 100)
+
+    def test_release_grants_fifo(self):
+        sync = SyncManager()
+        sync.acquire(1, 100)
+        sync.acquire(2, 100)
+        sync.acquire(3, 100)
+        assert sync.release(1, 100) == [2]
+        assert sync.holds(2, 100)
+        assert sync.release(2, 100) == [3]
+
+    def test_release_with_no_waiters_frees(self):
+        sync = SyncManager()
+        sync.acquire(1, 100)
+        assert sync.release(1, 100) == []
+        assert sync.acquire(2, 100)
+
+    def test_reentrant_lock_faults(self):
+        sync = SyncManager()
+        sync.acquire(1, 100)
+        with pytest.raises(GuestFault):
+            sync.acquire(1, 100)
+
+    def test_unlock_not_held_faults(self):
+        sync = SyncManager()
+        with pytest.raises(GuestFault):
+            sync.release(1, 100)
+
+    def test_unlock_other_threads_lock_faults(self):
+        sync = SyncManager()
+        sync.acquire(1, 100)
+        with pytest.raises(GuestFault):
+            sync.release(2, 100)
+
+    def test_independent_locks(self):
+        sync = SyncManager()
+        assert sync.acquire(1, 100)
+        assert sync.acquire(2, 200)
+
+
+class TestSemaphore:
+    def test_init_and_wait(self):
+        sync = SyncManager()
+        sync.sem_init(50, 2)
+        assert sync.sem_wait(1, 50)
+        assert sync.sem_wait(2, 50)
+        assert not sync.sem_wait(3, 50)
+
+    def test_post_grants_waiter(self):
+        sync = SyncManager()
+        sync.sem_init(50, 0)
+        assert not sync.sem_wait(1, 50)
+        assert sync.sem_post(50) == [1]
+
+    def test_post_without_waiter_banks_value(self):
+        sync = SyncManager()
+        sync.sem_init(50, 0)
+        assert sync.sem_post(50) == []
+        assert sync.sem_wait(1, 50)
+
+    def test_uninitialised_sem_defaults_to_zero(self):
+        sync = SyncManager()
+        assert not sync.sem_wait(1, 60)
+
+    def test_negative_init_faults(self):
+        with pytest.raises(GuestFault):
+            SyncManager().sem_init(50, -1)
+
+
+class TestCondvar:
+    def setup_method(self):
+        self.sync = SyncManager()
+        self.sync.acquire(1, 10)  # mutex 10
+
+    def test_wait_releases_mutex(self):
+        grants = self.sync.cond_wait(1, 20, 10)
+        assert grants == []
+        assert self.sync.acquire(2, 10)
+
+    def test_wait_without_mutex_faults(self):
+        with pytest.raises(GuestFault):
+            self.sync.cond_wait(2, 20, 10)
+
+    def test_signal_no_waiters_is_lost(self):
+        assert self.sync.cond_signal(20) == []
+
+    def test_signal_completes_waiter_when_mutex_free(self):
+        self.sync.cond_wait(1, 20, 10)  # releases mutex 10
+        assert self.sync.cond_signal(20) == [1]
+        assert self.sync.holds(1, 10)
+
+    def test_signalled_waiter_queues_on_held_mutex(self):
+        self.sync.cond_wait(1, 20, 10)
+        self.sync.acquire(2, 10)
+        assert self.sync.cond_signal(20) == []
+        assert self.sync.release(2, 10) == [1]
+        assert self.sync.holds(1, 10)
+
+    def test_broadcast_wakes_all(self):
+        self.sync.cond_wait(1, 20, 10)
+        self.sync.acquire(2, 10)
+        self.sync.cond_wait(2, 20, 10)
+        # mutex now free; both waiters queued on cond
+        grants = self.sync.cond_broadcast(20)
+        assert grants == [1]          # 1 reacquires, 2 queues on the mutex
+        assert self.sync.release(1, 10) == [2]
+
+    def test_signal_wakes_in_fifo_order(self):
+        self.sync.cond_wait(1, 20, 10)
+        self.sync.acquire(2, 10)
+        self.sync.cond_wait(2, 20, 10)
+        assert self.sync.cond_signal(20) == [1]
+
+
+class TestBarrier:
+    def test_last_arrival_releases_all(self):
+        sync = SyncManager()
+        assert sync.barrier_arrive(1, 30, 3) == []
+        assert sync.barrier_arrive(2, 30, 3) == []
+        assert sorted(sync.barrier_arrive(3, 30, 3)) == [1, 2, 3]
+
+    def test_barrier_reusable_across_generations(self):
+        sync = SyncManager()
+        sync.barrier_arrive(1, 30, 2)
+        sync.barrier_arrive(2, 30, 2)
+        assert sync.barrier_arrive(1, 30, 2) == []
+        assert sorted(sync.barrier_arrive(2, 30, 2)) == [1, 2]
+
+    def test_count_mismatch_faults(self):
+        sync = SyncManager()
+        sync.barrier_arrive(1, 30, 3)
+        with pytest.raises(GuestFault):
+            sync.barrier_arrive(2, 30, 2)
+
+    def test_count_may_change_between_generations(self):
+        sync = SyncManager()
+        sync.barrier_arrive(1, 30, 2)
+        sync.barrier_arrive(2, 30, 2)
+        assert sync.barrier_arrive(1, 30, 1) == [1]
+
+    def test_nonpositive_count_faults(self):
+        with pytest.raises(GuestFault):
+            SyncManager().barrier_arrive(1, 30, 0)
+
+
+class TestAtomicOrdering:
+    def test_no_oracle_always_proceeds(self):
+        sync = SyncManager()
+        assert sync.atomic_enter(1, 40)
+        assert sync.atomic_done(1, 40) == []
+
+    def test_oracle_defers_out_of_turn(self):
+        oracle = SyncOrderOracle(SyncOrderLog((("atomic", 40, 1), ("atomic", 40, 2))))
+        sync = SyncManager()
+        sync.oracle = oracle
+        assert not sync.atomic_enter(2, 40)   # thread 1's turn first
+        assert sync.atomic_enter(1, 40)
+        assert sync.atomic_done(1, 40) == [2]  # thread 2 now eligible
+        assert sync.atomic_enter(2, 40)
+        assert sync.atomic_done(2, 40) == []
+
+    def test_exhausted_oracle_keeps_deferring(self):
+        """Past the recorded order, nothing more may happen on the address
+        (the recorded execution performed no further atomics there)."""
+        oracle = SyncOrderOracle(SyncOrderLog((("atomic", 40, 1),)))
+        sync = SyncManager()
+        sync.oracle = oracle
+        assert not sync.atomic_enter(2, 40)
+        assert sync.atomic_enter(1, 40)
+        assert sync.atomic_done(1, 40) == []  # 2 stays deferred
+
+
+class TestOracleGrantOrder:
+    def test_lock_granted_in_hinted_order_not_fifo(self):
+        oracle = SyncOrderOracle(
+            SyncOrderLog((("lock", 100, 1), ("lock", 100, 3), ("lock", 100, 2)))
+        )
+        sync = SyncManager()
+        sync.oracle = oracle
+        assert sync.acquire(1, 100)
+        assert not sync.acquire(2, 100)   # queued FIFO first...
+        assert not sync.acquire(3, 100)
+        assert sync.release(1, 100) == [3]  # ...but hints say 3 next
+        assert sync.release(3, 100) == [2]
+
+    def test_lock_held_free_for_hinted_thread(self):
+        oracle = SyncOrderOracle(SyncOrderLog((("lock", 100, 2),)))
+        sync = SyncManager()
+        sync.oracle = oracle
+        # thread 1 asks but it is 2's turn: deferred even though free
+        assert not sync.acquire(1, 100)
+        assert sync.acquire(2, 100)
+        # when 2 releases, the order is exhausted: the recorded execution
+        # granted nothing more here, so thread 1 stays deferred
+        assert sync.release(2, 100) == []
+
+    def test_cond_signal_follows_oracle_choice(self):
+        oracle = SyncOrderOracle(
+            SyncOrderLog(
+                (
+                    ("lock", 10, 1),
+                    ("lock", 10, 2),
+                    ("cond", 20, 2),
+                    ("lock", 10, 2),
+                )
+            )
+        )
+        sync = SyncManager()
+        sync.oracle = oracle
+        sync.acquire(1, 10)
+        sync.cond_wait(1, 20, 10)
+        sync.acquire(2, 10)
+        sync.cond_wait(2, 20, 10)
+        # FIFO would pick 1; the hint picks 2 (which also reacquires 10)
+        assert sync.cond_signal(20) == [2]
+
+    def test_acquisition_listener_fires(self):
+        events = []
+        sync = SyncManager()
+        sync.acquisition_listener = lambda kind, addr, tid: events.append(
+            (kind, addr, tid)
+        )
+        sync.acquire(1, 100)
+        sync.acquire(2, 100)
+        sync.release(1, 100)
+        assert events == [("lock", 100, 1), ("lock", 100, 2)]
+
+
+class TestSnapshot:
+    def test_round_trip(self):
+        sync = SyncManager()
+        sync.acquire(1, 100)
+        sync.acquire(2, 100)
+        sync.sem_init(50, 3)
+        sync.sem_wait(3, 50)
+        sync.barrier_arrive(4, 30, 2)
+        state = sync.snapshot()
+
+        other = SyncManager()
+        other.restore(state)
+        assert other.holds(1, 100)
+        assert other.release(1, 100) == [2]
+        assert other.sem_wait(5, 50)
+        assert sorted(other.barrier_arrive(5, 30, 2)) == [4, 5]
+
+    def test_snapshot_with_deferred_rejected(self):
+        oracle = SyncOrderOracle(SyncOrderLog((("lock", 100, 2),)))
+        sync = SyncManager()
+        sync.oracle = oracle
+        sync.acquire(1, 100)  # deferred
+        with pytest.raises(SimulationError):
+            sync.snapshot()
+
+    def test_semantic_digest_ignores_queue_order(self):
+        a = SyncManager()
+        a.acquire(1, 100)
+        a.acquire(2, 100)
+        a.acquire(3, 100)
+        b = SyncManager()
+        b.acquire(1, 100)
+        b.acquire(3, 100)
+        b.acquire(2, 100)
+        assert a.semantic_digest() == b.semantic_digest()
+
+    def test_semantic_digest_sees_owner(self):
+        a = SyncManager()
+        a.acquire(1, 100)
+        b = SyncManager()
+        b.acquire(2, 100)
+        assert a.semantic_digest() != b.semantic_digest()
