@@ -1,0 +1,177 @@
+"""Host-throughput benchmark: simulated guest ops per host wall-clock second.
+
+Every experiment in this reproduction runs guest programs through
+``repro.exec.interpreter.step`` and ``AddressSpace.read/write``, so host
+throughput — guest MIPS, millions of retired guest instructions per host
+second — gates how large a workload, worker count or epoch sweep the
+benchmark suite can afford. This bench pins that number for three
+representative workloads (pbzip: syscall+lock pipeline, fft:
+compute+barrier kernel, apache: request server) in two modes:
+
+* **native** — a plain multicore run, exercising the interpreter and the
+  memory fast paths;
+* **record** — a full DoublePlay recording pass, adding checkpoints,
+  copy-on-write traffic, epoch re-execution and state hashing. The
+  throughput denominator is the *application's* retired ops, so this
+  measures "application ops recorded per second".
+
+Results are written to ``BENCH_host_throughput.json`` next to this file,
+with a ``seed`` section (the interpreter as of the growth seed) and an
+``optimized`` section, so the host-perf trajectory is tracked across PRs.
+
+Usage::
+
+    python benchmarks/bench_host_throughput.py                # measure + print
+    python benchmarks/bench_host_throughput.py --quick        # small scale
+    python benchmarks/bench_host_throughput.py --write seed   # record baseline
+    python benchmarks/bench_host_throughput.py --write optimized
+    python benchmarks/bench_host_throughput.py --quick --check  # CI gate
+
+``--check`` fails (exit 1) if the measured geomean guest-MIPS regresses
+more than ``BENCH_TOLERANCE`` (default 20%) against the committed
+``optimized`` numbers for the same mode (quick/full).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines import run_native  # noqa: E402
+from repro.core import DoublePlayConfig, DoublePlayRecorder  # noqa: E402
+from repro.machine.config import MachineConfig  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
+
+WORKLOADS = ("pbzip", "fft", "apache")
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_host_throughput.json"
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _retired_ops(engine) -> int:
+    return sum(ctx.retired for ctx in engine.contexts.values())
+
+
+def measure_workload(name: str, scale: int, repeats: int, workers: int = 3):
+    """Best-of-``repeats`` guest-MIPS for one workload, both modes."""
+    machine = MachineConfig(cores=workers)
+    native_best = 0.0
+    record_best = 0.0
+    retired = 0
+    for _ in range(repeats):
+        instance = build_workload(name, workers=workers, scale=scale, seed=1)
+        start = time.perf_counter()
+        native = run_native(instance.image, instance.setup, machine)
+        elapsed = time.perf_counter() - start
+        retired = _retired_ops(native.engine)
+        native_best = max(native_best, retired / elapsed / 1e6)
+
+        config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=max(native.duration // 18, 500),
+        )
+        start = time.perf_counter()
+        DoublePlayRecorder(instance.image, instance.setup, config).record()
+        elapsed = time.perf_counter() - start
+        record_best = max(record_best, retired / elapsed / 1e6)
+    score = _geomean([native_best, record_best])
+    return {
+        "retired_ops": retired,
+        "native_mips": round(native_best, 4),
+        "record_mips": round(record_best, 4),
+        "mips": round(score, 4),
+    }
+
+
+def run_suite(quick: bool, repeats: int):
+    scale = 8 if quick else 24
+    per_workload = {}
+    for name in WORKLOADS:
+        per_workload[name] = measure_workload(name, scale=scale, repeats=repeats)
+    geomean = _geomean([row["mips"] for row in per_workload.values()])
+    return {
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "workers": 3,
+        "repeats": repeats,
+        "per_workload": per_workload,
+        "geomean_mips": round(geomean, 4),
+    }
+
+
+def _load_results():
+    if RESULT_PATH.exists():
+        return json.loads(RESULT_PATH.read_text())
+    return {}
+
+
+def _print_suite(result):
+    print(f"host throughput ({result['mode']}, scale={result['scale']}):")
+    for name, row in result["per_workload"].items():
+        print(
+            f"  {name:<8} native {row['native_mips']:.3f} MIPS"
+            f"  record {row['record_mips']:.3f} MIPS"
+            f"  score {row['mips']:.3f}"
+        )
+    print(f"  GEOMEAN {result['geomean_mips']:.3f} guest-MIPS")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small scale, 1 repeat")
+    parser.add_argument(
+        "--write", choices=("seed", "optimized"), help="store results under this key"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if geomean regresses vs the committed optimized numbers",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    result = run_suite(quick=args.quick, repeats=repeats)
+    _print_suite(result)
+
+    results = _load_results()
+    if args.write:
+        bucket = results.setdefault(args.write, {})
+        bucket[result["mode"]] = result
+        seed = results.get("seed", {}).get(result["mode"])
+        optimized = results.get("optimized", {}).get(result["mode"])
+        if seed and optimized:
+            results["speedup_" + result["mode"]] = round(
+                optimized["geomean_mips"] / seed["geomean_mips"], 3
+            )
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.write}/{result['mode']} to {RESULT_PATH.name}")
+
+    if args.check:
+        committed = results.get("optimized", {}).get(result["mode"])
+        if not committed:
+            print("check: no committed optimized numbers for this mode", file=sys.stderr)
+            return 1
+        tolerance = float(os.environ.get("BENCH_TOLERANCE", "0.2"))
+        floor = committed["geomean_mips"] * (1.0 - tolerance)
+        status = "ok" if result["geomean_mips"] >= floor else "REGRESSION"
+        print(
+            f"check: measured {result['geomean_mips']:.3f} vs committed "
+            f"{committed['geomean_mips']:.3f} (floor {floor:.3f}) → {status}"
+        )
+        if status != "ok":
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

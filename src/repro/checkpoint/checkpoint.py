@@ -34,15 +34,20 @@ class Checkpoint:
     #: pages dirtied in the interval that ended at this checkpoint
     dirty_pages: int = 0
     _digest: Optional[int] = field(default=None, repr=False)
+    _ctx_digest: Optional[int] = field(default=None, repr=False)
 
     def targets(self) -> Dict[int, int]:
         """Per-thread retired-op counts — the epoch boundary definition."""
         return {tid: ctx.retired for tid, ctx in self.contexts.items()}
 
     def contexts_digest(self) -> int:
-        return hash_structure(
-            [self.contexts[tid].state_tuple() for tid in sorted(self.contexts)]
-        )
+        # The checkpoint's contexts are private copies (see
+        # CheckpointManager), so the digest can be computed once.
+        if self._ctx_digest is None:
+            self._ctx_digest = hash_structure(
+                [self.contexts[tid].state_tuple() for tid in sorted(self.contexts)]
+            )
+        return self._ctx_digest
 
     def digest(self) -> int:
         """Guest-state digest: memory + normalised thread contexts.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GuestFault, SimulationError
+from repro.exec.interpreter import decode_program
 from repro.exec.services import LiveSyscalls
 from repro.exec.trace import TraceEvent, TraceObserver
 from repro.isa.context import BlockedReason, ThreadContext, ThreadStatus
@@ -43,6 +44,8 @@ class BaseEngine:
         name: str = "",
     ):
         self.program = program
+        #: per-pc ``(handler, instr)`` pairs; the interpreter's fetch+decode
+        self.decoded = decode_program(program)
         self.config = config
         self.costs = config.costs
         self.mem = mem
@@ -50,6 +53,11 @@ class BaseEngine:
         self.services = services
         self.name = name or program.name
         self.contexts: Dict[int, ThreadContext] = {}
+        #: count of contexts not yet EXITED, so ``all_exited`` is O(1) in
+        #: the engines' per-op loop. Maintained at every point a context
+        #: enters the table (boot, spawn, checkpoint adoption) and the one
+        #: place a thread exits (``on_exit``).
+        self.live_threads = 0
         self.observers: List[TraceObserver] = []
         #: optional hook charging extra cycles per memory access
         #: (tid, addr, is_write) → cycles; the CREW baseline installs one
@@ -100,6 +108,7 @@ class BaseEngine:
             registers=[0] * program.register_count,
         )
         engine.contexts[MAIN_TID] = main
+        engine.live_threads += 1
         engine._on_ready(MAIN_TID, 0)
         return engine
 
@@ -128,6 +137,8 @@ class BaseEngine:
             ):
                 ctx.status = ThreadStatus.READY
             self.contexts[tid] = ctx
+            if ctx.status != ThreadStatus.EXITED:
+                self.live_threads += 1
         for tid in sorted(self.contexts):
             ctx = self.contexts[tid]
             if ctx.pending_grant is not None and ctx.pending_grant[0] == "sync":
@@ -235,6 +246,7 @@ class BaseEngine:
             tid=child_tid, pc=pc, registers=registers, parent=parent.tid
         )
         self.contexts[child_tid] = child
+        self.live_threads += 1
         self._check_spawn(child_tid)
         self._on_ready(child_tid, self._now)
         return child_tid
@@ -275,6 +287,7 @@ class BaseEngine:
 
     def on_exit(self, ctx: ThreadContext) -> None:
         """Wake every thread joined on the exiting one, in tid order."""
+        self.live_threads -= 1
         for tid in sorted(self.contexts):
             other = self.contexts[tid]
             if (
@@ -286,9 +299,7 @@ class BaseEngine:
                 self.grant(tid, ("join",))
 
     def all_exited(self) -> bool:
-        return all(
-            ctx.status == ThreadStatus.EXITED for ctx in self.contexts.values()
-        )
+        return self.live_threads == 0
 
     def blocked_tids(self) -> List[int]:
         return sorted(

@@ -17,7 +17,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Tuple
 
-from repro.errors import DeadlockError, GuestFault
+from repro.errors import DeadlockError, GuestFault, SimulationError
 from repro.exec.engine import BaseEngine
 from repro.exec.interpreter import step
 from repro.isa.context import ThreadContext, ThreadStatus
@@ -88,14 +88,18 @@ class MulticoreEngine(BaseEngine):
     def _dispatch(self) -> None:
         """Assign ready threads to idle cores, earliest core first."""
         while self._ready:
-            idle = [core for core in self.cores if core.tid is None]
-            if not idle:
+            core = None
+            for candidate in self.cores:
+                if candidate.tid is None and (
+                    core is None or candidate.time < core.time
+                ):
+                    core = candidate
+            if core is None:
                 return
             tid, ready_time = self._ready.popleft()
             ctx = self.contexts[tid]
             if ctx.status != ThreadStatus.READY:
                 continue  # exited or re-blocked while queued
-            core = min(idle, key=lambda c: (c.time, c.cid))
             core.tid = tid
             core.time = max(core.time, ready_time) + self.costs.context_switch
             core.quantum_left = self.config.quantum
@@ -127,31 +131,45 @@ class MulticoreEngine(BaseEngine):
         crashed and ``halt_on_fault`` is set. Raises
         :class:`DeadlockError` when nothing can ever run again.
         """
+        cores = self.cores
+        contexts = self.contexts
+        ready = self._ready
+        next_event_fn = self.services.next_event_time
+        max_ops = self.config.max_ops
+        running = ThreadStatus.RUNNING
         while True:
-            if self.all_exited():
+            if self.live_threads == 0:
                 return "done"
-            self._dispatch()
-            busy = [core for core in self.cores if core.tid is not None]
-            if not busy:
-                next_event = self.services.next_event_time()
+            if ready:
+                self._dispatch()
+            # earliest busy core; strict < keeps the lowest-cid tie-break
+            core = None
+            for candidate in cores:
+                if candidate.tid is not None and (
+                    core is None or candidate.time < core.time
+                ):
+                    core = candidate
+            if core is None:
+                next_event = next_event_fn()
                 if next_event is None:
                     raise DeadlockError(
                         f"all threads blocked in {self.name!r}",
                         self.blocked_tids(),
                     )
-                self.time = max(self.time, next_event)
+                if next_event > self.time:
+                    self.time = next_event
                 self._process_wakeups(self.time)
                 continue
-            core = min(busy, key=lambda c: (c.time, c.cid))
-            next_event = self.services.next_event_time()
-            if next_event is not None and next_event <= core.time:
+            core_time = core.time
+            next_event = next_event_fn()
+            if next_event is not None and next_event <= core_time:
                 # A kernel event (arrival, sleep expiry) is due before this
                 # op; deliver it first so a woken thread can claim an idle
                 # core that is earlier in time.
-                self._process_wakeups(core.time)
+                self._process_wakeups(core_time)
                 continue
-            ctx = self.contexts[core.tid]
-            self._now = core.time
+            ctx = contexts[core.tid]
+            self._now = core_time
             try:
                 cost = step(self, ctx)
             except GuestFault as fault:
@@ -161,16 +179,22 @@ class MulticoreEngine(BaseEngine):
                 # stops at this op boundary (a crash ends the process).
                 self.fault = fault
                 return "faulted"
-            self._guard_ops()
-            core.time += cost
+            ops = self.ops + 1
+            self.ops = ops
+            if ops > max_ops:
+                raise SimulationError(
+                    f"execution exceeded {max_ops} ops (infinite loop?)"
+                )
+            core_time += cost
+            core.time = core_time
             core.quantum_left -= cost
-            if core.time > self.time:
-                self.time = core.time
-            if ctx.status != ThreadStatus.RUNNING:
+            if core_time > self.time:
+                self.time = core_time
+            if ctx.status is not running:
                 core.tid = None
-            elif core.quantum_left <= 0 and self._ready:
+            elif core.quantum_left <= 0 and ready:
                 ctx.status = ThreadStatus.READY
-                self._ready.append((ctx.tid, core.time))
+                ready.append((ctx.tid, core_time))
                 core.tid = None
             if stop_check is not None and stop_check(self):
                 return "stopped"

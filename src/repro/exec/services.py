@@ -34,6 +34,9 @@ from repro.oskernel.syscalls import (
 class LiveSyscalls:
     """Execute syscalls against a live kernel, logging completions."""
 
+    #: engines poll ``next_event_time`` per op; False lets them skip it
+    HAS_EVENTS = True
+
     def __init__(self, kernel: Kernel, log: Optional[List[SyscallRecord]] = None):
         self.kernel = kernel
         #: completed-call log in global completion order (None = no logging)
@@ -96,6 +99,9 @@ class InjectedSyscalls:
     thread's per-thread sequence number, so an epoch executor can be handed
     the full log and will naturally consume only its epoch's slice.
     """
+
+    #: no kernel — ``next_event_time`` is always None
+    HAS_EVENTS = False
 
     def __init__(
         self,

@@ -23,7 +23,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
-from repro.errors import DeadlockError, DivergenceSignal, GuestFault, ReplayError
+from repro.errors import (
+    DeadlockError,
+    DivergenceSignal,
+    GuestFault,
+    ReplayError,
+    SimulationError,
+)
 from repro.exec.engine import BaseEngine
 from repro.exec.interpreter import step
 from repro.isa.context import ThreadContext, ThreadStatus
@@ -235,17 +241,25 @@ class UniprocessorEngine(BaseEngine):
             needed = max(sum(self.targets.values()) - already_retired, 0)
             self._op_budget = 2 * needed + 64 * (len(self.targets) + 1)
         stopped = False
+        ready = self._ready
+        targets = self.targets
+        costs = self.costs
+        max_ops = self.config.max_ops
+        op_budget = self._op_budget
+        next_event_fn = self.services.next_event_time
+        has_events = getattr(self.services, "HAS_EVENTS", True)
+        running = ThreadStatus.RUNNING
         while not stopped:
             if self._all_done():
                 return EpochOutcome("complete", schedule, self.time)
-            if not self._ready:
-                next_event = self.services.next_event_time()
+            if not ready:
+                next_event = next_event_fn()
                 if next_event is not None:
                     self.time = max(self.time, next_event)
                     self._process_wakeups(self.time)
                     continue
                 self._stall()
-            tid = self._ready.popleft()
+            tid = ready.popleft()
             ctx = self.contexts[tid]
             if ctx.status != ThreadStatus.READY:
                 continue
@@ -266,23 +280,25 @@ class UniprocessorEngine(BaseEngine):
                     ctx.status = ThreadStatus.PARKED
                 continue
             ctx.status = ThreadStatus.RUNNING
-            self.time += self.costs.context_switch
+            self.time += costs.context_switch
             self.context_switches += 1
             budget = self.config.quantum
             retired_at_start = ctx.retired
+            target = None if targets is None else targets.get(tid)
             issue_ended = False
-            while budget > 0 and ctx.status == ThreadStatus.RUNNING:
-                if self._at_target(ctx):
+            while budget > 0 and ctx.status is running:
+                if target is not None and ctx.retired >= target:
                     break
-                next_event = self.services.next_event_time()
-                if next_event is not None and next_event <= self.time:
-                    self._process_wakeups(self.time)
+                if has_events:
+                    next_event = next_event_fn()
+                    if next_event is not None and next_event <= self.time:
+                        self._process_wakeups(self.time)
                 self._now = self.time
                 retired_before = ctx.retired
                 try:
                     cost = step(self, ctx)
                 except GuestFault as fault:
-                    if self.targets is not None:
+                    if targets is not None:
                         # The thread-parallel run retired past this point
                         # without crashing; a fault here is a divergence.
                         raise DivergenceSignal(
@@ -295,7 +311,19 @@ class UniprocessorEngine(BaseEngine):
                         schedule.append(tid, ctx.retired - retired_at_start, False)
                     return EpochOutcome("faulted", schedule, self.time,
                                         reason=str(fault))
-                self._count_run_op()
+                ops = self.ops + 1
+                self.ops = ops
+                if ops > max_ops:
+                    raise SimulationError(
+                        f"execution exceeded {max_ops} ops (infinite loop?)"
+                    )
+                run_ops = self._run_ops + 1
+                self._run_ops = run_ops
+                if op_budget is not None and run_ops > op_budget:
+                    raise DivergenceSignal(
+                        "epoch execution exceeded its op budget "
+                        "(runaway divergence)"
+                    )
                 self.time += cost
                 budget -= cost
                 if ctx.retired == retired_before:
@@ -344,6 +372,7 @@ class UniprocessorEngine(BaseEngine):
         Raises :class:`ReplayError` on any departure — a correct recording
         replayed on the starting state it was captured from never departs.
         """
+        max_ops = self.config.max_ops
         for timeslice in schedule:
             ctx = self.contexts.get(timeslice.tid)
             if ctx is None:
@@ -391,7 +420,12 @@ class UniprocessorEngine(BaseEngine):
                 retired_before = ctx.retired
                 self._now = self.time
                 cost = step(self, ctx)
-                self._guard_ops()
+                ops = self.ops + 1
+                self.ops = ops
+                if ops > max_ops:
+                    raise SimulationError(
+                        f"execution exceeded {max_ops} ops (infinite loop?)"
+                    )
                 self.time += cost
                 if ctx.retired == retired_before:
                     raise ReplayError(

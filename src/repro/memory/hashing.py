@@ -19,9 +19,10 @@ _MASK64 = (1 << 64) - 1
 def fnv1a_words(words: Iterable[int], seed: int = _FNV_OFFSET) -> int:
     """FNV-1a over a sequence of integers (each wrapped to 64 bits)."""
     value = seed
+    prime = _FNV_PRIME
+    mask = _MASK64
     for word in words:
-        value ^= word & _MASK64
-        value = (value * _FNV_PRIME) & _MASK64
+        value = ((value ^ (word & mask)) * prime) & mask
     return value
 
 
@@ -30,22 +31,51 @@ def combine_hashes(parts: Iterable[int]) -> int:
     return fnv1a_words(parts, seed=0x9E3779B97F4A7C15)
 
 
+def fold_page_table(pages, sorted_keys=None) -> int:
+    """Hash a ``{page_no: Page}`` table in sorted page order.
+
+    Bit-identical to ``combine_hashes`` over the interleaved
+    ``(page_no, page.content_hash())`` sequence — recordings store these
+    digests, so the fold must never change. ``sorted_keys`` lets callers
+    that cache the sorted page list skip the re-sort.
+    """
+    if sorted_keys is None:
+        sorted_keys = sorted(pages)
+    value = 0x9E3779B97F4A7C15
+    prime = _FNV_PRIME
+    mask = _MASK64
+    for page_no in sorted_keys:
+        value = ((value ^ (page_no & mask)) * prime) & mask
+        value = ((value ^ (pages[page_no].content_hash() & mask)) * prime) & mask
+    return value
+
+
 def hash_structure(obj) -> int:
     """Hash nested tuples/lists/dicts/ints/strs deterministically.
 
     Used for kernel digests and thread-context comparison, where the state
     is plain data but not flat. Dicts are folded in sorted-key order.
     """
+    # The int and tuple/list cases inline their folds (bit-identical to
+    # fnv1a_words/combine_hashes) — context digests hash thousands of
+    # nested ints per epoch comparison.
     if isinstance(obj, bool):
         return fnv1a_words([3 if obj else 5])
     if isinstance(obj, int):
-        return fnv1a_words([obj, 0x11])
+        value = ((_FNV_OFFSET ^ (obj & _MASK64)) * _FNV_PRIME) & _MASK64
+        return ((value ^ 0x11) * _FNV_PRIME) & _MASK64
     if obj is None:
         return fnv1a_words([0x71AF, 0x13])
     if isinstance(obj, str):
         return fnv1a_words(obj.encode(), seed=0x811C9DC5)
     if isinstance(obj, (tuple, list)):
-        return combine_hashes([0x7E57, len(obj)] + [hash_structure(x) for x in obj])
+        prime = _FNV_PRIME
+        mask = _MASK64
+        value = ((0x9E3779B97F4A7C15 ^ 0x7E57) * prime) & mask
+        value = ((value ^ len(obj)) * prime) & mask
+        for x in obj:
+            value = ((value ^ hash_structure(x)) * prime) & mask
+        return value
     if isinstance(obj, dict):
         parts = [0xD1C7, len(obj)]
         for key in sorted(obj, key=repr):

@@ -11,6 +11,14 @@ from __future__ import annotations
 #: baseline, large enough that copy-on-write bookkeeping stays cheap.
 PAGE_WORDS = 64
 
+#: PAGE_WORDS is a power of two so hot paths can use shift/mask arithmetic
+#: (``addr >> PAGE_SHIFT`` / ``addr & PAGE_OFFSET_MASK``), which matches
+#: floor division / modulo for negative addresses too.
+if PAGE_WORDS & (PAGE_WORDS - 1):
+    raise ValueError("PAGE_WORDS must be a power of two")
+PAGE_SHIFT = PAGE_WORDS.bit_length() - 1
+PAGE_OFFSET_MASK = PAGE_WORDS - 1
+
 #: First address the assembler hands out for global data (start of page 1).
 DATA_BASE = PAGE_WORDS
 

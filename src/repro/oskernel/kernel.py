@@ -28,6 +28,9 @@ from repro.oskernel.syscalls import (
 )
 from repro.sim.rng import DeterministicRng
 
+#: ``next_event_time`` cache sentinel (``None`` is a valid cached value).
+_STALE_EVENT = object()
+
 
 @dataclass
 class KernelSetup:
@@ -59,6 +62,11 @@ class Kernel:
         #: (fire time, seq, tid, handler pc) armed via SETTIMER
         self._timers: List[Tuple[int, int, int, int]] = []
         self._timer_seq = 0
+        # Cached next_event_time (engines poll it once or twice per op).
+        # It is a pure function of the net arrival cursor, _sleepers and
+        # _timers, all of which change only inside syscall/wakeups/
+        # signal_deliveries/restore — each of those drops the cache.
+        self._next_event_cache = _STALE_EVENT
 
     # ------------------------------------------------------------------
     # Syscall dispatch
@@ -73,6 +81,7 @@ class Kernel:
     ):
         """Execute one syscall; returns :class:`SyscallDone` or
         :class:`SyscallBlock` (having queued the thread as a waiter)."""
+        self._next_event_cache = _STALE_EVENT
         if kind == SyscallKind.OPEN:
             return SyscallDone(self.fs.open(args[0]))
         if kind == SyscallKind.CLOSE:
@@ -161,6 +170,7 @@ class Kernel:
     # ------------------------------------------------------------------
     def wakeups(self, now: int, mem: AddressSpace) -> List[Wakeup]:
         """Complete every blocked syscall that becomes ready by ``now``."""
+        self._next_event_cache = _STALE_EVENT
         ready: List[Wakeup] = []
         self.net.admit_arrivals(now)
         while self.net.accept_waiters and self.net.backlog_size():
@@ -178,6 +188,7 @@ class Kernel:
 
     def signal_deliveries(self, now: int) -> List[SignalDelivery]:
         """Timers that have fired by ``now``, in arming order."""
+        self._next_event_cache = _STALE_EVENT
         due = [timer for timer in sorted(self._timers) if timer[0] <= now]
         if due:
             self._timers = [t for t in self._timers if t[0] > now]
@@ -185,6 +196,9 @@ class Kernel:
 
     def next_event_time(self) -> Optional[int]:
         """Earliest future time at which a wakeup could occur."""
+        cached = self._next_event_cache
+        if cached is not _STALE_EVENT:
+            return cached
         candidates = []
         arrival = self.net.next_arrival_time()
         if arrival is not None:
@@ -193,7 +207,9 @@ class Kernel:
             candidates.append(min(self._sleepers)[0])
         if self._timers:
             candidates.append(min(self._timers)[0])
-        return min(candidates) if candidates else None
+        value = min(candidates) if candidates else None
+        self._next_event_cache = value
+        return value
 
     # ------------------------------------------------------------------
     # Snapshot / restore / digest
@@ -232,6 +248,7 @@ class Kernel:
         self._sleep_seq = sleep_seq
         self._timers = [tuple(entry) for entry in timers]
         self._timer_seq = timer_seq
+        self._next_event_cache = _STALE_EVENT
 
     def digest(self) -> int:
         """Stable hash of externally visible kernel state (tests only)."""

@@ -11,9 +11,74 @@ import pytest
 from repro.baselines import run_native
 from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
 from repro.machine.config import MachineConfig
+from repro.memory.hashing import combine_hashes
 from repro.workloads import WORKLOADS, build_workload, workload_names
 
 CONFIGS = [(name, workers) for name in workload_names() for workers in (2, 3)]
+
+# Golden end-to-end values per (workload, workers) at scale=2, seed=11:
+# (native duration, native digest, makespan, epoch count, final digest,
+#  combined epoch end-digests, total log bytes). These pin the simulator's
+# observable behaviour bit-for-bit — any host-side optimisation (dispatch
+# tables, TLBs, hash caching) must leave every one of them unchanged.
+GOLDEN = {
+    ("aget", 2): (4807, 12651562650872444726, 5747, 10,
+                  9750065671864226844, 4447608908880550891, 3936),
+    ("aget", 3): (4575, 86832004083554708, 5448, 10,
+                  86832004083554708, 1763391140910181180, 4344),
+    ("apache", 2): (5377, 15557036813043296881, 7312, 12,
+                    15667671969702678195, 2155579163447930320, 3872),
+    ("apache", 3): (5583, 11856920576053863941, 6393, 10,
+                    15233928128316885767, 9199542772119446140, 4560),
+    ("fft", 2): (3466, 1023587758859363579, 4048, 8,
+                 1023587758859363579, 6006708359676509811, 584),
+    ("fft", 3): (3791, 5607265402854933670, 4752, 9,
+                 5607265402854933670, 7927598431155298058, 944),
+    ("lu", 2): (4896, 14551909104814060594, 5814, 11,
+                14551909104814060594, 16981150695979687117, 1136),
+    ("lu", 3): (5033, 14978186051075779708, 5961, 11,
+                14978186051075779708, 17186382475764968431, 1592),
+    ("mysql", 2): (4089, 9624155467934768117, 5877, 10,
+                   6095974313538744895, 4732499191363289370, 3472),
+    ("mysql", 3): (3311, 948195989078979533, 4969, 8,
+                   4341614222855619633, 13232087581114816424, 3856),
+    ("ocean", 2): (4579, 11527734004478394154, 5313, 10,
+                   11527734004478394154, 6994437026708409131, 848),
+    ("ocean", 3): (4840, 3550062865480851614, 5809, 11,
+                   3550062865480851614, 1008239838482505802, 1232),
+    ("pbzip", 2): (5230, 11529552014372706206, 7083, 12,
+                   11529552014372706206, 874082006809833535, 6024),
+    ("pbzip", 3): (4225, 15316583958854145957, 6628, 10,
+                   17272036854511172949, 13244271545710141243, 6960),
+    ("pfscan", 2): (4124, 18003381354230837672, 5166, 9,
+                    18003381354230837672, 13868236508608381773, 6736),
+    ("pfscan", 3): (3213, 5110011646564275461, 5121, 8,
+                    5110011646564275461, 13020697379226720733, 7488),
+    ("prodcons", 2): (938, 920605467332395685, 1313, 2,
+                      920605467332395685, 17304008216913788021, 736),
+    ("prodcons", 3): (1789, 8053473133804911, 2263, 4,
+                      8053473133804911, 12034645484827403544, 1872),
+    ("prodcons-sem", 2): (850, 15626521186015135587, 1235, 2,
+                          15626521186015135587, 2775192677128591728, 968),
+    ("prodcons-sem", 3): (1558, 13088482847976153957, 2255, 4,
+                          13088482847976153957, 5094968567319453553, 2048),
+    ("racy-counter", 2): (1861, 3448562615946056474, 9602, 8,
+                          12724300268640189663, 9912476949056978793, 344),
+    ("racy-counter", 3): (1922, 5374146475501369629, 18625, 11,
+                          14223301674063300882, 158827803329310059, 464),
+    ("racy-lazyinit", 2): (589, 4908108182066075022, 980, 2,
+                           4908108182066075022, 14562062304790101566, 184),
+    ("racy-lazyinit", 3): (650, 3840646583692704329, 1344, 2,
+                           3840646583692704329, 17035089182703621485, 272),
+    ("radix", 2): (6235, 7917491320764720759, 7218, 13,
+                   7917491320764720759, 14361880256660075860, 1040),
+    ("radix", 3): (7216, 16673423257611233481, 8252, 13,
+                   16673423257611233481, 12142456901315693440, 1400),
+    ("water", 2): (2426, 16377078339086888187, 3082, 5,
+                   16377078339086888187, 12862172388543010355, 808),
+    ("water", 3): (3032, 2956172348081215986, 4107, 7,
+                   7184107632185205554, 16867501009319820216, 1400),
+}
 
 
 @pytest.mark.parametrize("name,workers", CONFIGS)
@@ -48,3 +113,19 @@ def test_record_validate_replay(name, workers):
 
     # 5. recording is never free: makespan at least the app's own time
     assert result.makespan >= result.app_time - result.stats["checkpoint_cost"]
+
+    # 6. zero behavioural drift: cycle counts, digests and log sizes match
+    # the committed goldens exactly
+    observed = (
+        native.duration,
+        native.final_digest,
+        result.makespan,
+        recording.epoch_count(),
+        recording.final_digest,
+        combine_hashes([epoch.end_digest for epoch in recording.epochs]),
+        recording.total_log_bytes(),
+    )
+    assert observed == GOLDEN[(name, workers)], (
+        f"{name}/{workers}: behavioural drift — expected "
+        f"{GOLDEN[(name, workers)]}, got {observed}"
+    )

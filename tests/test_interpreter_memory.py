@@ -134,3 +134,76 @@ class TestAtomics:
         engine, _ = boot_multicore(image, MachineConfig(cores=3))
         engine.run()
         assert engine.contexts[1].registers[1] == 75
+
+
+class TestPageCacheInvalidation:
+    """The last-page software TLB must never outlive a snapshot boundary.
+
+    The interpreter's LOAD/STORE fast paths hit ``AddressSpace``'s cached
+    last page; ``snapshot()`` and ``from_snapshot()`` share pages by
+    reference, so a cache entry surviving either would let a store mutate
+    a page a checkpoint still owns.
+    """
+
+    def _space(self):
+        from repro.memory.address_space import AddressSpace
+        from repro.memory.layout import PAGE_WORDS
+
+        space = AddressSpace()
+        space.map_range(0, 2 * PAGE_WORDS)
+        return space
+
+    def test_snapshot_invalidates_store_cache(self):
+        space = self._space()
+        space.write(3, 10)  # primes the writable-page cache
+        snap = space.snapshot()
+        space.write(3, 20)
+        assert snap.read(3) == 10, "store after snapshot leaked into it"
+        assert space.read(3) == 20
+
+    def test_snapshot_write_cows_exactly_once(self):
+        space = self._space()
+        space.write(3, 10)
+        space.snapshot()
+        before = space.cow_copies
+        space.write(3, 20)
+        space.write(4, 30)  # same page: second store must reuse the clone
+        assert space.cow_copies == before + 1
+
+    def test_from_snapshot_space_does_not_alias_cache(self):
+        from repro.memory.address_space import AddressSpace
+
+        space = self._space()
+        space.write(3, 10)
+        snap = space.snapshot()
+        restored = AddressSpace.from_snapshot(snap)
+        assert restored.read(3) == 10  # primes restored's read cache
+        space.write(3, 99)  # COW in the original space
+        assert restored.read(3) == 10, "restored space saw foreign write"
+        restored.write(3, 55)
+        assert space.read(3) == 99
+        assert snap.read(3) == 10
+
+    def test_guest_store_after_snapshot_preserved(self):
+        """End to end: a STORE executed after an engine-level snapshot
+        must not alter the snapshot's memory image."""
+        def body(a):
+            a.li("r1", 41)
+            a.storeg("r1", "cell")
+            a.li("r1", 42)
+            a.storeg("r1", "cell")
+
+        from tests.conftest import run_single
+
+        engine, _ = run_single(body, data=[("cell", 1, [7])])
+        # run_single already drove stores through the fast path; the data
+        # page's final content must reflect the last store only.
+        from repro.memory.layout import page_of
+
+        heap_values = [
+            value
+            for page in engine.mem.pages.values()
+            for value in page.words
+            if value in (41, 42)
+        ]
+        assert heap_values == [42]

@@ -1,0 +1,161 @@
+"""Copy-on-write refcount accounting regressions.
+
+The software write-TLB caches the last privately-owned page so repeat
+stores skip the refcount check entirely. These tests pin the accounting
+invariants that make that safe: a snapshotted page is cloned exactly once
+per space regardless of how many stores hit it, releasing a snapshot
+never drops ``Page.refs`` below the number of live owners, and a write
+after release reuses the now-private page instead of cloning again.
+"""
+
+import pytest
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import PAGE_WORDS, page_of
+
+
+def make_space(words=None):
+    space = AddressSpace()
+    space.map_range(0, 4 * PAGE_WORDS)
+    for addr, value in (words or {}).items():
+        space.write(addr, value)
+    return space
+
+
+class TestCloneOncePerEpoch:
+    def test_repeat_writes_clone_once(self):
+        space = make_space({5: 50})
+        space.snapshot()
+        before = space.cow_copies
+        for value in range(20):
+            space.write(5, value)
+        assert space.cow_copies == before + 1
+
+    def test_writes_to_same_page_different_offsets_clone_once(self):
+        space = make_space()
+        space.snapshot()
+        before = space.cow_copies
+        for offset in range(PAGE_WORDS):
+            space.write(offset, offset)
+        assert space.cow_copies == before + 1
+
+    def test_each_dirtied_page_clones_independently(self):
+        space = make_space()
+        space.snapshot()
+        before = space.cow_copies
+        space.write(0, 1)
+        space.write(PAGE_WORDS, 2)
+        space.write(2 * PAGE_WORDS, 3)
+        assert space.cow_copies == before + 3
+
+    def test_block_write_spanning_pages_clones_each_once(self):
+        space = make_space()
+        space.snapshot()
+        before = space.cow_copies
+        # 68 words starting 2 before a page boundary touch pages 0, 1, 2
+        space.write_block(PAGE_WORDS - 2, [1] * (PAGE_WORDS + 4))
+        assert space.cow_copies == before + 3
+        # further words on the same pages are already private
+        space.write(PAGE_WORDS - 1, 9)
+        space.write(PAGE_WORDS + 1, 9)
+        assert space.cow_copies == before + 3
+
+
+class TestRefcountLifecycle:
+    def test_snapshot_then_release_restores_private_refs(self):
+        space = make_space({5: 50})
+        page = space._pages[page_of(5)]
+        assert page.refs == 1
+        snap = space.snapshot()
+        assert page.refs == 2
+        snap.release()
+        assert page.refs == 1
+
+    def test_write_after_release_does_not_clone(self):
+        space = make_space({5: 50})
+        snap = space.snapshot()
+        snap.release()
+        before = space.cow_copies
+        space.write(5, 51)
+        assert space.cow_copies == before
+        assert space.read(5) == 51
+
+    def test_snapshot_write_release_write_never_underflows(self):
+        space = make_space({5: 50})
+        snap = space.snapshot()
+        space.write(5, 51)  # clones: space now owns a private copy
+        shared = snap._pages[page_of(5)]
+        assert shared.refs == 1  # snapshot is the sole owner of the original
+        snap.release()
+        # release of the snapshot's sole reference must not underflow
+        assert shared.refs == 0
+        private = space._pages[page_of(5)]
+        assert private.refs == 1
+        before = space.cow_copies
+        space.write(5, 52)
+        assert space.cow_copies == before
+        assert space.read(5) == 52
+
+    def test_double_release_is_idempotent(self):
+        space = make_space({5: 50})
+        snap = space.snapshot()
+        page = space._pages[page_of(5)]
+        snap.release()
+        snap.release()
+        assert page.refs == 1
+
+    def test_stacked_snapshots_track_owner_count(self):
+        space = make_space({5: 50})
+        page = space._pages[page_of(5)]
+        snaps = [space.snapshot() for _ in range(3)]
+        assert page.refs == 4
+        space.write(5, 51)  # one clone, shared page drops to 3 owners
+        assert page.refs == 3
+        assert space.cow_copies == 1
+        for snap in snaps:
+            assert snap.read(5) == 50
+            snap.release()
+        assert page.refs == 0
+        assert space.read(5) == 51
+
+    def test_restored_space_shares_until_written(self):
+        space = make_space({5: 50})
+        snap = space.snapshot()
+        restored = AddressSpace.from_snapshot(snap)
+        page = snap._pages[page_of(5)]
+        refs_before = page.refs
+        before = restored.cow_copies
+        restored.write(5, 99)
+        assert restored.cow_copies == before + 1
+        assert page.refs == refs_before - 1
+        assert space.read(5) == 50
+        assert snap.read(5) == 50
+        assert restored.read(5) == 99
+
+
+class TestWriteTlbSafety:
+    def test_tlb_never_bypasses_cow(self):
+        """A store immediately before a snapshot must not leave a stale
+        write-TLB entry that lets the next store mutate the shared page."""
+        space = make_space()
+        space.write(5, 1)  # primes the write TLB for page 0
+        snap = space.snapshot()
+        space.write(5, 2)  # must COW, not hit the stale TLB entry
+        assert snap.read(5) == 1
+        assert space.read(5) == 2
+        assert space.cow_copies == 1
+
+    def test_tlb_never_bypasses_dirty_tracking(self):
+        space = make_space()
+        space.write(5, 1)
+        space.take_dirty()
+        space.write(5, 2)  # TLB flushed by take_dirty: page re-dirties
+        assert page_of(5) in space.dirty
+
+    def test_read_tlb_sees_post_cow_page(self):
+        space = make_space({5: 50})
+        space.read(5)  # primes the read TLB
+        snap = space.snapshot()
+        space.write(5, 51)  # COW clone must refresh/invalidate the read TLB
+        assert space.read(5) == 51
+        assert snap.read(5) == 50

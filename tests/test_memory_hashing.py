@@ -1,6 +1,6 @@
 """Tests for stable hashing primitives."""
 
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.memory.hashing import combine_hashes, fnv1a_words, hash_structure
 
@@ -71,3 +71,100 @@ class TestHashStructure:
     )
     def test_property_deterministic(self, structure):
         assert hash_structure(structure) == hash_structure(structure)
+
+
+class TestIncrementalHashProperty:
+    """The cached running content hash must be indistinguishable from a
+    from-scratch FNV-1a fold, for any interleaving of writes, block
+    writes, hash queries, snapshots and restores."""
+
+    @staticmethod
+    def _reference_hash(space):
+        """Recompute the space digest with no caches: raw page words."""
+        from repro.memory.hashing import combine_hashes, fnv1a_words
+
+        parts = []
+        pages = space.pages
+        for page_no in sorted(pages):
+            parts.append(page_no)
+            parts.append(fnv1a_words(pages[page_no].words))
+        return combine_hashes(parts)
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("write"),
+                    st.integers(min_value=0, max_value=255),
+                    st.integers(min_value=0, max_value=2**64 - 1),
+                ),
+                st.tuples(
+                    st.just("write_block"),
+                    st.integers(min_value=0, max_value=200),
+                    st.lists(
+                        st.integers(min_value=0, max_value=2**32),
+                        min_size=1,
+                        max_size=80,
+                    ),
+                ),
+                st.tuples(st.just("hash")),
+                st.tuples(st.just("snapshot")),
+                st.tuples(st.just("restore")),
+                st.tuples(st.just("take_dirty")),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_scratch(self, ops):
+        from repro.memory.address_space import AddressSpace
+
+        space = AddressSpace()
+        space.map_range(0, 256)
+        snapshots = []
+        for op in ops:
+            if op[0] == "write":
+                space.write(op[1], op[2])
+            elif op[0] == "write_block":
+                space.write_block(op[1], op[2])
+            elif op[0] == "hash":
+                # interleaved queries exercise the cache-then-mutate path
+                assert space.content_hash() == self._reference_hash(space)
+            elif op[0] == "snapshot":
+                snap = space.snapshot()
+                snapshots.append(snap)
+                assert snap.content_hash() == self._reference_hash(space)
+            elif op[0] == "restore" and snapshots:
+                space = AddressSpace.from_snapshot(snapshots[-1])
+            elif op[0] == "take_dirty":
+                space.take_dirty()
+        assert space.content_hash() == self._reference_hash(space)
+        for snap in snapshots:
+            snap.release()
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=127),
+                st.integers(min_value=0, max_value=2**64 - 1),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_hash_is_frozen(self, writes):
+        """A snapshot's digest never changes, no matter what the live
+        space does afterwards."""
+        from repro.memory.address_space import AddressSpace
+
+        space = AddressSpace()
+        space.map_range(0, 128)
+        for addr, value in writes[: len(writes) // 2]:
+            space.write(addr, value)
+        snap = space.snapshot()
+        frozen = snap.content_hash()
+        for addr, value in writes[len(writes) // 2 :]:
+            space.write(addr, value)
+            assert snap.content_hash() == frozen
+        assert space.content_hash() == self._reference_hash(space)
+        snap.release()
