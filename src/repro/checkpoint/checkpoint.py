@@ -73,6 +73,28 @@ class Checkpoint:
         """Fresh context copies safe to hand to a new engine."""
         return {tid: ctx.copy() for tid, ctx in self.contexts.items()}
 
+    def to_wire(self) -> "Checkpoint":
+        """Host-wire copy for shipping to an epoch-executor process.
+
+        Shares this checkpoint's guest state (pickling the copy is what
+        actually duplicates it) but strips the kernel state: epoch
+        executors inject logged syscalls and never touch a live kernel —
+        only forward recovery needs ``kernel_state``, and recovery always
+        runs on the coordinator. The content-derived digest caches
+        transfer.
+        """
+        return Checkpoint(
+            index=self.index,
+            time=self.time,
+            memory=self.memory,
+            contexts=self.contexts,
+            sync_state=self.sync_state,
+            kernel_state=None,
+            dirty_pages=self.dirty_pages,
+            _digest=self._digest,
+            _ctx_digest=self._ctx_digest,
+        )
+
     def release(self) -> None:
         """Drop the memory snapshot's page pins (when discarded)."""
         self.memory.release()

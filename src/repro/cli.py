@@ -120,6 +120,7 @@ def cmd_record(args, out) -> int:
         epoch_cycles=max(native.duration // args.epoch_divisor, 400),
         spare_cores=not args.no_spare_cores,
         use_sync_hints=not args.no_sync_hints,
+        host_jobs=args.jobs,
     )
     result = DoublePlayRecorder(instance.image, instance.setup, config).record()
     recording = result.recording
@@ -158,10 +159,12 @@ def cmd_replay(args, out) -> int:
         replayer.materialize_checkpoints(recording)
         outcome = replayer.replay_epoch(recording, args.epoch)
         label = f"epoch {args.epoch}"
-    elif args.parallel:
+    elif args.parallel or args.jobs > 1:
         replayer.materialize_checkpoints(recording)
-        outcome = replayer.replay_parallel(recording, workers=meta["workers"])
-        label = "parallel"
+        outcome = replayer.replay_parallel(
+            recording, workers=meta["workers"], jobs=args.jobs
+        )
+        label = f"parallel[jobs={outcome.jobs}]" if args.jobs > 1 else "parallel"
     else:
         outcome = replayer.replay_sequential(recording)
         label = "sequential"
@@ -249,12 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
                                help="epochs per native runtime (default 18)")
     record_parser.add_argument("--no-spare-cores", action="store_true")
     record_parser.add_argument("--no-sync-hints", action="store_true")
+    record_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="host worker processes for epoch execution (default: serial; "
+             "results are bit-identical at any jobs count)")
     record_parser.add_argument("-o", "--output", help="save recording JSON here")
 
     replay_parser = commands.add_parser("replay", help="replay a saved recording")
     replay_parser.add_argument("recording", help="recording JSON file")
     replay_parser.add_argument("--parallel", action="store_true",
                                help="parallel epoch replay")
+    replay_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="host worker processes for parallel replay (implies --parallel; "
+             "default: serial)")
     replay_parser.add_argument("--epoch", type=int, default=None,
                                help="replay a single epoch index")
 

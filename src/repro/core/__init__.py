@@ -22,7 +22,7 @@ The paper's contribution, implemented on the simulated machine:
 from repro.core.config import DoublePlayConfig
 from repro.core.epochs import FixedEpochPolicy, AdaptiveEpochPolicy
 from repro.core.recorder import DoublePlayRecorder, RecordResult
-from repro.core.replayer import Replayer, ReplayResult
+from repro.core.replayer import Replayer, ReplayFailure, ReplayResult
 from repro.core.divergence import DivergenceReport, compare_epoch_end
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "DoublePlayRecorder",
     "RecordResult",
     "Replayer",
+    "ReplayFailure",
     "ReplayResult",
     "DivergenceReport",
     "compare_epoch_end",

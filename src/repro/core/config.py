@@ -10,9 +10,26 @@ sensitivity experiment (Fig 9) sweeps exactly this knob.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 
 from repro.machine.config import MachineConfig
+
+
+def _default_host_jobs() -> int:
+    """Default host-process count: the ``REPRO_TEST_JOBS`` env var, else 1.
+
+    The env hook lets CI sweep the entire tier-1 suite over the
+    process-parallel path without touching a single test — results are
+    bit-identical at any jobs count, so the same assertions must pass.
+    """
+    raw = os.environ.get("REPRO_TEST_JOBS", "")
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -42,6 +59,11 @@ class DoublePlayConfig:
     #: upper bound on recovery attempts (safety valve; a correct setup
     #: always makes progress, see repro.core.recovery)
     max_recoveries: int = 1000
+    #: host worker *processes* for epoch execution (1 = serial, today's
+    #: code path, zero extra dependencies). Orthogonal to
+    #: ``epoch_workers``, which is simulated executor slots: ``host_jobs``
+    #: changes only wall-clock, never a digest, makespan or recording.
+    host_jobs: int = dataclasses.field(default_factory=_default_host_jobs)
 
     def workers(self) -> int:
         return self.machine.cores
@@ -51,6 +73,9 @@ class DoublePlayConfig:
 
     def inflight_bound(self) -> int:
         return self.max_inflight_epochs or self.executor_slots() + 1
+
+    def resolve_host_jobs(self) -> int:
+        return max(1, self.host_jobs)
 
     def replace(self, **overrides) -> "DoublePlayConfig":
         return dataclasses.replace(self, **overrides)

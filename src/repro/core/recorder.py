@@ -72,6 +72,10 @@ class RecordResult:
     #: guest crash message when the recorded program faulted (the
     #: recording then reproduces the state at the instant before the crash)
     fault: Optional[str] = None
+    #: host-parallelism accounting (jobs, per-unit worker timings). Never
+    #: part of the recording — recordings are bit-identical at any jobs
+    #: count, host numbers by construction are not.
+    host: Dict[str, object] = field(default_factory=dict)
 
     def overhead_vs(self, native_time: int) -> float:
         """Fractional logging overhead relative to a native run."""
@@ -105,6 +109,65 @@ class DoublePlayRecorder:
         self.machine = self.config.machine
 
     # ------------------------------------------------------------------
+    def _segment_epoch_results(
+        self,
+        executor,
+        checkpoints: List[Checkpoint],
+        hints: List,
+        hint_marks: List[int],
+        syscall_log: List[SyscallRecord],
+        signal_log: List,
+        first_epoch_index: int,
+    ):
+        """Yield ``(position, EpochRunResult)`` for a segment, in order.
+
+        Serial path (``executor is None``): exactly the pre-host-layer
+        loop — lazy, one epoch at a time, so an early divergence runs
+        nothing past it. Parallel path: every epoch of the segment fans
+        out to worker processes; results merge back in position order and
+        a divergence at position *k* cancels everything after it. Both
+        paths stop after the first failure; both produce identical result
+        streams, because epoch execution is a deterministic function of
+        the checkpoints and logs.
+        """
+        positions = len(checkpoints) - 1
+        if executor is None or positions <= 1:
+            for position in range(positions):
+                # The executor gets the hint *suffix* from its epoch's
+                # start to the segment end: grants decided near the epoch
+                # boundary retire in later epochs, and cutting the hints
+                # at the boundary would make the executor hand objects out
+                # differently than the thread-parallel run did.
+                sync_slice = SyncOrderLog(tuple(hints[hint_marks[position] :]))
+                result = run_epoch(
+                    self.program,
+                    self.machine,
+                    first_epoch_index + position,
+                    checkpoints[position],
+                    checkpoints[position + 1],
+                    syscall_log,
+                    sync_slice,
+                    self.config.use_sync_hints,
+                    signal_records=signal_log,
+                )
+                yield position, result
+                if not result.ok:
+                    return
+            return
+        from repro.host.wire import record_units_for_segment
+
+        units = record_units_for_segment(
+            checkpoints,
+            hints,
+            hint_marks,
+            syscall_log,
+            signal_log,
+            first_epoch_index,
+            self.config.use_sync_hints,
+        )
+        yield from executor.run_record_units(self.program, self.machine, units)
+
+    # ------------------------------------------------------------------
     def record(self) -> RecordResult:
         config = self.config
         costs = self.machine.costs
@@ -125,6 +188,15 @@ class DoublePlayRecorder:
             worker_threads=self.machine.cores,
             initial_checkpoint=initial,
         )
+
+        host_jobs = config.resolve_host_jobs()
+        executor = None
+        if host_jobs > 1:
+            # Imported lazily: jobs=1 (the default) never touches the
+            # host-parallelism layer at all.
+            from repro.host.pool import HostExecutor
+
+            executor = HostExecutor(host_jobs)
 
         committed = initial
         next_cp_index = 1
@@ -193,26 +265,18 @@ class DoublePlayRecorder:
             recovery = None
             attempt_duration = 0
             timings: List[EpochTiming] = []
-            for position in range(len(segment_checkpoints) - 1):
+            epoch_results = self._segment_epoch_results(
+                executor,
+                segment_checkpoints,
+                hints,
+                hint_marks,
+                syscall_log,
+                signal_log,
+                epoch_index,
+            )
+            for position, result in epoch_results:
                 start_cp = segment_checkpoints[position]
                 end_cp = segment_checkpoints[position + 1]
-                # The executor gets the hint *suffix* from its epoch's
-                # start to the segment end: grants decided near the epoch
-                # boundary retire in later epochs, and cutting the hints
-                # at the boundary would make the executor hand objects out
-                # differently than the thread-parallel run did.
-                sync_slice = SyncOrderLog(tuple(hints[hint_marks[position] :]))
-                result = run_epoch(
-                    self.program,
-                    self.machine,
-                    epoch_index,
-                    start_cp,
-                    end_cp,
-                    syscall_log,
-                    sync_slice,
-                    config.use_sync_hints,
-                    signal_records=signal_log,
-                )
                 timings.append(
                     EpochTiming(
                         index=epoch_index,
@@ -278,6 +342,7 @@ class DoublePlayRecorder:
                 epoch_index += 1
                 diverged_at = position
                 break
+            epoch_results.close()
 
             # ----------------------------------------------------------
             # Timing composition for this segment.
@@ -356,4 +421,5 @@ class DoublePlayRecorder:
             stats=dict(recording.stats),
             final_kernel_state=committed.kernel_state,
             fault=str(fault) if fault is not None else None,
+            host=executor.timing_summary() if executor else {"jobs": 1},
         )

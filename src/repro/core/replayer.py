@@ -34,7 +34,57 @@ from repro.machine.config import MachineConfig
 from repro.memory.address_space import AddressSpace
 from repro.oskernel.sync import SyncManager
 from repro.record.recording import EpochRecord, Recording
-from repro.record.sync_log import SyncOrderOracle
+from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
+
+
+def replay_epoch_unit(program, machine, unit):
+    """Replay one packaged epoch (``repro.host.wire.ReplayEpochUnit``).
+
+    Runs in worker processes; mirrors ``Replayer._epoch_engine`` +
+    ``_verify`` exactly so serial and process-parallel replays reach
+    identical verdicts and cycle counts. Returns ``(cycles, failure)``.
+    """
+    injector = InjectedSyscalls(unit.syscalls)
+    engine = UniprocessorEngine.from_checkpoint(
+        program,
+        machine,
+        injector,
+        memory_snapshot=unit.start.memory,
+        contexts=unit.start.copy_contexts(),
+        sync_state=unit.start.sync_state,
+        targets=dict(unit.targets),
+        wake_blocked_io=True,
+        name=f"{program.name}/replay{unit.epoch_index}",
+    )
+    engine.sync.oracle = SyncOrderOracle(SyncOrderLog(unit.sync_events))
+    engine.install_signal_records(unit.signals)
+    engine.run_schedule(unit.schedule)
+    failure = None
+    if engine.state_digest() != unit.end_digest:
+        failure = ReplayFailure(
+            message="replayed to a different state (digest mismatch)",
+            epoch=unit.epoch_index,
+        )
+    return engine.time, failure
+
+
+@dataclass
+class ReplayFailure:
+    """One epoch's verification failure, with the epoch attributed.
+
+    ``epoch`` is the recording's epoch index, or ``None`` for failures
+    that are not attributable to a single epoch (the whole-run final
+    digest check). Renders like the old bare string, so log output and
+    assertion messages stay readable.
+    """
+
+    message: str
+    epoch: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.epoch is None:
+            return self.message
+        return f"epoch {self.epoch} {self.message}"
 
 
 @dataclass
@@ -47,7 +97,14 @@ class ReplayResult:
     #: wall-clock-style makespan when epochs replay in parallel
     makespan: int
     epochs_replayed: int
-    details: List[str] = field(default_factory=list)
+    #: simulated executor slots the makespan was scheduled onto
+    workers: int = 0
+    #: host worker processes the replay actually ran on (1 = serial)
+    jobs: int = 1
+    details: List[ReplayFailure] = field(default_factory=list)
+    #: host-parallelism accounting (per-unit worker timings); never part
+    #: of the verification verdict
+    host: Dict[str, object] = field(default_factory=dict)
 
 
 class Replayer:
@@ -84,11 +141,13 @@ class Replayer:
         return engine
 
     @staticmethod
-    def _verify(engine: UniprocessorEngine, epoch: EpochRecord) -> Optional[str]:
+    def _verify(
+        engine: UniprocessorEngine, epoch: EpochRecord
+    ) -> Optional[ReplayFailure]:
         if engine.state_digest() != epoch.end_digest:
-            return (
-                f"epoch {epoch.index} replayed to a different state "
-                f"(digest mismatch)"
+            return ReplayFailure(
+                message="replayed to a different state (digest mismatch)",
+                epoch=epoch.index,
             )
         return None
 
@@ -104,28 +163,47 @@ class Replayer:
             total_cycles=engine.time,
             makespan=engine.time,
             epochs_replayed=1,
+            workers=1,
             details=[failure] if failure else [],
         )
 
     def replay_parallel(
-        self, recording: Recording, workers: int = 0
+        self, recording: Recording, workers: int = 0, jobs: int = 1
     ) -> ReplayResult:
         """Replay every epoch concurrently from its checkpoint.
 
-        ``workers`` bounds simultaneous epoch replays (0 = one per epoch);
-        the returned makespan schedules the replays onto that pool — all
-        checkpoints already exist, so unlike recording there is no
-        pipeline-fill constraint.
+        ``workers`` bounds *simulated* simultaneous epoch replays (0 =
+        one per epoch); the returned makespan schedules the replays onto
+        that pool — all checkpoints already exist, so unlike recording
+        there is no pipeline-fill constraint. ``jobs`` is the *host*
+        process count: with ``jobs > 1`` the epochs actually execute
+        concurrently in worker processes (they are fully independent, so
+        replay is the best-scaling phase of the system), with verdicts,
+        cycles and makespans bit-identical to the serial path.
         """
         durations: List[int] = []
-        details: List[str] = []
-        for epoch in recording.epochs:
-            engine = self._epoch_engine(recording, epoch)
-            engine.run_schedule(epoch.schedule)
-            failure = self._verify(engine, epoch)
-            if failure:
-                details.append(failure)
-            durations.append(engine.time + self.machine.costs.restore_base)
+        details: List[ReplayFailure] = []
+        host: Dict[str, object] = {"jobs": 1}
+        if jobs > 1 and len(recording.epochs) > 1:
+            from repro.host.pool import HostExecutor
+            from repro.host.wire import replay_units_for_recording
+
+            units = replay_units_for_recording(recording)
+            executor = HostExecutor(jobs)
+            outcomes = executor.run_replay_units(self.program, self.machine, units)
+            for _, cycles, failure in outcomes:
+                if failure:
+                    details.append(failure)
+                durations.append(cycles + self.machine.costs.restore_base)
+            host = executor.timing_summary()
+        else:
+            for epoch in recording.epochs:
+                engine = self._epoch_engine(recording, epoch)
+                engine.run_schedule(epoch.schedule)
+                failure = self._verify(engine, epoch)
+                if failure:
+                    details.append(failure)
+                durations.append(engine.time + self.machine.costs.restore_base)
         pool = workers or max(len(durations), 1)
         timings = [
             EpochTiming(index=i, ready_time=0, boundary_time=0, duration=d)
@@ -142,7 +220,10 @@ class Replayer:
             total_cycles=sum(durations),
             makespan=pipeline.makespan,
             epochs_replayed=len(recording.epochs),
+            workers=pool,
+            jobs=max(1, jobs),
             details=details,
+            host=host,
         )
 
     def replay_sequential(self, recording: Recording) -> ReplayResult:
@@ -161,7 +242,7 @@ class Replayer:
             name=f"{self.program.name}/seqreplay",
         )
         engine.install_signal_records(recording.signal_records)
-        details: List[str] = []
+        details: List[ReplayFailure] = []
         for epoch in recording.epochs:
             self._swap_oracle(engine, epoch)
             engine.run_schedule(epoch.schedule)
@@ -171,12 +252,13 @@ class Replayer:
                 break
         if not details and recording.final_digest:
             if engine.state_digest() != recording.final_digest:
-                details.append("final state digest mismatch")
+                details.append(ReplayFailure(message="final state digest mismatch"))
         return ReplayResult(
             verified=not details,
             total_cycles=engine.time,
             makespan=engine.time,
             epochs_replayed=len(recording.epochs),
+            workers=1,
             details=details,
         )
 

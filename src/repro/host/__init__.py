@@ -1,0 +1,34 @@
+"""Host-parallelism layer: process-parallel epoch execution and replay.
+
+DoublePlay's epoch-parallel executions are deterministic functions of
+their start checkpoints and logs, so they are independent not just in
+simulated time but on real host cores. This package ships self-contained
+epoch work units (:mod:`repro.host.wire`) to a spawn-safe process pool
+(:mod:`repro.host.pool`) and merges the results in order on the
+coordinator. ``jobs=1`` everywhere means "don't import any of this" —
+the serial code paths in :mod:`repro.core` are untouched.
+"""
+
+from repro.host.pool import HostExecutor, shared_pool, shutdown_shared_pool
+from repro.host.wire import (
+    RecordEpochUnit,
+    ReplayEpochUnit,
+    UnitTiming,
+    record_units_for_segment,
+    replay_units_for_recording,
+    signal_slice,
+    syscall_slice,
+)
+
+__all__ = [
+    "HostExecutor",
+    "RecordEpochUnit",
+    "ReplayEpochUnit",
+    "UnitTiming",
+    "record_units_for_segment",
+    "replay_units_for_recording",
+    "shared_pool",
+    "shutdown_shared_pool",
+    "signal_slice",
+    "syscall_slice",
+]

@@ -1,0 +1,205 @@
+"""The worker-pool executor: epoch work units on real host cores.
+
+``HostExecutor`` wraps a spawn-context :class:`ProcessPoolExecutor`.
+Spawn (not fork) keeps workers safe on every platform and guarantees
+they import a fresh ``repro`` — nothing leaks from the coordinator
+except what the work units carry.
+
+Protocol per batch: submit every unit up front, consume results strictly
+in position order (the merge on the coordinator is therefore
+deterministic regardless of completion order), and on the first
+divergence cancel everything not yet started — epochs after a divergence
+belong to an abandoned thread-parallel future and their results would be
+discarded anyway. A worker that is already mid-epoch runs to completion
+harmlessly; its result is dropped.
+
+One shared pool is kept per coordinator process (``shared_pool``) so a
+test suite or benchmark sweep pays the spawn cost once, not per
+recording. Workers hold no state between units — every unit ships its
+own program image and machine config (the pickle memo keeps that cheap,
+and the worker-side decode cache rebuild is a pure function of the
+code).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.epoch_runner import EpochRunResult, run_epoch
+from repro.host.wire import RecordEpochUnit, ReplayEpochUnit, UnitTiming
+from repro.record.sync_log import SyncOrderLog
+
+_shared_pool = None
+_shared_size = 0
+
+
+def _ensure_worker_import_path() -> None:
+    """Make sure spawned workers can ``import repro``.
+
+    Spawn re-execs the interpreter, which builds ``sys.path`` from
+    ``PYTHONPATH`` — the coordinator may instead have been launched with
+    a ``sys.path`` hack (benchmarks do), so the package root is exported
+    explicitly.
+    """
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    current = os.environ.get("PYTHONPATH", "")
+    parts = [p for p in current.split(os.pathsep) if p]
+    if root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([root] + parts)
+
+
+def shared_pool(jobs: int) -> ProcessPoolExecutor:
+    """The coordinator-wide pool, grown (never shrunk) to ``jobs`` workers."""
+    global _shared_pool, _shared_size
+    if _shared_pool is None or _shared_size < jobs:
+        if _shared_pool is not None:
+            _shared_pool.shutdown(wait=False, cancel_futures=True)
+        _ensure_worker_import_path()
+        context = multiprocessing.get_context("spawn")
+        _shared_pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+        _shared_size = jobs
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (tests and benchmark hygiene)."""
+    global _shared_pool, _shared_size
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True, cancel_futures=True)
+        _shared_pool = None
+        _shared_size = 0
+
+
+# ----------------------------------------------------------------------
+# Worker-side task functions (must be module-level for pickling).
+# ----------------------------------------------------------------------
+def _record_task(payload) -> Tuple[int, EpochRunResult, UnitTiming]:
+    program, machine, unit = payload
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = run_epoch(
+        program,
+        machine,
+        unit.epoch_index,
+        unit.start,
+        unit.boundary,
+        unit.syscalls,
+        SyncOrderLog(unit.sync_events),
+        unit.use_sync_hints,
+        signal_records=unit.signals,
+    )
+    timing = UnitTiming(
+        wall=time.perf_counter() - wall0, cpu=time.process_time() - cpu0
+    )
+    return unit.position, result, timing
+
+
+def _replay_task(payload):
+    # Imported here, not at module top: repro.core.replayer is the only
+    # core module this one touches, and it imports us lazily in return.
+    from repro.core.replayer import replay_epoch_unit
+
+    program, machine, unit = payload
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    cycles, failure = replay_epoch_unit(program, machine, unit)
+    timing = UnitTiming(
+        wall=time.perf_counter() - wall0, cpu=time.process_time() - cpu0
+    )
+    return unit.position, cycles, failure, timing
+
+
+class HostExecutor:
+    """Runs epoch work units on a pool of worker processes.
+
+    ``private=True`` gives the executor its own pool sized exactly
+    ``jobs`` (benchmarks measure specific worker counts); the default
+    shares the coordinator-wide pool.
+    """
+
+    def __init__(self, jobs: int, private: bool = False):
+        self.jobs = max(1, int(jobs))
+        self._private_pool = None
+        if private:
+            _ensure_worker_import_path()
+            context = multiprocessing.get_context("spawn")
+            self._private_pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        #: per-unit worker timings, in merge order: (kind, position, UnitTiming)
+        self.unit_timings: List[Tuple[str, int, UnitTiming]] = []
+        #: coordinator seconds spent building + submitting payloads
+        self.dispatch_wall = 0.0
+
+    def _pool(self) -> ProcessPoolExecutor:
+        return self._private_pool or shared_pool(self.jobs)
+
+    def close(self) -> None:
+        if self._private_pool is not None:
+            self._private_pool.shutdown(wait=True, cancel_futures=True)
+            self._private_pool = None
+
+    # ------------------------------------------------------------------
+    def run_record_units(
+        self, program, machine, units: Sequence[RecordEpochUnit]
+    ) -> Iterator[Tuple[int, EpochRunResult]]:
+        """Yield ``(position, result)`` in position order.
+
+        Stops after the first divergence, cancelling all not-yet-started
+        units — exactly the serial loop's early exit.
+        """
+        pool = self._pool()
+        start = time.perf_counter()
+        futures = [
+            pool.submit(_record_task, (program, machine, unit)) for unit in units
+        ]
+        self.dispatch_wall += time.perf_counter() - start
+        try:
+            for future in futures:
+                position, result, timing = future.result()
+                self.unit_timings.append(("record", position, timing))
+                if not result.ok:
+                    for pending in futures:
+                        pending.cancel()
+                yield position, result
+                if not result.ok:
+                    return
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def run_replay_units(
+        self, program, machine, units: Sequence[ReplayEpochUnit]
+    ) -> List[Tuple[int, int, object]]:
+        """All ``(position, cycles, failure)`` results, in position order."""
+        pool = self._pool()
+        start = time.perf_counter()
+        futures = [
+            pool.submit(_replay_task, (program, machine, unit)) for unit in units
+        ]
+        self.dispatch_wall += time.perf_counter() - start
+        outcomes = []
+        try:
+            for future in futures:
+                position, cycles, failure, timing = future.result()
+                self.unit_timings.append(("replay", position, timing))
+                outcomes.append((position, cycles, failure))
+        finally:
+            for future in futures:
+                future.cancel()
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def timing_summary(self) -> dict:
+        """Host-cost accounting for benchmarks and ``RecordResult.host``."""
+        return {
+            "jobs": self.jobs,
+            "units": len(self.unit_timings),
+            "unit_wall": [round(t.wall, 6) for _, _, t in self.unit_timings],
+            "unit_cpu": [round(t.cpu, 6) for _, _, t in self.unit_timings],
+            "dispatch_wall": round(self.dispatch_wall, 6),
+        }

@@ -1,0 +1,180 @@
+"""Self-contained epoch work units and the log slices they carry.
+
+A work unit must let a worker process reproduce the coordinator's serial
+epoch execution *exactly*, with nothing but the unit and the program
+image. Three properties make that possible:
+
+* **Cache stripping.** Everything host-local is dropped at the pickle
+  boundary and rebuilt cold on the far side: the decoded handler table on
+  :class:`~repro.isa.program.ProgramImage`, the software TLBs on
+  :class:`~repro.memory.address_space.AddressSpace`, page reference
+  counts (sharing is re-established by the pickle memo within one unit).
+  Content-derived caches — page hashes, snapshot folds, checkpoint
+  digests — transfer, because they are pure functions of guest state.
+
+* **Suffix-sliced logs.** The syscall and signal logs are sliced to the
+  records an epoch starting at checkpoint *S* can possibly consume:
+  a record for thread *t* is reachable iff its sequence number is at
+  least *S*'s ``syscall_count`` for *t* (injection is keyed by
+  ``(tid, seq)`` and counts only grow), and a signal delivery iff its
+  retired-count is at least *S*'s ``retired`` for *t*. Threads spawned
+  after *S* keep all their records. Dropped records are unreachable, so
+  slicing never changes behaviour — it only shrinks the wire payload.
+  The *sync* hints are the same start-to-segment-end suffix the serial
+  recorder uses; truncating them at the epoch boundary would change how
+  the oracle hands objects out (see ``DoublePlayRecorder.record``).
+
+* **Kernel stripping.** Work-unit checkpoints travel via
+  :meth:`~repro.checkpoint.checkpoint.Checkpoint.to_wire`: epoch
+  executors inject logged syscalls and never touch a live kernel, and
+  forward recovery (which does) always runs on the coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.oskernel.syscalls import SyscallRecord
+
+
+@dataclass
+class UnitTiming:
+    """Host-side cost of one work unit, measured in the worker."""
+
+    #: worker wall-clock seconds spent executing the unit
+    wall: float = 0.0
+    #: worker CPU seconds spent executing the unit. On an oversubscribed
+    #: host (more workers than cores) this is the honest per-unit cost:
+    #: wall time there includes time-slicing against sibling workers.
+    cpu: float = 0.0
+
+
+@dataclass
+class RecordEpochUnit:
+    """One epoch of a segment, packaged for a worker process."""
+
+    #: position within the segment (0-based; orders the merge)
+    position: int
+    #: global epoch index (naming/diagnostics only)
+    epoch_index: int
+    #: epoch start state, kernel-stripped (``Checkpoint.to_wire``)
+    start: Checkpoint
+    #: next checkpoint: per-thread targets + the end state to verify
+    boundary: Checkpoint
+    #: syscall-log suffix reachable from ``start``
+    syscalls: Tuple[SyscallRecord, ...]
+    #: signal-delivery suffix reachable from ``start``
+    signals: Tuple[tuple, ...]
+    #: thread-parallel acquisition hints, ``start``-to-segment-end suffix
+    sync_events: Tuple[tuple, ...]
+    use_sync_hints: bool = True
+
+
+@dataclass
+class ReplayEpochUnit:
+    """One committed epoch of a recording, packaged for parallel replay."""
+
+    #: position within the recording (0-based; orders the merge)
+    position: int
+    #: the committed epoch's index
+    epoch_index: int
+    #: epoch start state, kernel-stripped
+    start: Checkpoint
+    #: per-thread retired-op targets at the epoch's end boundary
+    targets: dict
+    #: the committed timeslice schedule to follow
+    schedule: object
+    #: the committed acquisition order (grant oracle)
+    sync_events: Tuple[tuple, ...]
+    #: guest-state digest the replay must reach
+    end_digest: int
+    #: syscall-log suffix reachable from ``start``
+    syscalls: Tuple[SyscallRecord, ...]
+    #: signal-delivery suffix reachable from ``start``
+    signals: Tuple[tuple, ...]
+
+
+def syscall_slice(
+    records: Sequence[SyscallRecord], start: Checkpoint
+) -> Tuple[SyscallRecord, ...]:
+    """Records an epoch starting at ``start`` can reach.
+
+    Injection looks up ``(tid, ctx.syscall_count)`` and a thread's count
+    starts at the checkpoint's value and only grows, so records below it
+    are unreachable. Threads absent from the checkpoint (spawned later)
+    start at count 0 and keep everything.
+    """
+    counts = {tid: ctx.syscall_count for tid, ctx in start.contexts.items()}
+    return tuple(r for r in records if r.seq >= counts.get(r.tid, 0))
+
+
+def signal_slice(records: Sequence[tuple], start: Checkpoint) -> Tuple[tuple, ...]:
+    """Signal deliveries an epoch starting at ``start`` can reach.
+
+    Delivery fires at ``(tid, ctx.retired)`` and retired counts start at
+    the checkpoint's values; records below them can never match.
+    """
+    retired = {tid: ctx.retired for tid, ctx in start.contexts.items()}
+    return tuple(r for r in records if r[1] >= retired.get(r[0], 0))
+
+
+def record_units_for_segment(
+    checkpoints: Sequence[Checkpoint],
+    hints: Sequence[tuple],
+    hint_marks: Sequence[int],
+    syscall_log: Sequence[SyscallRecord],
+    signal_log: Sequence[tuple],
+    first_epoch_index: int,
+    use_sync_hints: bool,
+) -> List[RecordEpochUnit]:
+    """Package every epoch of a recorded segment as a work unit."""
+    units = []
+    for position in range(len(checkpoints) - 1):
+        start = checkpoints[position]
+        units.append(
+            RecordEpochUnit(
+                position=position,
+                epoch_index=first_epoch_index + position,
+                start=start.to_wire(),
+                boundary=checkpoints[position + 1].to_wire(),
+                syscalls=syscall_slice(syscall_log, start),
+                signals=signal_slice(signal_log, start),
+                sync_events=tuple(hints[hint_marks[position] :]),
+                use_sync_hints=use_sync_hints,
+            )
+        )
+    return units
+
+
+def replay_units_for_recording(recording) -> List[ReplayEpochUnit]:
+    """Package every committed epoch of a recording for parallel replay.
+
+    Requires materialised start checkpoints (like any parallel replay).
+    """
+    from repro.errors import ReplayError
+
+    syscalls = recording.syscalls_for_epochs()
+    units = []
+    for position, epoch in enumerate(recording.epochs):
+        start = epoch.start_checkpoint
+        if start is None:
+            raise ReplayError(
+                f"epoch {epoch.index} has no materialised checkpoint; "
+                "run materialize_checkpoints() or replay sequentially"
+            )
+        units.append(
+            ReplayEpochUnit(
+                position=position,
+                epoch_index=epoch.index,
+                start=start.to_wire(),
+                targets=dict(epoch.targets),
+                schedule=epoch.schedule,
+                sync_events=epoch.sync_log.events,
+                end_digest=epoch.end_digest,
+                syscalls=syscall_slice(syscalls, start),
+                signals=signal_slice(recording.signal_records, start),
+            )
+        )
+    return units

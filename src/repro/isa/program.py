@@ -39,6 +39,28 @@ class ProgramImage:
     heap_base: int = 0
     name: str = "guest"
 
+    def __getstate__(self):
+        # Host-wire form: the declared fields only. The interpreter caches
+        # its decoded ``(handler, instr)`` table in ``__dict__`` (see
+        # ``repro.exec.interpreter.decode_program``); handlers are
+        # host-process function objects, so the cache is stripped here and
+        # rebuilt on first use in the receiving process — decode is a pure
+        # function of ``code``, so the rebuilt table is identical.
+        return {
+            "code": self.code,
+            "entry": self.entry,
+            "data": self.data,
+            "symbols": self.symbols,
+            "functions": self.functions,
+            "register_count": self.register_count,
+            "heap_base": self.heap_base,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def fetch(self, pc: int) -> Instruction:
         """Instruction at ``pc``; faults on out-of-range pc."""
         if 0 <= pc < len(self.code):

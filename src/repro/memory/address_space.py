@@ -83,6 +83,16 @@ class MemorySnapshot:
             page.refs -= 1
         self._released = True
 
+    def __getstate__(self):
+        # Host-wire form: pages plus the content-derived caches (hash and
+        # sorted key list are functions of the contents, so they transfer).
+        # ``_released`` is host-local refcount bookkeeping.
+        return (self._pages, self._hash, self._sorted)
+
+    def __setstate__(self, state):
+        self._pages, self._hash, self._sorted = state
+        self._released = False
+
     def __repr__(self) -> str:
         return f"MemorySnapshot(pages={len(self._pages)})"
 
@@ -117,6 +127,35 @@ class AddressSpace:
         # Cached table fold + sorted page list; ``None`` means stale.
         self._space_hash: Optional[int] = None
         self._sorted_keys: Optional[List[int]] = None
+
+    def __getstate__(self):
+        # Host-wire form. The software TLBs cache raw word-list references
+        # into the page table — host-local by definition — so they are
+        # dropped and the receiving process starts cold (first access
+        # repopulates them; behaviour is identical either way). The fold
+        # and sorted-key caches are content-derived and transfer. An active
+        # write-TLB entry needs no flush here: its page is already in
+        # ``dirty`` with its hash invalidated (the write-TLB invariant).
+        return (
+            self._pages,
+            self.dirty,
+            self.cow_copies,
+            self._space_hash,
+            self._sorted_keys,
+        )
+
+    def __setstate__(self, state):
+        (
+            self._pages,
+            self.dirty,
+            self.cow_copies,
+            self._space_hash,
+            self._sorted_keys,
+        ) = state
+        self._rtlb_no = None
+        self._rtlb_words = None
+        self._wtlb_no = None
+        self._wtlb_words = None
 
     # ------------------------------------------------------------------
     # Construction

@@ -35,6 +35,16 @@ class Page:
         page._hash = self._hash
         return page
 
+    def __getstate__(self):
+        # Host-wire form: contents plus the (content-derived, therefore
+        # transferable) hash cache. ``refs`` is host-local sharing state —
+        # the receiving process starts with a single private reference.
+        return (self.words, self._hash)
+
+    def __setstate__(self, state):
+        self.words, self._hash = state
+        self.refs = 1
+
     def content_hash(self) -> int:
         """Stable hash of the page contents (cached until next write)."""
         if self._hash is None:

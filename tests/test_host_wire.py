@@ -1,0 +1,254 @@
+"""Wire round-trips: pickling guest state preserves behaviour exactly.
+
+The host-parallelism layer ships checkpoints, recordings and work units
+to worker processes via pickle. The contract (DESIGN.md "Host
+performance layer"): content-derived caches transfer, host-local caches
+(TLBs, decoded handler table, page refcounts) are stripped and rebuilt
+cold — and a cold-cache object behaves identically to a warm one.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import run_native
+from repro.core import DoublePlayConfig, DoublePlayRecorder
+from repro.exec.interpreter import decode_program
+from repro.host.wire import (
+    record_units_for_segment,
+    replay_units_for_recording,
+    signal_slice,
+    syscall_slice,
+)
+from repro.machine.config import MachineConfig
+from repro.memory.address_space import AddressSpace, MemorySnapshot
+from repro.memory.layout import PAGE_WORDS
+from repro.isa.assembler import Assembler
+from repro.memory.page import Page
+from repro.workloads import build_workload
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def _record(name="pbzip", workers=2, scale=2, seed=11):
+    instance = build_workload(name, workers=workers, scale=scale, seed=seed)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine, epoch_cycles=max(native.duration // 12, 500)
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    return instance, machine, result
+
+
+# ----------------------------------------------------------------------
+# Pages and snapshots
+# ----------------------------------------------------------------------
+@given(
+    words=st.lists(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        min_size=PAGE_WORDS,
+        max_size=PAGE_WORDS,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_page_roundtrip_preserves_content_and_hash(words):
+    page = Page(list(words))
+    warm = page.content_hash()
+    page.refs = 7  # host-local sharing state must NOT transfer
+
+    clone = roundtrip(page)
+    assert clone.words == page.words
+    assert clone.refs == 1
+    assert clone.content_hash() == warm
+
+    # Cold-cache path: a page pickled before hashing hashes identically.
+    cold = roundtrip(Page(list(words)))
+    assert cold._hash is None or cold._hash == warm
+    assert cold.content_hash() == warm
+
+
+def test_snapshot_roundtrip_preserves_digest_and_sharing():
+    space = AddressSpace()
+    for addr in (0, 100, 1000):
+        space.map_addr(addr)
+        space.write(addr, addr * 3 + 1)
+    snap = space.snapshot()
+    warm = snap.content_hash()
+
+    clone = roundtrip(snap)
+    assert isinstance(clone, MemorySnapshot)
+    assert clone.content_hash() == warm
+    assert clone.page_count() == snap.page_count()
+    # Unpickled pages are private to the receiving process.
+    assert all(page.refs == 1 for page in clone.pages.values())
+    assert clone.read(100) == snap.read(100)
+    # release() must work (and be idempotent) on the restored side.
+    clone.release()
+    clone.release()
+
+
+def test_address_space_roundtrip_strips_tlbs_identical_behaviour():
+    space = AddressSpace()
+    for addr in range(0, 200, 7):
+        space.map_addr(addr)
+        space.write(addr, addr + 5)
+    space.read(7)  # warm both TLBs
+    warm_hash = space.content_hash()
+
+    clone = roundtrip(space)
+    assert clone._rtlb_no is None and clone._wtlb_no is None
+    assert clone.content_hash() == warm_hash
+    assert clone.read(7) == space.read(7)
+    assert clone.cow_copies == space.cow_copies
+    # Writes through the cold TLB behave identically.
+    clone.write(7, 99)
+    space.write(7, 99)
+    assert clone.content_hash() == space.content_hash()
+
+
+# ----------------------------------------------------------------------
+# Program images: the decoded handler table is host-local
+# ----------------------------------------------------------------------
+def test_program_image_roundtrip_rebuilds_decode_cache():
+    asm = Assembler(name="wiretest")
+    with asm.function("main"):
+        asm.li("r1", 5)
+        asm.li("r2", 37)
+        asm.add("r3", "r1", "r2")
+        asm.exit_()
+    image = asm.assemble()
+    decode_program(image)  # warm the cache
+    assert "_decoded" in image.__dict__
+
+    clone = roundtrip(image)
+    assert "_decoded" not in clone.__dict__  # stripped at the boundary
+    assert clone.code == image.code
+    assert clone.entry == image.entry
+    assert clone.name == image.name
+    # Rebuilt table drives the same handlers over equal instructions.
+    rebuilt = decode_program(clone)
+    original = decode_program(image)
+    assert len(rebuilt) == len(original)
+    assert all(r[0] is o[0] for r, o in zip(rebuilt, original))
+
+
+def test_program_image_roundtrip_runs_identically():
+    instance = build_workload("fft", workers=2, scale=2, seed=11)
+    machine = MachineConfig(cores=2)
+    native = run_native(instance.image, instance.setup, machine)
+    clone_native = run_native(roundtrip(instance.image), instance.setup, machine)
+    assert clone_native.duration == native.duration
+    assert clone_native.final_digest == native.final_digest
+
+
+# ----------------------------------------------------------------------
+# Checkpoints and recordings
+# ----------------------------------------------------------------------
+def test_checkpoint_roundtrip_preserves_digests():
+    _, _, result = _record()
+    for epoch in result.recording.epochs[:4]:
+        checkpoint = epoch.start_checkpoint
+        warm = checkpoint.digest()
+        clone = roundtrip(checkpoint.to_wire())
+        assert clone.kernel_state is None  # stripped: executors never need it
+        assert clone.digest() == warm
+        assert clone.contexts_digest() == checkpoint.contexts_digest()
+        assert clone.targets() == checkpoint.targets()
+        assert clone.time == checkpoint.time
+
+        # Cold caches: wipe them and recompute from transferred content.
+        clone._digest = None
+        clone._ctx_digest = None
+        clone.memory._hash = None
+        clone.memory._sorted = None
+        for page in clone.memory.pages.values():
+            page.invalidate_hash()
+        assert clone.digest() == warm
+
+
+def test_recording_roundtrip_preserves_plain_form():
+    _, _, result = _record("fft", workers=3)
+    recording = result.recording
+    clone = roundtrip(recording)
+    assert clone.to_plain() == recording.to_plain()
+    assert clone.final_digest == recording.final_digest
+    assert clone.total_log_bytes() == recording.total_log_bytes()
+    assert clone.initial_checkpoint.digest() == recording.initial_checkpoint.digest()
+
+
+# ----------------------------------------------------------------------
+# Work units and log slices
+# ----------------------------------------------------------------------
+def test_log_slices_keep_exactly_the_reachable_records():
+    _, _, result = _record()
+    recording = result.recording
+    for epoch in recording.epochs:
+        start = epoch.start_checkpoint
+        counts = {t: c.syscall_count for t, c in start.contexts.items()}
+        kept = syscall_slice(recording.syscall_records, start)
+        assert all(r.seq >= counts.get(r.tid, 0) for r in kept)
+        dropped = set(recording.syscall_records) - set(kept)
+        assert all(r.seq < counts[r.tid] for r in dropped)
+
+        retired = {t: c.retired for t, c in start.contexts.items()}
+        for record in signal_slice(recording.signal_records, start):
+            assert record[1] >= retired.get(record[0], 0)
+
+
+def test_replay_units_roundtrip_preserves_digests():
+    _, _, result = _record()
+    units = replay_units_for_recording(result.recording)
+    assert len(units) == result.recording.epoch_count()
+    for unit, epoch in zip(units, result.recording.epochs):
+        clone = roundtrip(unit)
+        assert clone.end_digest == epoch.end_digest
+        assert clone.start.digest() == epoch.start_checkpoint.digest()
+        assert clone.targets == epoch.targets
+        assert clone.sync_events == epoch.sync_log.events
+        assert clone.schedule.slices == epoch.schedule.slices
+
+
+def test_record_units_share_pages_within_a_unit():
+    """Pickling a unit must preserve start/boundary page sharing.
+
+    The pickle memo deduplicates shared pages inside one payload, so a
+    page unchanged across the epoch unpickles as a *single* object — the
+    worker's divergence check keeps its O(1) identity fast path.
+    """
+    _, _, result = _record()
+    recording = result.recording
+    checkpoints = [e.start_checkpoint for e in recording.epochs]
+    units = record_units_for_segment(
+        checkpoints,
+        hints=[],
+        hint_marks=[0] * len(checkpoints),
+        syscall_log=recording.syscall_records,
+        signal_log=recording.signal_records,
+        first_epoch_index=0,
+        use_sync_hints=True,
+    )
+    checked = 0
+    for unit in units:
+        shared_before = {
+            no
+            for no, page in unit.start.memory.pages.items()
+            if unit.boundary.memory.pages.get(no) is page
+        }
+        if not shared_before:
+            continue  # every page was dirtied in this epoch
+        clone = roundtrip(unit)
+        shared_after = {
+            no
+            for no, page in clone.start.memory.pages.items()
+            if clone.boundary.memory.pages.get(no) is page
+        }
+        assert shared_after == shared_before, "pickle memo lost page sharing"
+        assert clone.start.kernel_state is None
+        assert clone.boundary.kernel_state is None
+        checked += 1
+    assert checked, "no unit had a surviving shared page — widen the workload"

@@ -6,6 +6,8 @@ replay strategies verify. This is the repository's strongest single
 integration statement, kept fast with small scales.
 """
 
+import json
+
 import pytest
 
 from repro.baselines import run_native
@@ -128,4 +130,68 @@ def test_record_validate_replay(name, workers):
     assert observed == GOLDEN[(name, workers)], (
         f"{name}/{workers}: behavioural drift — expected "
         f"{GOLDEN[(name, workers)]}, got {observed}"
+    )
+
+
+# Host-parallelism parity: ``host_jobs`` may change only wall-clock time.
+# A representative slice of the matrix (race-free pipelines, barrier
+# kernels, a divergence-heavy racy workload) records and replays with
+# worker processes and must hit the same goldens byte-for-byte. The
+# ``REPRO_TEST_JOBS=2`` CI leg additionally sweeps the *full* matrix
+# above through the parallel path. jobs ∈ {2, 4} covers multi-worker
+# merge order beyond the two-worker case.
+HOST_PARITY = [
+    ("pbzip", 2, 2),
+    ("pbzip", 2, 4),
+    ("fft", 3, 2),
+    ("apache", 2, 2),
+    ("racy-counter", 2, 2),
+    ("racy-counter", 3, 4),
+    ("prodcons-sem", 3, 2),
+    ("water", 3, 2),
+]
+
+
+@pytest.mark.parametrize("name,workers,jobs", HOST_PARITY)
+def test_host_parallel_matches_goldens(name, workers, jobs):
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+    )
+    serial = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    parallel = DoublePlayRecorder(
+        instance.image, instance.setup, config.replace(host_jobs=jobs)
+    ).record()
+
+    # Byte-identical recording, digests, and every simulated-time metric.
+    assert json.dumps(parallel.recording.to_plain(), sort_keys=True) == json.dumps(
+        serial.recording.to_plain(), sort_keys=True
+    )
+    assert (parallel.makespan, parallel.tp_finish, parallel.app_time) == (
+        serial.makespan, serial.tp_finish, serial.app_time,
+    )
+    assert parallel.stats == serial.stats
+
+    # And the goldens themselves are reproduced through worker processes.
+    observed = (
+        native.duration,
+        native.final_digest,
+        parallel.makespan,
+        parallel.recording.epoch_count(),
+        parallel.recording.final_digest,
+        combine_hashes([e.end_digest for e in parallel.recording.epochs]),
+        parallel.recording.total_log_bytes(),
+    )
+    assert observed == GOLDEN[(name, workers)]
+
+    # Process-parallel replay reaches the serial replay's verdict exactly.
+    replayer = Replayer(instance.image, machine)
+    replay_serial = replayer.replay_parallel(serial.recording)
+    replay_jobs = replayer.replay_parallel(parallel.recording, jobs=jobs)
+    assert replay_jobs.verified, f"{name}: {replay_jobs.details}"
+    assert (replay_jobs.total_cycles, replay_jobs.makespan) == (
+        replay_serial.total_cycles, replay_serial.makespan,
     )
