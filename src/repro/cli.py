@@ -112,15 +112,34 @@ def cmd_run(args, out) -> int:
     return 0 if valid else 1
 
 
+def _print_host_faults(host, out) -> None:
+    """One line of containment accounting when host workers misbehaved."""
+    faults = host.get("faults") or {}
+    if not any(faults.values()):
+        return
+    print(
+        "  host faults contained: "
+        f"{faults['crashes']} crash(es), {faults['timeouts']} timeout(s), "
+        f"{faults['task_errors']} task error(s); {faults['retries']} retried, "
+        f"{faults['serial_fallbacks']} serial fallback(s) — "
+        "recording/verdict unaffected",
+        file=out,
+    )
+
+
 def cmd_record(args, out) -> int:
     instance, machine = _build(args)
     native = run_native(instance.image, instance.setup, machine)
+    overrides = {}
+    if args.unit_timeout is not None:
+        overrides["unit_timeout"] = args.unit_timeout
     config = DoublePlayConfig(
         machine=machine,
         epoch_cycles=max(native.duration // args.epoch_divisor, 400),
         spare_cores=not args.no_spare_cores,
         use_sync_hints=not args.no_sync_hints,
         host_jobs=args.jobs,
+        **overrides,
     )
     result = DoublePlayRecorder(instance.image, instance.setup, config).record()
     recording = result.recording
@@ -136,6 +155,7 @@ def cmd_record(args, out) -> int:
     )
     for key, value in recording.log_breakdown().items():
         print(f"  {key}: {value}", file=out)
+    _print_host_faults(result.host, out)
     if args.output:
         payload = {
             "workload": {
@@ -162,7 +182,8 @@ def cmd_replay(args, out) -> int:
     elif args.parallel or args.jobs > 1:
         replayer.materialize_checkpoints(recording)
         outcome = replayer.replay_parallel(
-            recording, workers=meta["workers"], jobs=args.jobs
+            recording, workers=meta["workers"], jobs=args.jobs,
+            unit_timeout=args.unit_timeout,
         )
         label = f"parallel[jobs={outcome.jobs}]" if args.jobs > 1 else "parallel"
     else:
@@ -176,6 +197,7 @@ def cmd_replay(args, out) -> int:
     )
     for detail in outcome.details:
         print(f"  {detail}", file=out)
+    _print_host_faults(outcome.host, out)
     return 0 if outcome.verified else 1
 
 
@@ -256,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="host worker processes for epoch execution (default: serial; "
              "results are bit-identical at any jobs count)")
+    record_parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock budget for hung host workers "
+             "(default: REPRO_UNIT_TIMEOUT or 60; 0 disables)")
     record_parser.add_argument("-o", "--output", help="save recording JSON here")
 
     replay_parser = commands.add_parser("replay", help="replay a saved recording")
@@ -266,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="host worker processes for parallel replay (implies --parallel; "
              "default: serial)")
+    replay_parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock budget for hung host workers "
+             "(default: REPRO_UNIT_TIMEOUT or 60; 0 disables)")
     replay_parser.add_argument("--epoch", type=int, default=None,
                                help="replay a single epoch index")
 

@@ -16,6 +16,23 @@ from dataclasses import dataclass
 from repro.machine.config import MachineConfig
 
 
+def default_unit_timeout() -> float:
+    """Per-unit host timeout: ``REPRO_UNIT_TIMEOUT`` seconds, else 60.
+
+    This is the hang-containment budget for host worker processes
+    (:mod:`repro.host.pool`); 0 disables hang detection. It lives here —
+    not in the host layer — so building a config never imports the host
+    package (``host_jobs=1`` must stay import-free of it).
+    """
+    raw = os.environ.get("REPRO_UNIT_TIMEOUT", "")
+    if not raw:
+        return 60.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 60.0
+
+
 def _default_host_jobs() -> int:
     """Default host-process count: the ``REPRO_TEST_JOBS`` env var, else 1.
 
@@ -64,6 +81,11 @@ class DoublePlayConfig:
     #: ``epoch_workers``, which is simulated executor slots: ``host_jobs``
     #: changes only wall-clock, never a digest, makespan or recording.
     host_jobs: int = dataclasses.field(default_factory=_default_host_jobs)
+    #: per-unit wall-clock timeout (seconds) for host worker processes —
+    #: the hang-containment budget, not a simulated quantity. Defaults to
+    #: ``REPRO_UNIT_TIMEOUT`` (else 60); 0 disables hang detection.
+    #: Irrelevant at ``host_jobs=1``.
+    unit_timeout: float = dataclasses.field(default_factory=default_unit_timeout)
 
     def workers(self) -> int:
         return self.machine.cores

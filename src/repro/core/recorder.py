@@ -196,7 +196,7 @@ class DoublePlayRecorder:
             # host-parallelism layer at all.
             from repro.host.pool import HostExecutor
 
-            executor = HostExecutor(host_jobs)
+            executor = HostExecutor(host_jobs, unit_timeout=config.unit_timeout)
 
         committed = initial
         next_cp_index = 1

@@ -168,7 +168,11 @@ class Replayer:
         )
 
     def replay_parallel(
-        self, recording: Recording, workers: int = 0, jobs: int = 1
+        self,
+        recording: Recording,
+        workers: int = 0,
+        jobs: int = 1,
+        unit_timeout: Optional[float] = None,
     ) -> ReplayResult:
         """Replay every epoch concurrently from its checkpoint.
 
@@ -180,6 +184,13 @@ class Replayer:
         concurrently in worker processes (they are fully independent, so
         replay is the best-scaling phase of the system), with verdicts,
         cycles and makespans bit-identical to the serial path.
+
+        Host worker failures are contained per epoch (retry once on a
+        fresh pool, then in-coordinator serial execution — see
+        :mod:`repro.host.pool`), so the replay always completes with the
+        serial verdict; ``unit_timeout`` bounds a hung worker's unit in
+        wall-clock seconds (None = the ``REPRO_UNIT_TIMEOUT`` default,
+        0 disables). Containment counters land in ``host["faults"]``.
         """
         durations: List[int] = []
         details: List[ReplayFailure] = []
@@ -189,7 +200,7 @@ class Replayer:
             from repro.host.wire import replay_units_for_recording
 
             units = replay_units_for_recording(recording)
-            executor = HostExecutor(jobs)
+            executor = HostExecutor(jobs, unit_timeout=unit_timeout)
             outcomes = executor.run_replay_units(self.program, self.machine, units)
             for _, cycles, failure in outcomes:
                 if failure:

@@ -57,6 +57,95 @@ class ReplayError(ReproError):
     """
 
 
+class HostPoolError(ReproError):
+    """Base class for host worker-pool failures.
+
+    These describe *host* misbehaviour — a worker process crashing,
+    hanging, or raising — never guest behaviour. They are containment
+    records as much as exceptions: the pool executor creates them as
+    structured results, counts them, retries the unit once, and falls back
+    to in-coordinator execution, so under the default policy they are
+    reported on ``RecordResult.host`` / ``ReplayResult.host`` rather than
+    raised. All subclasses pickle cleanly (instances cross the process
+    boundary as worker results).
+    """
+
+    #: short machine-readable kind tag ("crash", "timeout", "task-error")
+    kind = "host"
+
+    def __init__(self, message: str, position: int = -1, attempt: int = 0):
+        super().__init__(message)
+        #: the failed unit's position within its batch
+        self.position = position
+        #: 0-based attempt number at which the failure was observed
+        self.attempt = attempt
+
+    def __reduce__(self):
+        return type(self), (self.args[0] if self.args else "", self.position,
+                            self.attempt)
+
+
+class WorkerCrashError(HostPoolError):
+    """A worker process died mid-unit (the pool came back broken).
+
+    The crash is attributed to the unit the coordinator was waiting on;
+    sibling units killed as collateral are resubmitted without blame.
+    """
+
+    kind = "crash"
+
+
+class WorkerTimeoutError(HostPoolError):
+    """A unit exceeded the configured per-unit timeout (hung worker)."""
+
+    kind = "timeout"
+
+    def __init__(
+        self,
+        message: str,
+        position: int = -1,
+        attempt: int = 0,
+        timeout: float = 0.0,
+    ):
+        super().__init__(message, position, attempt)
+        #: the per-unit timeout (seconds) that expired
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return type(self), (self.args[0] if self.args else "", self.position,
+                            self.attempt, self.timeout)
+
+
+class WorkerTaskError(HostPoolError):
+    """A unit raised inside the worker; the exception, made structured.
+
+    The worker converts any task exception into this picklable record and
+    returns it as the unit's result, so one bad unit can never poison the
+    pool. Deterministic guest errors reproduce during the serial fallback
+    and are re-raised there with full coordinator context.
+    """
+
+    kind = "task-error"
+
+    def __init__(
+        self,
+        message: str,
+        position: int = -1,
+        attempt: int = 0,
+        exc_type: str = "",
+        traceback_text: str = "",
+    ):
+        super().__init__(message, position, attempt)
+        #: the original exception's class name
+        self.exc_type = exc_type
+        #: the worker-side formatted traceback
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        return type(self), (self.args[0] if self.args else "", self.position,
+                            self.attempt, self.exc_type, self.traceback_text)
+
+
 class DivergenceSignal(ReproError):
     """Internal control-flow signal: an epoch-parallel run diverged.
 

@@ -7,9 +7,22 @@ epoch work units (:mod:`repro.host.wire`) to a spawn-safe process pool
 (:mod:`repro.host.pool`) and merges the results in order on the
 coordinator. ``jobs=1`` everywhere means "don't import any of this" —
 the serial code paths in :mod:`repro.core` are untouched.
+
+Worker failures (crashes, hangs, task exceptions) are first-class,
+recoverable events: the executor contains them per unit (retry once on a
+fresh pool, then in-coordinator serial fallback), so recordings and
+replay verdicts stay bit-identical at any jobs count even on an
+imperfect host. :mod:`repro.host.faults` makes those paths
+deterministically testable via ``REPRO_FAULT``.
 """
 
-from repro.host.pool import HostExecutor, shared_pool, shutdown_shared_pool
+from repro.host.faults import FaultSpec, active_faults, parse_fault_specs
+from repro.host.pool import (
+    HostExecutor,
+    invalidate_shared_pool,
+    shared_pool,
+    shutdown_shared_pool,
+)
 from repro.host.wire import (
     RecordEpochUnit,
     ReplayEpochUnit,
@@ -21,10 +34,14 @@ from repro.host.wire import (
 )
 
 __all__ = [
+    "FaultSpec",
     "HostExecutor",
     "RecordEpochUnit",
     "ReplayEpochUnit",
     "UnitTiming",
+    "active_faults",
+    "invalidate_shared_pool",
+    "parse_fault_specs",
     "record_units_for_segment",
     "replay_units_for_recording",
     "shared_pool",

@@ -13,71 +13,213 @@ belong to an abandoned thread-parallel future and their results would be
 discarded anyway. A worker that is already mid-epoch runs to completion
 harmlessly; its result is dropped.
 
+**Fault containment.** A failed epoch-parallel attempt is disposable by
+design — that is the paper's core insight — so host faults are treated
+the same way a guest divergence is: contain, re-execute, keep going.
+Three failure classes, one policy (per unit: retry once on a fresh pool,
+then fall back to in-coordinator serial execution):
+
+* **crash** — a worker process died; ``concurrent.futures`` breaks the
+  whole pool, so surviving results are harvested out of their futures,
+  the pool is rebuilt, and unfinished units are resubmitted. The crash
+  is attributed to the unit the coordinator was waiting on; collateral
+  victims are resubmitted without blame (they may occasionally burn an
+  attempt of their own — that costs parallelism, never correctness).
+* **timeout** — a unit exceeded the per-unit wall-clock budget
+  (``unit_timeout``, default ``REPRO_UNIT_TIMEOUT`` or 60 s; 0
+  disables). The hung worker cannot be recalled, so the pool's processes
+  are terminated and the pool rebuilt.
+* **task error** — the unit raised inside the worker. The worker returns
+  the exception as a structured, picklable
+  :class:`~repro.errors.WorkerTaskError` result instead of raising, so
+  the pool stays healthy. A deterministic guest error reproduces during
+  the serial fallback and is re-raised there, exactly as the ``jobs=1``
+  path would have raised it.
+
+Because epoch execution is a deterministic function of the checkpoints
+and logs, and the serial fallback runs the identical pure function in
+the coordinator, every recording and replay verdict is bit-identical to
+``jobs=1`` no matter which workers crashed, hung, or raised along the
+way. Faults change only wall-clock time and the host accounting
+(`timing_summary()["faults"]`), which is surfaced on
+``RecordResult.host`` / ``ReplayResult.host`` and never stored in a
+recording.
+
 One shared pool is kept per coordinator process (``shared_pool``) so a
 test suite or benchmark sweep pays the spawn cost once, not per
-recording. Workers hold no state between units — every unit ships its
-own program image and machine config (the pickle memo keeps that cheap,
-and the worker-side decode cache rebuild is a pure function of the
-code).
+recording. A broken shared pool is detected and rebuilt transparently on
+the next call; growing the pool drains in-flight work before replacing
+it. Workers hold no state between units — every unit ships its own
+program image and machine config (the pickle memo keeps that cheap, and
+the worker-side decode cache rebuild is a pure function of the code).
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterator, List, Sequence, Tuple
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Dict, Iterator, List, Sequence, Tuple
 
+from repro.core.config import default_unit_timeout
 from repro.core.epoch_runner import EpochRunResult, run_epoch
+from repro.errors import (
+    HostPoolError,
+    WorkerCrashError,
+    WorkerTaskError,
+    WorkerTimeoutError,
+)
+from repro.host import faults as fault_injection
 from repro.host.wire import RecordEpochUnit, ReplayEpochUnit, UnitTiming
 from repro.record.sync_log import SyncOrderLog
 
 _shared_pool = None
 _shared_size = 0
 
+#: pool attempts per unit before the serial fallback (initial + 1 retry)
+_POOL_ATTEMPTS = 2
 
-def _ensure_worker_import_path() -> None:
-    """Make sure spawned workers can ``import repro``.
+#: ceiling on worker spawn + first ping (a stuck spawn is a host bug)
+_SPAWN_TIMEOUT = 120.0
+
+
+@contextlib.contextmanager
+def _worker_import_path():
+    """Temporarily export the package root so spawned workers can ``import repro``.
 
     Spawn re-execs the interpreter, which builds ``sys.path`` from
     ``PYTHONPATH`` — the coordinator may instead have been launched with
     a ``sys.path`` hack (benchmarks do), so the package root is exported
-    explicitly.
+    explicitly. The export is scoped to pool construction and restored
+    exactly afterwards: a persistent mutation would leak into every
+    unrelated subprocess the caller (or its test suite) spawns later.
     """
     root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    current = os.environ.get("PYTHONPATH", "")
-    parts = [p for p in current.split(os.pathsep) if p]
-    if root not in parts:
-        os.environ["PYTHONPATH"] = os.pathsep.join([root] + parts)
+    original = os.environ.get("PYTHONPATH")
+    parts = [p for p in (original or "").split(os.pathsep) if p]
+    if root in parts:
+        yield
+        return
+    os.environ["PYTHONPATH"] = os.pathsep.join([root] + parts)
+    try:
+        yield
+    finally:
+        if original is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = original
+
+
+def _worker_ping() -> int:
+    """No-op worker task: forces a spawn and proves the import worked."""
+    return os.getpid()
+
+
+def _new_pool(jobs: int) -> ProcessPoolExecutor:
+    """A fresh spawn-context pool with all ``jobs`` workers pre-spawned.
+
+    Workers must spawn while the scoped ``PYTHONPATH`` export is active,
+    and ``ProcessPoolExecutor`` spawns lazily per submit — so every
+    worker is forced up with a ping before the export is rolled back.
+    (A pool never replaces dead workers — a death breaks it and we build
+    a new one through here — so no worker can ever spawn later without
+    the export.)
+    """
+    context = multiprocessing.get_context("spawn")
+    with _worker_import_path():
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+        try:
+            pings = [pool.submit(_worker_ping) for _ in range(jobs)]
+            for ping in pings:
+                ping.result(timeout=_SPAWN_TIMEOUT)
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return pool
+
+
+def _pool_broken(pool: ProcessPoolExecutor) -> bool:
+    return bool(getattr(pool, "_broken", False))
+
+
+def _kill_workers(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool whose workers may be hung (they cannot be recalled)."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=5)
+        except Exception:
+            pass
 
 
 def shared_pool(jobs: int) -> ProcessPoolExecutor:
-    """The coordinator-wide pool, grown (never shrunk) to ``jobs`` workers."""
+    """The coordinator-wide pool, grown (never shrunk) to ``jobs`` workers.
+
+    A previously-broken pool (a worker died) is detected here and rebuilt
+    transparently — the breakage of one recording must never poison the
+    next. Growing drains in-flight units before replacing the pool, so a
+    still-running batch keeps its results.
+    """
     global _shared_pool, _shared_size
+    if _shared_pool is not None and _pool_broken(_shared_pool):
+        _shared_pool.shutdown(wait=True, cancel_futures=True)
+        _shared_pool = None
+        _shared_size = 0
     if _shared_pool is None or _shared_size < jobs:
         if _shared_pool is not None:
-            _shared_pool.shutdown(wait=False, cancel_futures=True)
-        _ensure_worker_import_path()
-        context = multiprocessing.get_context("spawn")
-        _shared_pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+            # Drain, don't yank: both running and queued units complete
+            # before the pool is replaced (growth must never lose work).
+            _shared_pool.shutdown(wait=True, cancel_futures=False)
+        _shared_pool = _new_pool(jobs)
         _shared_size = jobs
     return _shared_pool
 
 
+def invalidate_shared_pool(kill: bool = False) -> None:
+    """Drop the cached shared pool so the next ``shared_pool()`` rebuilds it.
+
+    ``kill=True`` terminates the worker processes first — required after
+    a unit timeout, when a worker is hung and would otherwise block
+    interpreter exit (the executor's atexit handler joins workers).
+    """
+    global _shared_pool, _shared_size
+    if _shared_pool is None:
+        return
+    if kill:
+        _kill_workers(_shared_pool)
+    else:
+        _shared_pool.shutdown(wait=True, cancel_futures=True)
+    _shared_pool = None
+    _shared_size = 0
+
+
 def shutdown_shared_pool() -> None:
     """Tear down the shared pool (tests and benchmark hygiene)."""
-    global _shared_pool, _shared_size
-    if _shared_pool is not None:
-        _shared_pool.shutdown(wait=True, cancel_futures=True)
-        _shared_pool = None
-        _shared_size = 0
+    invalidate_shared_pool(kill=False)
 
 
 # ----------------------------------------------------------------------
 # Worker-side task functions (must be module-level for pickling).
+#
+# ``_record_unit`` / ``_replay_unit`` are the pure execution bodies; the
+# coordinator's serial fallback calls them directly (no fault injection,
+# no exception conversion — a deterministic error must raise there with
+# full context, matching the jobs=1 path). ``_record_task`` /
+# ``_replay_task`` are the worker entry points: they apply injected
+# faults and convert any exception into a structured WorkerTaskError
+# *result*, so a bad unit can never break the pool.
 # ----------------------------------------------------------------------
-def _record_task(payload) -> Tuple[int, EpochRunResult, UnitTiming]:
+def _record_unit(payload) -> Tuple[int, EpochRunResult, UnitTiming]:
     program, machine, unit = payload
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
@@ -98,7 +240,7 @@ def _record_task(payload) -> Tuple[int, EpochRunResult, UnitTiming]:
     return unit.position, result, timing
 
 
-def _replay_task(payload):
+def _replay_unit(payload):
     # Imported here, not at module top: repro.core.replayer is the only
     # core module this one touches, and it imports us lazily in return.
     from repro.core.replayer import replay_epoch_unit
@@ -110,7 +252,41 @@ def _replay_task(payload):
     timing = UnitTiming(
         wall=time.perf_counter() - wall0, cpu=time.process_time() - cpu0
     )
-    return unit.position, cycles, failure, timing
+    return unit.position, (cycles, failure), timing
+
+
+def _as_task_error(exc: BaseException, position: int) -> WorkerTaskError:
+    return WorkerTaskError(
+        f"{type(exc).__name__}: {exc}",
+        position=position,
+        exc_type=type(exc).__name__,
+        traceback_text=traceback.format_exc(),
+    )
+
+
+def _record_task(payload):
+    unit = payload[2]
+    try:
+        fault_injection.inject(unit.faults)
+        return _record_unit(payload)
+    except Exception as exc:
+        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
+
+
+def _replay_task(payload):
+    unit = payload[2]
+    try:
+        fault_injection.inject(unit.faults)
+        return _replay_unit(payload)
+    except Exception as exc:
+        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
+
+
+_COUNTER_BY_KIND = {
+    "crash": "crashes",
+    "timeout": "timeouts",
+    "task-error": "task_errors",
+}
 
 
 class HostExecutor:
@@ -118,30 +294,207 @@ class HostExecutor:
 
     ``private=True`` gives the executor its own pool sized exactly
     ``jobs`` (benchmarks measure specific worker counts); the default
-    shares the coordinator-wide pool.
+    shares the coordinator-wide pool. ``unit_timeout`` is the per-unit
+    wall-clock budget in seconds (None = the ``REPRO_UNIT_TIMEOUT`` env
+    default of 60; 0 disables hang detection).
     """
 
-    def __init__(self, jobs: int, private: bool = False):
+    def __init__(self, jobs: int, private: bool = False, unit_timeout=None):
         self.jobs = max(1, int(jobs))
-        self._private_pool = None
-        if private:
-            _ensure_worker_import_path()
-            context = multiprocessing.get_context("spawn")
-            self._private_pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=context
-            )
-        #: per-unit worker timings, in merge order: (kind, position, UnitTiming)
+        self.unit_timeout = (
+            default_unit_timeout()
+            if unit_timeout is None
+            else max(0.0, float(unit_timeout))
+        )
+        self._private = bool(private)
+        self._private_pool = _new_pool(self.jobs) if private else None
+        self._fault_specs = fault_injection.active_faults()
+        #: per-unit worker timings, in merge order: (kind, position,
+        #: UnitTiming). Serial-fallback units record coordinator timings
+        #: under "<kind>-serial".
         self.unit_timings: List[Tuple[str, int, UnitTiming]] = []
         #: coordinator seconds spent building + submitting payloads
         self.dispatch_wall = 0.0
+        #: containment counters (crashes, timeouts, task_errors, retries,
+        #: serial_fallbacks) — surfaced via ``timing_summary()``
+        self.counters: Dict[str, int] = dict.fromkeys(
+            ("crashes", "timeouts", "task_errors", "retries", "serial_fallbacks"),
+            0,
+        )
+        #: one entry per observed failure: kind, position, attempt, error
+        self.fault_events: List[Dict[str, object]] = []
 
     def _pool(self) -> ProcessPoolExecutor:
-        return self._private_pool or shared_pool(self.jobs)
+        if not self._private:
+            return shared_pool(self.jobs)
+        if self._private_pool is None or _pool_broken(self._private_pool):
+            if self._private_pool is not None:
+                self._private_pool.shutdown(wait=True, cancel_futures=True)
+            self._private_pool = _new_pool(self.jobs)
+        return self._private_pool
+
+    def _abandon_pool(self, kill: bool) -> None:
+        """After a crash/timeout: drop the current pool; ``_pool()`` rebuilds."""
+        if self._private:
+            pool, self._private_pool = self._private_pool, None
+            if pool is not None:
+                if kill:
+                    _kill_workers(pool)
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            invalidate_shared_pool(kill=kill)
 
     def close(self) -> None:
         if self._private_pool is not None:
             self._private_pool.shutdown(wait=True, cancel_futures=True)
             self._private_pool = None
+
+    # ------------------------------------------------------------------
+    def _payloads(self, kind: str, program, machine, units) -> List[tuple]:
+        """Stamp fault specs onto the units and build worker payloads."""
+        payloads = []
+        for unit in units:
+            unit.faults = fault_injection.faults_for(
+                self._fault_specs, kind, unit.position
+            )
+            payloads.append((program, machine, unit))
+        return payloads
+
+    def _note_fault(self, failure: HostPoolError) -> None:
+        self.counters[_COUNTER_BY_KIND[failure.kind]] += 1
+        self.fault_events.append(
+            {
+                "kind": failure.kind,
+                "position": failure.position,
+                "attempt": failure.attempt,
+                "error": str(failure),
+            }
+        )
+
+    def _submit_missing(self, task_fn, payloads, futures, done, start) -> None:
+        """Ensure every unfinished position from ``start`` has a live future.
+
+        If the pool breaks mid-submission (a just-submitted unit crashed
+        already), the loop stops quietly: the head future carries the
+        breakage, and waiting on it attributes the failure and rebuilds.
+        """
+        pool = self._pool()
+        t0 = time.perf_counter()
+        try:
+            for position in range(start, len(payloads)):
+                if position not in done and position not in futures:
+                    futures[position] = pool.submit(task_fn, payloads[position])
+        except Exception:
+            pass
+        finally:
+            self.dispatch_wall += time.perf_counter() - t0
+
+    @staticmethod
+    def _harvest(futures, done) -> None:
+        """Salvage completed results out of a broken batch, drop the rest."""
+        for position, future in list(futures.items()):
+            if future.done() and not future.cancelled():
+                try:
+                    if future.exception(timeout=0) is None:
+                        done[position] = future.result(timeout=0)
+                except Exception:
+                    pass
+        futures.clear()
+
+    def _run_units(
+        self, kind: str, task_fn, unit_fn, payloads, stop_on=None
+    ) -> Iterator[Tuple[int, object]]:
+        """Yield ``(position, value)`` in position order with containment.
+
+        Per-unit policy: run in the pool; on crash/timeout/task-error,
+        retry once (crash and timeout also rebuild the pool); on a second
+        failure, execute the unit serially in the coordinator via
+        ``unit_fn``. ``stop_on(value)`` truthy cancels everything still
+        pending and ends the batch (the record path's divergence exit).
+        """
+        n = len(payloads)
+        done: Dict[int, tuple] = {}
+        futures: Dict[int, object] = {}
+        attempts = [0] * n
+        next_pos = 0
+        try:
+            while next_pos < n:
+                failure = None
+                outcome = done.pop(next_pos, None)
+                if outcome is None:
+                    self._submit_missing(task_fn, payloads, futures, done, next_pos)
+                    future = futures.pop(next_pos, None)
+                    if future is None:
+                        failure = WorkerCrashError(
+                            f"worker pool broke before unit {next_pos} could "
+                            f"be submitted",
+                            position=next_pos,
+                            attempt=attempts[next_pos],
+                        )
+                    else:
+                        try:
+                            outcome = future.result(
+                                timeout=self.unit_timeout or None
+                            )
+                        except FutureTimeout:
+                            future.cancel()
+                            failure = WorkerTimeoutError(
+                                f"unit {next_pos} exceeded the "
+                                f"{self.unit_timeout:g}s unit timeout",
+                                position=next_pos,
+                                attempt=attempts[next_pos],
+                                timeout=self.unit_timeout,
+                            )
+                        except Exception as exc:
+                            failure = WorkerCrashError(
+                                f"worker died running unit {next_pos}: {exc!r}",
+                                position=next_pos,
+                                attempt=attempts[next_pos],
+                            )
+                if outcome is not None:
+                    _, value, timing = outcome
+                    if isinstance(value, WorkerTaskError):
+                        value.attempt = attempts[next_pos]
+                        failure = value
+                    else:
+                        self.unit_timings.append((kind, next_pos, timing))
+                        if stop_on is not None and stop_on(value):
+                            for pending in futures.values():
+                                pending.cancel()
+                            yield next_pos, value
+                            return
+                        yield next_pos, value
+                        next_pos += 1
+                        continue
+                # ------------------------------------------------------
+                # Containment: the unit failed in the pool.
+                # ------------------------------------------------------
+                self._note_fault(failure)
+                if not isinstance(failure, WorkerTaskError):
+                    # Crash/hang: the pool itself is suspect — salvage
+                    # finished results, then rebuild on the next submit.
+                    self._harvest(futures, done)
+                    self._abandon_pool(
+                        kill=isinstance(failure, WorkerTimeoutError)
+                    )
+                attempts[next_pos] += 1
+                if attempts[next_pos] < _POOL_ATTEMPTS:
+                    self.counters["retries"] += 1
+                    continue
+                self.counters["serial_fallbacks"] += 1
+                _, value, timing = unit_fn(payloads[next_pos])
+                self.unit_timings.append((kind + "-serial", next_pos, timing))
+                if stop_on is not None and stop_on(value):
+                    for pending in futures.values():
+                        pending.cancel()
+                    yield next_pos, value
+                    return
+                yield next_pos, value
+                next_pos += 1
+        finally:
+            for pending in futures.values():
+                pending.cancel()
 
     # ------------------------------------------------------------------
     def run_record_units(
@@ -150,47 +503,31 @@ class HostExecutor:
         """Yield ``(position, result)`` in position order.
 
         Stops after the first divergence, cancelling all not-yet-started
-        units — exactly the serial loop's early exit.
+        units — exactly the serial loop's early exit. Worker crashes,
+        hangs, and exceptions are contained per unit (retry once, then
+        serial fallback), so the stream always completes and is always
+        bit-identical to the serial path.
         """
-        pool = self._pool()
-        start = time.perf_counter()
-        futures = [
-            pool.submit(_record_task, (program, machine, unit)) for unit in units
-        ]
-        self.dispatch_wall += time.perf_counter() - start
-        try:
-            for future in futures:
-                position, result, timing = future.result()
-                self.unit_timings.append(("record", position, timing))
-                if not result.ok:
-                    for pending in futures:
-                        pending.cancel()
-                yield position, result
-                if not result.ok:
-                    return
-        finally:
-            for future in futures:
-                future.cancel()
+        payloads = self._payloads("record", program, machine, units)
+        yield from self._run_units(
+            "record",
+            _record_task,
+            _record_unit,
+            payloads,
+            stop_on=lambda result: not result.ok,
+        )
 
     def run_replay_units(
         self, program, machine, units: Sequence[ReplayEpochUnit]
     ) -> List[Tuple[int, int, object]]:
         """All ``(position, cycles, failure)`` results, in position order."""
-        pool = self._pool()
-        start = time.perf_counter()
-        futures = [
-            pool.submit(_replay_task, (program, machine, unit)) for unit in units
-        ]
-        self.dispatch_wall += time.perf_counter() - start
+        payloads = self._payloads("replay", program, machine, units)
         outcomes = []
-        try:
-            for future in futures:
-                position, cycles, failure, timing = future.result()
-                self.unit_timings.append(("replay", position, timing))
-                outcomes.append((position, cycles, failure))
-        finally:
-            for future in futures:
-                future.cancel()
+        for position, value in self._run_units(
+            "replay", _replay_task, _replay_unit, payloads
+        ):
+            cycles, failure = value
+            outcomes.append((position, cycles, failure))
         return outcomes
 
     # ------------------------------------------------------------------
@@ -202,4 +539,6 @@ class HostExecutor:
             "unit_wall": [round(t.wall, 6) for _, _, t in self.unit_timings],
             "unit_cpu": [round(t.cpu, 6) for _, _, t in self.unit_timings],
             "dispatch_wall": round(self.dispatch_wall, 6),
+            "faults": dict(self.counters),
+            "fault_events": list(self.fault_events),
         }

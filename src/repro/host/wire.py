@@ -70,6 +70,10 @@ class RecordEpochUnit:
     #: thread-parallel acquisition hints, ``start``-to-segment-end suffix
     sync_events: Tuple[tuple, ...]
     use_sync_hints: bool = True
+    #: fault-injection directives for this unit (testing knob; stamped by
+    #: the executor from ``REPRO_FAULT``, applied by the worker — see
+    #: :mod:`repro.host.faults`). Never part of the recording.
+    faults: Tuple = ()
 
 
 @dataclass
@@ -94,6 +98,8 @@ class ReplayEpochUnit:
     syscalls: Tuple[SyscallRecord, ...]
     #: signal-delivery suffix reachable from ``start``
     signals: Tuple[tuple, ...]
+    #: fault-injection directives for this unit (see ``RecordEpochUnit``)
+    faults: Tuple = ()
 
 
 def syscall_slice(

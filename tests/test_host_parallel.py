@@ -101,6 +101,27 @@ def test_record_divergence_cancels_and_recovers_identically():
 
 
 # ----------------------------------------------------------------------
+# Fault slice: a misbehaving worker changes accounting, never results.
+# (tests/test_host_faults.py covers the full containment matrix.)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "spec,counter",
+    [("crash:unit1", "crashes"), ("error:unit1", "task_errors")],
+)
+def test_record_jobs_bit_identical_under_faults(monkeypatch, spec, counter):
+    _, _, serial = _record("pbzip", 2, jobs=1)
+    monkeypatch.setenv("REPRO_FAULT", spec)
+    _, _, faulted = _record("pbzip", 2, jobs=4)
+    assert json.dumps(faulted.recording.to_plain(), sort_keys=True) == json.dumps(
+        serial.recording.to_plain(), sort_keys=True
+    ), f"recording bytes differ under injected {spec}"
+    assert faulted.stats == serial.stats
+    assert faulted.makespan == serial.makespan
+    assert faulted.host["faults"][counter] >= 1
+    assert faulted.host["faults"]["serial_fallbacks"] >= 1
+
+
+# ----------------------------------------------------------------------
 # Replay determinism + structured failure details
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name,workers", [("pbzip", 2), ("fft", 3)])

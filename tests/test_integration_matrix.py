@@ -195,3 +195,53 @@ def test_host_parallel_matches_goldens(name, workers, jobs):
     assert (replay_jobs.total_cycles, replay_jobs.makespan) == (
         replay_serial.total_cycles, replay_serial.makespan,
     )
+
+
+# Fault parity: the goldens must also survive injected host-worker
+# failures. A crash mid-matrix, a one-shot crash on a divergence-heavy
+# workload, and a worker exception all go through the retry/serial-
+# fallback containment and still reproduce the committed tuples exactly.
+FAULT_PARITY = [
+    ("fft", 2, 4, "crash:unit1", False),
+    ("racy-counter", 2, 4, "crash:unit1:once", True),
+    ("pbzip", 2, 4, "error:unit2", False),
+]
+
+
+@pytest.mark.parametrize("name,workers,jobs,spec,needs_state", FAULT_PARITY)
+def test_goldens_survive_host_faults(
+    monkeypatch, tmp_path, name, workers, jobs, spec, needs_state
+):
+    if needs_state:
+        monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path))
+    monkeypatch.setenv("REPRO_FAULT", spec)
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+    )
+    result = DoublePlayRecorder(
+        instance.image, instance.setup, config.replace(host_jobs=jobs)
+    ).record()
+    recording = result.recording
+    observed = (
+        native.duration,
+        native.final_digest,
+        result.makespan,
+        recording.epoch_count(),
+        recording.final_digest,
+        combine_hashes([epoch.end_digest for epoch in recording.epochs]),
+        recording.total_log_bytes(),
+    )
+    assert observed == GOLDEN[(name, workers)], (
+        f"{name}/{workers}: drift under injected fault {spec!r} — "
+        f"expected {GOLDEN[(name, workers)]}, got {observed}"
+    )
+    # Race-free pipelines execute every unit, so the fault deterministically
+    # fires. On racy workloads a divergence may cancel the target unit
+    # before it starts — parity above is the contract either way.
+    if not WORKLOADS[name].racy:
+        counts = result.host["faults"]
+        assert sum(counts.values()) >= 1, "fault never fired"
