@@ -14,11 +14,12 @@ targets the epoch-parallel execution runs each thread to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.isa.context import ThreadContext, ThreadStatus
 from repro.memory.address_space import MemorySnapshot
 from repro.memory.hashing import combine_hashes, hash_structure
+from repro.memory.page import Page
 
 
 @dataclass
@@ -73,26 +74,66 @@ class Checkpoint:
         """Fresh context copies safe to hand to a new engine."""
         return {tid: ctx.copy() for tid, ctx in self.contexts.items()}
 
-    def to_wire(self) -> "Checkpoint":
-        """Host-wire copy for shipping to an epoch-executor process.
+    def to_wire(self) -> "WireCheckpoint":
+        """Skeleton form for the content-addressed host wire.
 
-        Shares this checkpoint's guest state (pickling the copy is what
-        actually duplicates it) but strips the kernel state: epoch
-        executors inject logged syscalls and never touch a live kernel —
-        only forward recovery needs ``kernel_state``, and recovery always
-        runs on the coordinator. The content-derived digest caches
-        transfer.
+        The skeleton names every page by digest instead of carrying its
+        bytes (see :class:`WireCheckpoint`); the kernel state is stripped:
+        epoch executors inject logged syscalls and never touch a live
+        kernel — only forward recovery needs ``kernel_state``, and
+        recovery always runs on the coordinator. The content-derived
+        digest caches transfer.
         """
-        return Checkpoint(
+        return WireCheckpoint(
             index=self.index,
             time=self.time,
-            memory=self.memory,
             contexts=self.contexts,
             sync_state=self.sync_state,
-            kernel_state=None,
             dirty_pages=self.dirty_pages,
-            _digest=self._digest,
-            _ctx_digest=self._ctx_digest,
+            page_table=dict(self.memory.page_digest_table()),
+            space_hash=self.memory._hash,
+            sorted_keys=self.memory._sorted,
+            digest_cache=self._digest,
+            ctx_digest_cache=self._ctx_digest,
+            _local=self,
+        )
+
+    def wire_delta(self, base: "Checkpoint") -> "WireCheckpoint":
+        """Delta skeleton: this checkpoint's memory as changes vs ``base``.
+
+        A record unit ships its ``boundary`` this way: consecutive
+        checkpoints share almost every page object (copy-on-write), so
+        the delta is exactly the epoch's dirty pages. Pages whose objects
+        differ but whose contents are digest-equal are treated as
+        unchanged — hydration then maps both checkpoints to the *same*
+        page object, which only widens the divergence check's identity
+        fast path.
+        """
+        base_pages = base.memory.pages
+        changes: Dict[int, int] = {}
+        for no, page in self.memory.pages.items():
+            other = base_pages.get(no)
+            if other is page:
+                continue
+            digest = page.wire_blob()[0]
+            if other is not None and other.wire_blob()[0] == digest:
+                continue
+            changes[no] = digest
+        drops = tuple(no for no in base_pages if no not in self.memory.pages)
+        return WireCheckpoint(
+            index=self.index,
+            time=self.time,
+            contexts=self.contexts,
+            sync_state=self.sync_state,
+            dirty_pages=self.dirty_pages,
+            page_table=None,
+            page_changes=changes,
+            page_drops=drops,
+            space_hash=self.memory._hash,
+            sorted_keys=self.memory._sorted,
+            digest_cache=self._digest,
+            ctx_digest_cache=self._ctx_digest,
+            _local=self,
         )
 
     def release(self) -> None:
@@ -103,4 +144,115 @@ class Checkpoint:
         return (
             f"Checkpoint(index={self.index}, time={self.time}, "
             f"threads={len(self.contexts)}, pages={self.memory.page_count()})"
+        )
+
+
+@dataclass
+class WireCheckpoint:
+    """A checkpoint skeleton for the content-addressed host wire.
+
+    Carries everything a worker needs to rebuild the checkpoint *except*
+    page contents: memory is a ``{page_no: digest}`` table (full form) or
+    a ``(changes, drops)`` delta against another checkpoint's table, and
+    the bytes travel separately as ``(digest, blob)`` pairs that worker
+    caches dedupe across units, epochs, and whole recordings (see
+    :mod:`repro.host.blobs`).
+
+    ``_local`` is a coordinator-side shortcut: the original
+    :class:`Checkpoint` the skeleton was built from. It is stripped at
+    the pickle boundary, so a worker never sees it, but the coordinator's
+    serial fallback hydrates to the exact original object — zero decode,
+    and trivially bit-identical to the ``jobs=1`` path.
+    """
+
+    index: int
+    time: int
+    contexts: Dict[int, ThreadContext]
+    sync_state: Tuple
+    dirty_pages: int = 0
+    #: full digest table, or ``None`` when this skeleton is a delta
+    page_table: Optional[Dict[int, int]] = None
+    #: delta form: pages added/changed vs the base table
+    page_changes: Dict[int, int] = field(default_factory=dict)
+    #: delta form: pages present in the base but unmapped here
+    page_drops: Tuple[int, ...] = ()
+    #: content-derived caches — transfer so workers never recompute them
+    space_hash: Optional[int] = None
+    sorted_keys: Optional[List[int]] = None
+    digest_cache: Optional[int] = None
+    ctx_digest_cache: Optional[int] = None
+    _local: Optional[Checkpoint] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_local"] = None  # coordinator-only shortcut, never shipped
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    @property
+    def is_delta(self) -> bool:
+        return self.page_table is None
+
+    def blob_digests(self) -> Iterable[int]:
+        """Every page digest a worker must resolve to hydrate this skeleton."""
+        if self.page_table is not None:
+            return self.page_table.values()
+        return self.page_changes.values()
+
+    def hydrate(
+        self,
+        resolve: Callable[[int], Page],
+        base_pages: Optional[Dict[int, Page]] = None,
+    ) -> Checkpoint:
+        """Rebuild a working :class:`Checkpoint` from the skeleton.
+
+        ``resolve`` maps a digest to a (cache-resident or just-decoded)
+        :class:`Page`; a delta skeleton additionally needs ``base_pages``,
+        the hydrated page table of the checkpoint it was deltaed against.
+        Every table entry pins a reference on its page, exactly like
+        ``AddressSpace.snapshot()`` — cached pages therefore always have
+        ``refs > 1`` and copy-on-write before any engine can touch them.
+        Equal-digest entries share one page object, which preserves (and
+        on all-zero pages widens) the divergence check's identity fast
+        path.
+        """
+        if self._local is not None:
+            return self._local
+        if self.page_table is not None:
+            pages = {no: resolve(digest) for no, digest in self.page_table.items()}
+        else:
+            if base_pages is None:
+                raise ValueError("delta skeleton hydrated without its base")
+            pages = dict(base_pages)
+            for no, digest in self.page_changes.items():
+                pages[no] = resolve(digest)
+            for no in self.page_drops:
+                pages.pop(no, None)
+        for page in pages.values():
+            page.refs += 1
+        snapshot = MemorySnapshot(
+            pages,
+            list(self.sorted_keys) if self.sorted_keys is not None else None,
+        )
+        snapshot._hash = self.space_hash
+        return Checkpoint(
+            index=self.index,
+            time=self.time,
+            memory=snapshot,
+            contexts=self.contexts,
+            sync_state=self.sync_state,
+            kernel_state=None,
+            dirty_pages=self.dirty_pages,
+            _digest=self.digest_cache,
+            _ctx_digest=self.ctx_digest_cache,
+        )
+
+    def __repr__(self) -> str:
+        form = "delta" if self.is_delta else "full"
+        pages = len(self.page_changes) if self.is_delta else len(self.page_table)
+        return (
+            f"WireCheckpoint(index={self.index}, {form}, pages={pages}, "
+            f"threads={len(self.contexts)})"
         )

@@ -127,6 +127,21 @@ def _print_host_faults(host, out) -> None:
     )
 
 
+def _print_host_wire(host, out) -> None:
+    """One line of content-addressed-wire accounting for parallel runs."""
+    wire = host.get("wire") or {}
+    if not wire.get("blobs_sent") and not wire.get("blob_cache_hits"):
+        return
+    print(
+        "  host wire: "
+        f"{wire['bytes_shipped']} bytes in {wire['blobs_sent']} blob(s) "
+        f"across {host.get('units', 0)} unit(s); "
+        f"{wire['blob_cache_hits']} cache hit(s), "
+        f"{wire['blob_resends']} resend(s)",
+        file=out,
+    )
+
+
 def cmd_record(args, out) -> int:
     instance, machine = _build(args)
     native = run_native(instance.image, instance.setup, machine)
@@ -156,6 +171,7 @@ def cmd_record(args, out) -> int:
     for key, value in recording.log_breakdown().items():
         print(f"  {key}: {value}", file=out)
     _print_host_faults(result.host, out)
+    _print_host_wire(result.host, out)
     if args.output:
         payload = {
             "workload": {
@@ -198,6 +214,7 @@ def cmd_replay(args, out) -> int:
     for detail in outcome.details:
         print(f"  {detail}", file=out)
     _print_host_faults(outcome.host, out)
+    _print_host_wire(outcome.host, out)
     return 0 if outcome.verified else 1
 
 

@@ -156,7 +156,7 @@ class DoublePlayRecorder:
             return
         from repro.host.wire import record_units_for_segment
 
-        units = record_units_for_segment(
+        batch = record_units_for_segment(
             checkpoints,
             hints,
             hint_marks,
@@ -165,7 +165,7 @@ class DoublePlayRecorder:
             first_epoch_index,
             self.config.use_sync_hints,
         )
-        yield from executor.run_record_units(self.program, self.machine, units)
+        yield from executor.run_record_units(self.program, self.machine, batch)
 
     # ------------------------------------------------------------------
     def record(self) -> RecordResult:

@@ -37,27 +37,31 @@ from repro.record.recording import EpochRecord, Recording
 from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
 
 
-def replay_epoch_unit(program, machine, unit):
+def replay_epoch_unit(program, machine, unit, start, syscalls, signals):
     """Replay one packaged epoch (``repro.host.wire.ReplayEpochUnit``).
 
     Runs in worker processes; mirrors ``Replayer._epoch_engine`` +
     ``_verify`` exactly so serial and process-parallel replays reach
-    identical verdicts and cycle counts. Returns ``(cycles, failure)``.
+    identical verdicts and cycle counts. The heavy inputs — the hydrated
+    ``start`` checkpoint and the shared syscall/signal logs — arrive
+    separately from the unit skeleton: the caller resolves them through
+    its blob cache (worker) or the unit's ``_local`` shortcuts
+    (coordinator serial fallback). Returns ``(cycles, failure)``.
     """
-    injector = InjectedSyscalls(unit.syscalls)
+    injector = InjectedSyscalls(syscalls)
     engine = UniprocessorEngine.from_checkpoint(
         program,
         machine,
         injector,
-        memory_snapshot=unit.start.memory,
-        contexts=unit.start.copy_contexts(),
-        sync_state=unit.start.sync_state,
+        memory_snapshot=start.memory,
+        contexts=start.copy_contexts(),
+        sync_state=start.sync_state,
         targets=dict(unit.targets),
         wake_blocked_io=True,
         name=f"{program.name}/replay{unit.epoch_index}",
     )
     engine.sync.oracle = SyncOrderOracle(SyncOrderLog(unit.sync_events))
-    engine.install_signal_records(unit.signals)
+    engine.install_signal_records(signals)
     engine.run_schedule(unit.schedule)
     failure = None
     if engine.state_digest() != unit.end_digest:
@@ -199,9 +203,9 @@ class Replayer:
             from repro.host.pool import HostExecutor
             from repro.host.wire import replay_units_for_recording
 
-            units = replay_units_for_recording(recording)
+            batch = replay_units_for_recording(recording)
             executor = HostExecutor(jobs, unit_timeout=unit_timeout)
-            outcomes = executor.run_replay_units(self.program, self.machine, units)
+            outcomes = executor.run_replay_units(self.program, self.machine, batch)
             for _, cycles, failure in outcomes:
                 if failure:
                     details.append(failure)

@@ -8,24 +8,38 @@ epoch work units (:mod:`repro.host.wire`) to a spawn-safe process pool
 coordinator. ``jobs=1`` everywhere means "don't import any of this" —
 the serial code paths in :mod:`repro.core` are untouched.
 
+The wire is content-addressed (:mod:`repro.memory.blob`): units are
+skeletons referencing shared blobs by digest, workers keep byte-budgeted
+LRU caches of decoded blobs (:mod:`repro.host.blobs`), and each dispatch
+ships only what the pool is not already believed to hold — in steady
+state a unit costs its skeleton plus the epoch's dirty pages.
+
 Worker failures (crashes, hangs, task exceptions) are first-class,
 recoverable events: the executor contains them per unit (retry once on a
 fresh pool, then in-coordinator serial fallback), so recordings and
 replay verdicts stay bit-identical at any jobs count even on an
 imperfect host. :mod:`repro.host.faults` makes those paths
-deterministically testable via ``REPRO_FAULT``.
+deterministically testable via ``REPRO_FAULT``; a worker's blob-cache
+miss is likewise structured (``NeedBlobs`` → full re-dispatch), never an
+error.
 """
 
+from repro.host.blobs import BlobCache, WorkerCacheTracker, blob_cache_capacity
 from repro.host.faults import FaultSpec, active_faults, parse_fault_specs
 from repro.host.pool import (
     HostExecutor,
+    UnitDispatch,
     invalidate_shared_pool,
     shared_pool,
     shutdown_shared_pool,
 )
 from repro.host.wire import (
+    BlobRef,
+    NeedBlobs,
     RecordEpochUnit,
     ReplayEpochUnit,
+    ThreadLogIndex,
+    UnitBatch,
     UnitTiming,
     record_units_for_segment,
     replay_units_for_recording,
@@ -34,12 +48,20 @@ from repro.host.wire import (
 )
 
 __all__ = [
+    "BlobCache",
+    "BlobRef",
     "FaultSpec",
     "HostExecutor",
+    "NeedBlobs",
     "RecordEpochUnit",
     "ReplayEpochUnit",
+    "ThreadLogIndex",
+    "UnitBatch",
+    "UnitDispatch",
     "UnitTiming",
+    "WorkerCacheTracker",
     "active_faults",
+    "blob_cache_capacity",
     "invalidate_shared_pool",
     "parse_fault_specs",
     "record_units_for_segment",

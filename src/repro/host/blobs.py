@@ -1,0 +1,172 @@
+"""Worker-resident blob caches and the coordinator's view of them.
+
+The content-addressed wire protocol has two halves:
+
+* **Workers** keep a byte-budgeted LRU :class:`BlobCache` of *decoded*
+  objects keyed by blob digest — guest pages, shared log/hint tuples,
+  and the decoded :class:`~repro.isa.program.ProgramImage` itself (whose
+  lazily-built handler table in ``__dict__`` therefore survives across
+  units instead of being re-decoded per dispatch). The cache charges the
+  encoded blob size, not the decoded object's footprint, because the
+  budget exists to bound what the *wire* saved, and evictions must be
+  reported so the coordinator stops assuming the worker still holds them.
+
+* The **coordinator** keeps a :class:`WorkerCacheTracker`: per worker
+  pid, the set of digests it is believed to hold. A dispatch ships only
+  the blobs outside the *intersection* over the current pool's pids —
+  ``ProcessPoolExecutor`` gives no control over which worker picks a
+  unit up, so a blob may be omitted only when *every* live worker holds
+  it. The tracker is advisory, never authoritative: a worker that finds
+  a digest missing (restart after a crash, eviction racing an in-flight
+  dispatch) answers with a structured ``NeedBlobs`` instead of failing,
+  and the coordinator re-dispatches with the full blob set.
+
+Capacity comes from ``REPRO_BLOB_CACHE_MB`` (default 64), read in the
+worker process at first use — tests shrink it to force the eviction and
+miss/resend paths deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.memory.blob import decode_blob
+from repro.memory.page import Page
+
+#: worker blob-cache budget env knob, in megabytes of encoded blob bytes
+CACHE_ENV = "REPRO_BLOB_CACHE_MB"
+_DEFAULT_CACHE_MB = 64.0
+
+
+def blob_cache_capacity() -> int:
+    """Worker cache budget in bytes (``REPRO_BLOB_CACHE_MB``, default 64)."""
+    raw = os.environ.get(CACHE_ENV, "")
+    if not raw:
+        return int(_DEFAULT_CACHE_MB * 1024 * 1024)
+    try:
+        return max(0, int(float(raw) * 1024 * 1024))
+    except ValueError:
+        return int(_DEFAULT_CACHE_MB * 1024 * 1024)
+
+
+def decode_blob_object(blob: bytes):
+    """Decode a wire blob into its live object (pages become ``Page``)."""
+    kind, payload = decode_blob(blob)
+    if kind == "page":
+        return Page(payload)
+    return payload
+
+
+class BlobCache:
+    """Byte-budgeted LRU of decoded wire objects, keyed by digest.
+
+    Lives once per worker process (module global in ``repro.host.pool``)
+    and once in the coordinator for its serial-fallback-free bookkeeping
+    tests. Pages stored here are shared into hydrated snapshots by
+    reference; the hydration pin (``refs += 1`` per table entry) plus the
+    cache's own reference guarantee ``refs > 1``, so an engine write
+    always copies-on-write and a cached page is never mutated in place.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity = max(0, int(capacity_bytes))
+        self._entries: "OrderedDict[int, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def has(self, digest: int) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: int):
+        """The decoded object, refreshed to most-recently-used."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            return None
+        self._entries.move_to_end(digest)
+        return entry[0]
+
+    def insert(self, digest: int, blob: bytes) -> List[int]:
+        """Decode and cache one blob; returns the digests evicted for it.
+
+        An already-present digest is refreshed, not re-decoded. A blob
+        larger than the whole budget is decoded but not retained (it
+        reports itself as evicted), so a tiny test budget still executes
+        every unit — the dispatch's own blobs remain resolvable via the
+        per-dispatch memo in the pool layer.
+        """
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+            return []
+        size = len(blob)
+        self._entries[digest] = (decode_blob_object(blob), size)
+        self._bytes += size
+        evicted: List[int] = []
+        while self._bytes > self.capacity and self._entries:
+            old_digest, (_, old_size) = self._entries.popitem(last=False)
+            self._bytes -= old_size
+            evicted.append(old_digest)
+        return evicted
+
+    def missing(self, digests: Iterable[int]) -> List[int]:
+        """Digests not currently resident (no LRU refresh, no counting)."""
+        return [d for d in digests if d not in self._entries]
+
+
+class WorkerCacheTracker:
+    """Coordinator-side model of which worker pid holds which digests.
+
+    Updated from dispatch acks (what was shipped to the pid that answered,
+    minus what it reported evicting); consulted at dispatch-build time.
+    Wrong-in-either-direction is safe: over-estimation is corrected by the
+    worker's ``NeedBlobs`` answer, under-estimation merely re-ships bytes.
+    """
+
+    def __init__(self):
+        self._held: Dict[int, Set[int]] = {}
+
+    def note_inserted(self, pid: int, digests: Iterable[int]) -> None:
+        if not pid:
+            return
+        self._held.setdefault(pid, set()).update(digests)
+
+    def note_evicted(self, pid: int, digests: Iterable[int]) -> None:
+        held = self._held.get(pid)
+        if held:
+            held.difference_update(digests)
+
+    def forget_worker(self, pid: int) -> None:
+        self._held.pop(pid, None)
+
+    def common(self, pids: Iterable[int]) -> Set[int]:
+        """Digests every one of ``pids`` holds (empty if any pid is unknown).
+
+        This is the omission rule: a blob may be left out of a dispatch
+        only when no matter which worker pops the unit, it has the blob.
+        """
+        result: Set[int] = set()
+        for i, pid in enumerate(pids):
+            held = self._held.get(pid)
+            if not held:
+                return set()
+            if i == 0:
+                result = set(held)
+            else:
+                result &= held
+                if not result:
+                    return result
+        return result
+
+    def prune(self, live_pids: Iterable[int]) -> None:
+        """Drop state for pids no longer in the pool (post-rebuild hygiene)."""
+        live = set(live_pids)
+        for pid in list(self._held):
+            if pid not in live:
+                del self._held[pid]

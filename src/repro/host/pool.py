@@ -5,13 +5,30 @@ Spawn (not fork) keeps workers safe on every platform and guarantees
 they import a fresh ``repro`` — nothing leaks from the coordinator
 except what the work units carry.
 
-Protocol per batch: submit every unit up front, consume results strictly
-in position order (the merge on the coordinator is therefore
-deterministic regardless of completion order), and on the first
-divergence cancel everything not yet started — epochs after a divergence
-belong to an abandoned thread-parallel future and their results would be
-discarded anyway. A worker that is already mid-epoch runs to completion
+Protocol per batch: build dispatches lazily inside a bounded submission
+window (about two per worker — blobs are encoded and shipped only for
+units that will actually run), consume results strictly in position
+order (the merge on the coordinator is therefore deterministic
+regardless of completion order), and on the first divergence cancel
+everything not yet started — epochs after a divergence belong to an
+abandoned thread-parallel future and their results would be discarded
+anyway. A worker that is already mid-epoch runs to completion
 harmlessly; its result is dropped.
+
+**The content-addressed wire.** A dispatch carries a unit *skeleton*
+(:mod:`repro.host.wire`) plus only the blobs the pool's workers are not
+already believed to hold: workers keep byte-budgeted LRU caches of
+decoded blobs and the coordinator mirrors their contents in a
+module-level :class:`~repro.host.blobs.WorkerCacheTracker` (module
+level for the same reason the shared pool is — worker caches persist
+across ``HostExecutor`` instances, so the model must too). The pool
+gives no control over which worker pops a unit, so a blob is omitted
+only when *every* live worker holds it; the tracker is advisory — a
+worker missing a digest answers with a structured
+:class:`~repro.host.wire.NeedBlobs` result and the coordinator
+re-dispatches that unit with its full blob set (capped, then treated as
+a task error and contained like any other). In steady state a unit
+ships its skeleton plus the epoch's dirty pages, nothing else.
 
 **Fault containment.** A failed epoch-parallel attempt is disposable by
 design — that is the paper's core insight — so host faults are treated
@@ -38,10 +55,12 @@ then fall back to in-coordinator serial execution):
 
 Because epoch execution is a deterministic function of the checkpoints
 and logs, and the serial fallback runs the identical pure function in
-the coordinator, every recording and replay verdict is bit-identical to
-``jobs=1`` no matter which workers crashed, hung, or raised along the
-way. Faults change only wall-clock time and the host accounting
-(`timing_summary()["faults"]`), which is surfaced on
+the coordinator (through the units' ``_local`` shortcuts — the exact
+original objects, no decode), every recording and replay verdict is
+bit-identical to ``jobs=1`` no matter which workers crashed, hung,
+raised, or missed their caches along the way. Faults and cache traffic
+change only wall-clock time and the host accounting
+(``timing_summary()["faults"]`` / ``["wire"]``), which is surfaced on
 ``RecordResult.host`` / ``ReplayResult.host`` and never stored in a
 recording.
 
@@ -49,9 +68,7 @@ One shared pool is kept per coordinator process (``shared_pool``) so a
 test suite or benchmark sweep pays the spawn cost once, not per
 recording. A broken shared pool is detected and rebuilt transparently on
 the next call; growing the pool drains in-flight work before replacing
-it. Workers hold no state between units — every unit ships its own
-program image and machine config (the pickle memo keeps that cheap, and
-the worker-side decode cache rebuild is a pure function of the code).
+it.
 """
 
 from __future__ import annotations
@@ -63,7 +80,8 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from typing import Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import default_unit_timeout
 from repro.core.epoch_runner import EpochRunResult, run_epoch
@@ -74,14 +92,30 @@ from repro.errors import (
     WorkerTimeoutError,
 )
 from repro.host import faults as fault_injection
-from repro.host.wire import RecordEpochUnit, ReplayEpochUnit, UnitTiming
+from repro.host.blobs import (
+    BlobCache,
+    WorkerCacheTracker,
+    blob_cache_capacity,
+    decode_blob_object,
+)
+from repro.host.wire import NeedBlobs, UnitBatch, UnitTiming
+from repro.memory.blob import blob_digest, encode_object
 from repro.record.sync_log import SyncOrderLog
 
 _shared_pool = None
 _shared_size = 0
 
+#: coordinator-side mirror of every worker's blob cache, keyed by pid
+_cache_tracker = WorkerCacheTracker()
+
 #: pool attempts per unit before the serial fallback (initial + 1 retry)
 _POOL_ATTEMPTS = 2
+
+#: full-blob-set re-dispatches per unit before a NeedBlobs answer is
+#: treated as a task error (a full dispatch is self-sufficient — the
+#: worker can always hydrate straight from it — so one resend suffices
+#: unless something is genuinely wrong)
+_BLOB_RESEND_LIMIT = 2
 
 #: ceiling on worker spawn + first ping (a stuck spawn is a host bug)
 _SPAWN_TIMEOUT = 120.0
@@ -146,6 +180,18 @@ def _pool_broken(pool: ProcessPoolExecutor) -> bool:
     return bool(getattr(pool, "_broken", False))
 
 
+def _pool_pids(pool: ProcessPoolExecutor) -> List[int]:
+    return list(getattr(pool, "_processes", None) or ())
+
+
+def _forget_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Drop the cache-tracker state of a pool whose workers are going away."""
+    if pool is None:
+        return
+    for pid in _pool_pids(pool):
+        _cache_tracker.forget_worker(pid)
+
+
 def _kill_workers(pool: ProcessPoolExecutor) -> None:
     """Terminate a pool whose workers may be hung (they cannot be recalled)."""
     processes = list(getattr(pool, "_processes", {}).values())
@@ -172,6 +218,7 @@ def shared_pool(jobs: int) -> ProcessPoolExecutor:
     """
     global _shared_pool, _shared_size
     if _shared_pool is not None and _pool_broken(_shared_pool):
+        _forget_pool(_shared_pool)
         _shared_pool.shutdown(wait=True, cancel_futures=True)
         _shared_pool = None
         _shared_size = 0
@@ -179,6 +226,7 @@ def shared_pool(jobs: int) -> ProcessPoolExecutor:
         if _shared_pool is not None:
             # Drain, don't yank: both running and queued units complete
             # before the pool is replaced (growth must never lose work).
+            _forget_pool(_shared_pool)
             _shared_pool.shutdown(wait=True, cancel_futures=False)
         _shared_pool = _new_pool(jobs)
         _shared_size = jobs
@@ -195,6 +243,7 @@ def invalidate_shared_pool(kill: bool = False) -> None:
     global _shared_pool, _shared_size
     if _shared_pool is None:
         return
+    _forget_pool(_shared_pool)
     if kill:
         _kill_workers(_shared_pool)
     else:
@@ -209,50 +258,216 @@ def shutdown_shared_pool() -> None:
 
 
 # ----------------------------------------------------------------------
+# The dispatch envelope and the worker-side blob cache.
+# ----------------------------------------------------------------------
+@dataclass
+class UnitDispatch:
+    """One unit skeleton plus exactly the blobs being shipped with it.
+
+    ``_local_program`` (stripped at the pickle boundary) keeps the
+    coordinator's serial fallback zero-decode, together with the
+    ``_local`` shortcuts inside the unit itself.
+    """
+
+    machine: object
+    unit: object
+    program_digest: int
+    blobs: Dict[int, bytes] = field(default_factory=dict)
+    _local_program: object = field(default=None, repr=False)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_local_program"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def required_digests(self) -> Set[int]:
+        required = self.unit.required_digests()
+        required.add(self.program_digest)
+        return required
+
+
+#: this worker process's decoded-blob cache (created at first dispatch,
+#: so ``REPRO_BLOB_CACHE_MB`` is read in the worker, not inherited state)
+_worker_blobs: Optional[BlobCache] = None
+
+
+def _worker_cache() -> BlobCache:
+    global _worker_blobs
+    if _worker_blobs is None:
+        _worker_blobs = BlobCache(blob_cache_capacity())
+    return _worker_blobs
+
+
+def _absorb_dispatch(dispatch: UnitDispatch):
+    """Insert the dispatch's blobs into this worker's cache and check it.
+
+    Returns ``(resolve, timing)`` on success — ``resolve`` maps a digest
+    to its decoded object, falling back from the cache to the dispatch's
+    own blobs (via a per-dispatch memo), so a digest that was shipped can
+    ALWAYS be resolved even if a tiny cache evicted it during this very
+    absorb; that fallback is what makes NeedBlobs loops impossible.
+    Returns ``(None, NeedBlobs)`` when a required digest is neither
+    cached nor shipped.
+    """
+    cache = _worker_cache()
+    evicted: List[int] = []
+    for digest, blob in dispatch.blobs.items():
+        evicted.extend(cache.insert(digest, blob))
+    hits = misses = 0
+    missing: List[int] = []
+    for digest in dispatch.required_digests():
+        if digest in dispatch.blobs:
+            misses += 1
+        elif cache.has(digest):
+            hits += 1
+        else:
+            missing.append(digest)
+    if missing:
+        return None, NeedBlobs(
+            position=dispatch.unit.position,
+            missing=tuple(sorted(missing)),
+            worker_pid=os.getpid(),
+            evicted=tuple(evicted),
+        )
+    memo: Dict[int, object] = {}
+
+    def resolve(digest: int):
+        obj = cache.get(digest)
+        if obj is not None:
+            return obj
+        obj = memo.get(digest)
+        if obj is None:
+            obj = decode_blob_object(dispatch.blobs[digest])
+            memo[digest] = obj
+        return obj
+
+    timing = UnitTiming(
+        blob_cache_hits=hits,
+        blob_cache_misses=misses,
+        worker_pid=os.getpid(),
+        evicted=tuple(evicted),
+    )
+    return resolve, timing
+
+
+# ----------------------------------------------------------------------
 # Worker-side task functions (must be module-level for pickling).
 #
-# ``_record_unit`` / ``_replay_unit`` are the pure execution bodies; the
-# coordinator's serial fallback calls them directly (no fault injection,
-# no exception conversion — a deterministic error must raise there with
-# full context, matching the jobs=1 path). ``_record_task`` /
-# ``_replay_task`` are the worker entry points: they apply injected
-# faults and convert any exception into a structured WorkerTaskError
-# *result*, so a bad unit can never break the pool.
+# ``_record_unit`` / ``_replay_unit`` are the pure execution bodies the
+# coordinator's serial fallback calls directly: they rehydrate through
+# the units' ``_local`` shortcuts (the exact original objects — no
+# fault injection, no exception conversion, so a deterministic guest
+# error raises there with full context, matching the jobs=1 path).
+# ``_record_task`` / ``_replay_task`` are the worker entry points: they
+# apply injected faults, absorb the dispatch into the blob cache, and
+# convert any exception into a structured WorkerTaskError *result*, so
+# a bad unit can never break the pool.
 # ----------------------------------------------------------------------
-def _record_unit(payload) -> Tuple[int, EpochRunResult, UnitTiming]:
-    program, machine, unit = payload
+def _run_record_body(program, machine, unit, start, boundary, syscalls, signals, hints):
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     result = run_epoch(
         program,
         machine,
         unit.epoch_index,
-        unit.start,
-        unit.boundary,
-        unit.syscalls,
-        SyncOrderLog(unit.sync_events),
+        start,
+        boundary,
+        syscalls,
+        SyncOrderLog(hints[unit.sync_start :]),
         unit.use_sync_hints,
-        signal_records=unit.signals,
+        signal_records=signals,
     )
-    timing = UnitTiming(
-        wall=time.perf_counter() - wall0, cpu=time.process_time() - cpu0
-    )
-    return unit.position, result, timing
+    return result, time.perf_counter() - wall0, time.process_time() - cpu0
 
 
-def _replay_unit(payload):
+def _record_unit(dispatch: UnitDispatch) -> Tuple[int, EpochRunResult, UnitTiming]:
+    unit = dispatch.unit
+    result, wall, cpu = _run_record_body(
+        dispatch._local_program,
+        dispatch.machine,
+        unit,
+        unit.start.hydrate(None),
+        unit.boundary.hydrate(None),
+        unit.syscalls._local,
+        unit.signals._local,
+        unit.sync_events._local,
+    )
+    return unit.position, result, UnitTiming(wall=wall, cpu=cpu)
+
+
+def _record_task(dispatch: UnitDispatch):
+    unit = dispatch.unit
+    try:
+        fault_injection.inject(unit.faults)
+        resolve, timing = _absorb_dispatch(dispatch)
+        if resolve is None:
+            return unit.position, timing, UnitTiming(worker_pid=os.getpid())
+        start = unit.start.hydrate(resolve)
+        boundary = unit.boundary.hydrate(resolve, base_pages=start.memory.pages)
+        result, wall, cpu = _run_record_body(
+            resolve(dispatch.program_digest),
+            dispatch.machine,
+            unit,
+            start,
+            boundary,
+            resolve(unit.syscalls.digest),
+            resolve(unit.signals.digest),
+            resolve(unit.sync_events.digest),
+        )
+        timing.wall = wall
+        timing.cpu = cpu
+        return unit.position, result, timing
+    except Exception as exc:
+        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
+
+
+def _run_replay_body(program, machine, unit, start, syscalls, signals):
     # Imported here, not at module top: repro.core.replayer is the only
     # core module this one touches, and it imports us lazily in return.
     from repro.core.replayer import replay_epoch_unit
 
-    program, machine, unit = payload
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
-    cycles, failure = replay_epoch_unit(program, machine, unit)
-    timing = UnitTiming(
-        wall=time.perf_counter() - wall0, cpu=time.process_time() - cpu0
+    cycles, failure = replay_epoch_unit(program, machine, unit, start, syscalls, signals)
+    return (cycles, failure), time.perf_counter() - wall0, time.process_time() - cpu0
+
+
+def _replay_unit(dispatch: UnitDispatch):
+    unit = dispatch.unit
+    value, wall, cpu = _run_replay_body(
+        dispatch._local_program,
+        dispatch.machine,
+        unit,
+        unit.start.hydrate(None),
+        unit.syscalls._local,
+        unit.signals._local,
     )
-    return unit.position, (cycles, failure), timing
+    return unit.position, value, UnitTiming(wall=wall, cpu=cpu)
+
+
+def _replay_task(dispatch: UnitDispatch):
+    unit = dispatch.unit
+    try:
+        fault_injection.inject(unit.faults)
+        resolve, timing = _absorb_dispatch(dispatch)
+        if resolve is None:
+            return unit.position, timing, UnitTiming(worker_pid=os.getpid())
+        value, wall, cpu = _run_replay_body(
+            resolve(dispatch.program_digest),
+            dispatch.machine,
+            unit,
+            unit.start.hydrate(resolve),
+            resolve(unit.syscalls.digest),
+            resolve(unit.signals.digest),
+        )
+        timing.wall = wall
+        timing.cpu = cpu
+        return unit.position, value, timing
+    except Exception as exc:
+        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
 
 
 def _as_task_error(exc: BaseException, position: int) -> WorkerTaskError:
@@ -264,29 +479,34 @@ def _as_task_error(exc: BaseException, position: int) -> WorkerTaskError:
     )
 
 
-def _record_task(payload):
-    unit = payload[2]
-    try:
-        fault_injection.inject(unit.faults)
-        return _record_unit(payload)
-    except Exception as exc:
-        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
-
-
-def _replay_task(payload):
-    unit = payload[2]
-    try:
-        fault_injection.inject(unit.faults)
-        return _replay_unit(payload)
-    except Exception as exc:
-        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
-
-
 _COUNTER_BY_KIND = {
     "crash": "crashes",
     "timeout": "timeouts",
     "task-error": "task_errors",
 }
+
+
+@dataclass
+class _Batch:
+    """Coordinator-side state of one in-flight unit batch."""
+
+    program: object
+    machine: object
+    program_digest: int
+    units: List[object]
+    #: every blob any unit references, keyed by digest
+    blobs: Dict[int, bytes]
+    #: per-position wire accounting, accumulated across re-dispatches
+    bytes_shipped: List[int] = field(default_factory=list)
+    blobs_sent: List[int] = field(default_factory=list)
+    #: per-position digest set of the most recent dispatch's blobs
+    last_shipped: List[Set[int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        n = len(self.units)
+        self.bytes_shipped = [0] * n
+        self.blobs_sent = [0] * n
+        self.last_shipped = [set() for _ in range(n)]
 
 
 class HostExecutor:
@@ -309,11 +529,13 @@ class HostExecutor:
         self._private = bool(private)
         self._private_pool = _new_pool(self.jobs) if private else None
         self._fault_specs = fault_injection.active_faults()
+        #: (program object, digest, blob) of the last program shipped
+        self._program_blob: Optional[Tuple[object, int, bytes]] = None
         #: per-unit worker timings, in merge order: (kind, position,
         #: UnitTiming). Serial-fallback units record coordinator timings
         #: under "<kind>-serial".
         self.unit_timings: List[Tuple[str, int, UnitTiming]] = []
-        #: coordinator seconds spent building + submitting payloads
+        #: coordinator seconds spent building + submitting dispatches
         self.dispatch_wall = 0.0
         #: containment counters (crashes, timeouts, task_errors, retries,
         #: serial_fallbacks) — surfaced via ``timing_summary()``
@@ -323,12 +545,16 @@ class HostExecutor:
         )
         #: one entry per observed failure: kind, position, attempt, error
         self.fault_events: List[Dict[str, object]] = []
+        #: NeedBlobs turnarounds (benign cache-coherence traffic, never a
+        #: fault — kept out of ``counters`` so clean-run assertions hold)
+        self.blob_resends = 0
 
     def _pool(self) -> ProcessPoolExecutor:
         if not self._private:
             return shared_pool(self.jobs)
         if self._private_pool is None or _pool_broken(self._private_pool):
             if self._private_pool is not None:
+                _forget_pool(self._private_pool)
                 self._private_pool.shutdown(wait=True, cancel_futures=True)
             self._private_pool = _new_pool(self.jobs)
         return self._private_pool
@@ -338,6 +564,7 @@ class HostExecutor:
         if self._private:
             pool, self._private_pool = self._private_pool, None
             if pool is not None:
+                _forget_pool(pool)
                 if kill:
                     _kill_workers(pool)
                 else:
@@ -347,19 +574,73 @@ class HostExecutor:
 
     def close(self) -> None:
         if self._private_pool is not None:
+            _forget_pool(self._private_pool)
             self._private_pool.shutdown(wait=True, cancel_futures=True)
             self._private_pool = None
 
     # ------------------------------------------------------------------
-    def _payloads(self, kind: str, program, machine, units) -> List[tuple]:
-        """Stamp fault specs onto the units and build worker payloads."""
-        payloads = []
-        for unit in units:
+    def _program_wire(self, program) -> Tuple[int, bytes]:
+        """The program image's blob, encoded once per program object."""
+        cached = self._program_blob
+        if cached is None or cached[0] is not program:
+            blob = encode_object(program)
+            self._program_blob = (program, blob_digest(blob), blob)
+            cached = self._program_blob
+        return cached[1], cached[2]
+
+    def _begin_batch(self, kind: str, program, machine, batch: UnitBatch) -> _Batch:
+        """Stamp fault specs onto the units and set up wire accounting."""
+        for unit in batch.units:
             unit.faults = fault_injection.faults_for(
                 self._fault_specs, kind, unit.position
             )
-            payloads.append((program, machine, unit))
-        return payloads
+        digest, blob = self._program_wire(program)
+        blobs = dict(batch.blobs)
+        blobs[digest] = blob
+        return _Batch(
+            program=program,
+            machine=machine,
+            program_digest=digest,
+            units=list(batch.units),
+            blobs=blobs,
+        )
+
+    def _make_dispatch(
+        self, batch: _Batch, position: int, pids: Sequence[int] = (), full: bool = False
+    ) -> UnitDispatch:
+        """Build one dispatch, shipping only blobs the pool may be missing."""
+        unit = batch.units[position]
+        required = set(unit.required_digests())
+        required.add(batch.program_digest)
+        if not full:
+            required -= _cache_tracker.common(pids)
+        blobs = {digest: batch.blobs[digest] for digest in required}
+        batch.bytes_shipped[position] += sum(len(b) for b in blobs.values())
+        batch.blobs_sent[position] += len(blobs)
+        batch.last_shipped[position] = set(blobs)
+        return UnitDispatch(
+            machine=batch.machine,
+            unit=unit,
+            program_digest=batch.program_digest,
+            blobs=blobs,
+            _local_program=batch.program,
+        )
+
+    def _local_dispatch(self, batch: _Batch, position: int) -> UnitDispatch:
+        """A blob-free dispatch for the in-coordinator serial fallback."""
+        return UnitDispatch(
+            machine=batch.machine,
+            unit=batch.units[position],
+            program_digest=batch.program_digest,
+            _local_program=batch.program,
+        )
+
+    def _apply_ack(self, pid: int, shipped: Set[int], evicted) -> None:
+        """Fold a worker's response into the coordinator's cache mirror."""
+        if not pid:
+            return
+        _cache_tracker.note_inserted(pid, shipped)
+        _cache_tracker.note_evicted(pid, evicted)
 
     def _note_fault(self, failure: HostPoolError) -> None:
         self.counters[_COUNTER_BY_KIND[failure.kind]] += 1
@@ -372,21 +653,47 @@ class HostExecutor:
             }
         )
 
-    def _submit_missing(self, task_fn, payloads, futures, done, start) -> None:
-        """Ensure every unfinished position from ``start`` has a live future.
+    def _submit_missing(self, task_fn, batch, futures, done, start) -> None:
+        """Keep the submission window full of live futures from ``start``.
 
-        If the pool breaks mid-submission (a just-submitted unit crashed
+        Dispatches are built lazily, at most ~2 per worker ahead of the
+        merge head (the head position itself is always submitted): blobs
+        are encoded and shipped only for units that will actually run, so
+        a divergence exit wastes no dispatch work on cancelled tails. If
+        the pool breaks mid-submission (a just-submitted unit crashed
         already), the loop stops quietly: the head future carries the
         breakage, and waiting on it attributes the failure and rebuilds.
         """
-        pool = self._pool()
         t0 = time.perf_counter()
         try:
-            for position in range(start, len(payloads)):
-                if position not in done and position not in futures:
-                    futures[position] = pool.submit(task_fn, payloads[position])
+            pool = self._pool()
+            pids = _pool_pids(pool)
+            window = max(2 * self.jobs, 2)
+            live = sum(1 for f in futures.values() if not f.done())
+            for position in range(start, len(batch.units)):
+                if position in done or position in futures:
+                    continue
+                if position > start and live >= window:
+                    break
+                futures[position] = pool.submit(
+                    task_fn, self._make_dispatch(batch, position, pids=pids)
+                )
+                live += 1
         except Exception:
             pass
+        finally:
+            self.dispatch_wall += time.perf_counter() - t0
+
+    def _resend_with_blobs(self, task_fn, batch, futures, position) -> bool:
+        """Re-dispatch one unit with its full blob set after a NeedBlobs."""
+        t0 = time.perf_counter()
+        try:
+            futures[position] = self._pool().submit(
+                task_fn, self._make_dispatch(batch, position, full=True)
+            )
+            return True
+        except Exception:
+            return False
         finally:
             self.dispatch_wall += time.perf_counter() - t0
 
@@ -403,27 +710,30 @@ class HostExecutor:
         futures.clear()
 
     def _run_units(
-        self, kind: str, task_fn, unit_fn, payloads, stop_on=None
+        self, kind: str, task_fn, unit_fn, batch: _Batch, stop_on=None
     ) -> Iterator[Tuple[int, object]]:
         """Yield ``(position, value)`` in position order with containment.
 
-        Per-unit policy: run in the pool; on crash/timeout/task-error,
-        retry once (crash and timeout also rebuild the pool); on a second
-        failure, execute the unit serially in the coordinator via
-        ``unit_fn``. ``stop_on(value)`` truthy cancels everything still
-        pending and ends the batch (the record path's divergence exit).
+        Per-unit policy: run in the pool; a NeedBlobs answer re-dispatches
+        the unit with its full blob set (bounded, never counted as a
+        fault); on crash/timeout/task-error, retry once (crash and
+        timeout also rebuild the pool); on a second failure, execute the
+        unit serially in the coordinator via ``unit_fn``. ``stop_on(value)``
+        truthy cancels everything still pending and ends the batch (the
+        record path's divergence exit).
         """
-        n = len(payloads)
+        n = len(batch.units)
         done: Dict[int, tuple] = {}
         futures: Dict[int, object] = {}
         attempts = [0] * n
+        resends = [0] * n
         next_pos = 0
         try:
             while next_pos < n:
                 failure = None
                 outcome = done.pop(next_pos, None)
                 if outcome is None:
-                    self._submit_missing(task_fn, payloads, futures, done, next_pos)
+                    self._submit_missing(task_fn, batch, futures, done, next_pos)
                     future = futures.pop(next_pos, None)
                     if future is None:
                         failure = WorkerCrashError(
@@ -454,10 +764,41 @@ class HostExecutor:
                             )
                 if outcome is not None:
                     _, value, timing = outcome
-                    if isinstance(value, WorkerTaskError):
+                    if isinstance(value, NeedBlobs):
+                        # Benign cache miss, not a fault: the worker could
+                        # not resolve every digest (eviction raced the
+                        # dispatch, or a fresh pool lost its caches).
+                        # Answer with the full blob set and wait again.
+                        self._apply_ack(
+                            value.worker_pid,
+                            batch.last_shipped[next_pos],
+                            set(value.evicted) | set(value.missing),
+                        )
+                        self.blob_resends += 1
+                        resends[next_pos] += 1
+                        if resends[next_pos] <= _BLOB_RESEND_LIMIT:
+                            self._resend_with_blobs(
+                                task_fn, batch, futures, next_pos
+                            )
+                            continue
+                        failure = WorkerTaskError(
+                            f"unit {next_pos} still missing "
+                            f"{len(value.missing)} blob(s) after a "
+                            f"full re-dispatch",
+                            position=next_pos,
+                        )
+                        failure.attempt = attempts[next_pos]
+                    elif isinstance(value, WorkerTaskError):
                         value.attempt = attempts[next_pos]
                         failure = value
                     else:
+                        self._apply_ack(
+                            timing.worker_pid,
+                            batch.last_shipped[next_pos],
+                            timing.evicted,
+                        )
+                        timing.bytes_shipped = batch.bytes_shipped[next_pos]
+                        timing.blobs_sent = batch.blobs_sent[next_pos]
                         self.unit_timings.append((kind, next_pos, timing))
                         if stop_on is not None and stop_on(value):
                             for pending in futures.values():
@@ -483,7 +824,9 @@ class HostExecutor:
                     self.counters["retries"] += 1
                     continue
                 self.counters["serial_fallbacks"] += 1
-                _, value, timing = unit_fn(payloads[next_pos])
+                _, value, timing = unit_fn(self._local_dispatch(batch, next_pos))
+                timing.bytes_shipped = batch.bytes_shipped[next_pos]
+                timing.blobs_sent = batch.blobs_sent[next_pos]
                 self.unit_timings.append((kind + "-serial", next_pos, timing))
                 if stop_on is not None and stop_on(value):
                     for pending in futures.values():
@@ -498,7 +841,7 @@ class HostExecutor:
 
     # ------------------------------------------------------------------
     def run_record_units(
-        self, program, machine, units: Sequence[RecordEpochUnit]
+        self, program, machine, batch: UnitBatch
     ) -> Iterator[Tuple[int, EpochRunResult]]:
         """Yield ``(position, result)`` in position order.
 
@@ -508,23 +851,23 @@ class HostExecutor:
         serial fallback), so the stream always completes and is always
         bit-identical to the serial path.
         """
-        payloads = self._payloads("record", program, machine, units)
+        state = self._begin_batch("record", program, machine, batch)
         yield from self._run_units(
             "record",
             _record_task,
             _record_unit,
-            payloads,
+            state,
             stop_on=lambda result: not result.ok,
         )
 
     def run_replay_units(
-        self, program, machine, units: Sequence[ReplayEpochUnit]
+        self, program, machine, batch: UnitBatch
     ) -> List[Tuple[int, int, object]]:
         """All ``(position, cycles, failure)`` results, in position order."""
-        payloads = self._payloads("replay", program, machine, units)
+        state = self._begin_batch("replay", program, machine, batch)
         outcomes = []
         for position, value in self._run_units(
-            "replay", _replay_task, _replay_unit, payloads
+            "replay", _replay_task, _replay_unit, state
         ):
             cycles, failure = value
             outcomes.append((position, cycles, failure))
@@ -533,12 +876,21 @@ class HostExecutor:
     # ------------------------------------------------------------------
     def timing_summary(self) -> dict:
         """Host-cost accounting for benchmarks and ``RecordResult.host``."""
+        timings = [t for _, _, t in self.unit_timings]
         return {
             "jobs": self.jobs,
             "units": len(self.unit_timings),
-            "unit_wall": [round(t.wall, 6) for _, _, t in self.unit_timings],
-            "unit_cpu": [round(t.cpu, 6) for _, _, t in self.unit_timings],
+            "unit_wall": [round(t.wall, 6) for t in timings],
+            "unit_cpu": [round(t.cpu, 6) for t in timings],
             "dispatch_wall": round(self.dispatch_wall, 6),
             "faults": dict(self.counters),
             "fault_events": list(self.fault_events),
+            "wire": {
+                "bytes_shipped": sum(t.bytes_shipped for t in timings),
+                "blobs_sent": sum(t.blobs_sent for t in timings),
+                "blob_cache_hits": sum(t.blob_cache_hits for t in timings),
+                "blob_cache_misses": sum(t.blob_cache_misses for t in timings),
+                "blob_resends": self.blob_resends,
+                "unit_bytes": [t.bytes_shipped for t in timings],
+            },
         }

@@ -1,47 +1,71 @@
-"""Self-contained epoch work units and the log slices they carry.
+"""Content-addressed epoch work units and the shared blobs they reference.
 
 A work unit must let a worker process reproduce the coordinator's serial
-epoch execution *exactly*, with nothing but the unit and the program
-image. Three properties make that possible:
+epoch execution *exactly*, with nothing but the unit, the blobs it
+references, and the program image. Units used to carry whole pickled
+checkpoints and per-unit log slices; they now carry *skeletons* and
+*references*, and the heavy bytes travel separately as content-addressed
+blobs (:mod:`repro.memory.blob`) that worker caches dedupe across units,
+segments, and whole recordings:
 
-* **Cache stripping.** Everything host-local is dropped at the pickle
-  boundary and rebuilt cold on the far side: the decoded handler table on
-  :class:`~repro.isa.program.ProgramImage`, the software TLBs on
-  :class:`~repro.memory.address_space.AddressSpace`, page reference
-  counts (sharing is re-established by the pickle memo within one unit).
-  Content-derived caches — page hashes, snapshot folds, checkpoint
-  digests — transfer, because they are pure functions of guest state.
+* **Checkpoints as skeletons.** A unit's ``start`` is a full
+  :class:`~repro.checkpoint.checkpoint.WireCheckpoint` (contexts plus a
+  ``{page_no: digest}`` table); a record unit's ``boundary`` is a pure
+  *delta* against its start — consecutive checkpoints share almost every
+  page object under copy-on-write, so the delta is exactly the epoch's
+  dirty pages. Kernel state is stripped: epoch executors inject logged
+  syscalls and never touch a live kernel, and forward recovery (which
+  does) always runs on the coordinator.
 
-* **Suffix-sliced logs.** The syscall and signal logs are sliced to the
-  records an epoch starting at checkpoint *S* can possibly consume:
-  a record for thread *t* is reachable iff its sequence number is at
-  least *S*'s ``syscall_count`` for *t* (injection is keyed by
-  ``(tid, seq)`` and counts only grow), and a signal delivery iff its
-  retired-count is at least *S*'s ``retired`` for *t*. Threads spawned
-  after *S* keep all their records. Dropped records are unreachable, so
-  slicing never changes behaviour — it only shrinks the wire payload.
-  The *sync* hints are the same start-to-segment-end suffix the serial
-  recorder uses; truncating them at the epoch boundary would change how
-  the oracle hands objects out (see ``DoublePlayRecorder.record``).
+* **Shared log blobs, not per-unit slices.** Syscall/signal injection is
+  keyed lookup — ``(tid, seq)`` and ``(tid, retired)`` — so any superset
+  of an epoch's reachable records behaves identically (the serial paths
+  pass the *full* logs). Each batch therefore interns ONE segment-level
+  slice per log (everything reachable from the segment's first
+  checkpoint, via :class:`ThreadLogIndex`) and every unit references it
+  by digest. This replaces the old per-epoch rescans — O(epochs ×
+  records) filtering and O(epochs × slice) wire bytes both collapse to
+  O(records) per segment.
 
-* **Kernel stripping.** Work-unit checkpoints travel via
-  :meth:`~repro.checkpoint.checkpoint.Checkpoint.to_wire`: epoch
-  executors inject logged syscalls and never touch a live kernel, and
-  forward recovery (which does) always runs on the coordinator.
+* **One hint tuple per segment.** The sync hints a record unit needs are
+  the suffix of the segment's acquisition hints from its epoch's start
+  mark (cutting them at the epoch boundary would change how the oracle
+  hands objects out — see ``DoublePlayRecorder.record``). Suffixes of
+  one tuple used to be materialised per unit, duplicating the tail
+  O(epochs²); now the batch interns the whole segment tuple once and
+  each unit carries its integer start offset.
+
+``BlobRef`` and ``WireCheckpoint`` keep coordinator-side ``_local``
+shortcuts to the original objects. They are stripped at the pickle
+boundary — a worker always resolves through its cache — but the
+executor's serial fallback rehydrates to the exact original objects,
+zero-decode and trivially bit-identical to the ``jobs=1`` path.
+
+A worker that cannot resolve every digest a unit references (cache
+eviction racing an in-flight dispatch, a fresh pool after a crash)
+answers with a structured :class:`NeedBlobs` instead of failing; the
+coordinator re-dispatches that unit with the full blob set.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Set, Tuple
 
-from repro.checkpoint.checkpoint import Checkpoint
+from repro.checkpoint.checkpoint import Checkpoint, WireCheckpoint
+from repro.memory.blob import blob_digest, encode_object
 from repro.oskernel.syscalls import SyscallRecord
 
 
 @dataclass
 class UnitTiming:
-    """Host-side cost of one work unit, measured in the worker."""
+    """Host-side cost of one work unit.
+
+    ``wall``/``cpu`` and the blob-cache fields are measured in the worker;
+    ``bytes_shipped``/``blobs_sent`` are filled by the coordinator (it is
+    the side that knows what crossed the wire, including resends).
+    """
 
     #: worker wall-clock seconds spent executing the unit
     wall: float = 0.0
@@ -49,6 +73,56 @@ class UnitTiming:
     #: host (more workers than cores) this is the honest per-unit cost:
     #: wall time there includes time-slicing against sibling workers.
     cpu: float = 0.0
+    #: referenced digests already resident in the worker's blob cache
+    blob_cache_hits: int = 0
+    #: referenced digests that had to be decoded from the dispatch
+    blob_cache_misses: int = 0
+    #: pid of the worker that ran the unit (0 = coordinator serial path)
+    worker_pid: int = 0
+    #: digests the worker evicted while absorbing this unit's dispatch
+    evicted: Tuple[int, ...] = ()
+    #: wire bytes shipped for this unit (all dispatch attempts)
+    bytes_shipped: int = 0
+    #: blobs shipped for this unit (all dispatch attempts)
+    blobs_sent: int = 0
+
+
+@dataclass
+class BlobRef:
+    """A by-digest reference to a shared batch blob.
+
+    ``_local`` is the decoded object itself, kept on the coordinator for
+    the serial fallback and stripped at the pickle boundary (workers
+    resolve the digest through their cache / the dispatch blobs).
+    """
+
+    digest: int
+    _local: object = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self):
+        # A 1-tuple, not the bare int: a falsy state would make pickle
+        # skip __setstate__ entirely.
+        return (self.digest,)
+
+    def __setstate__(self, state):
+        self.digest = state[0]
+        self._local = None
+
+
+@dataclass
+class NeedBlobs:
+    """A worker's structured "I cannot resolve these digests" response.
+
+    Returned in place of a unit result when a required digest is neither
+    in the worker's cache nor in the dispatch; the coordinator answers by
+    re-dispatching the unit with every blob it references.
+    """
+
+    position: int
+    missing: Tuple[int, ...]
+    worker_pid: int = 0
+    #: digests evicted while absorbing the dispatch that still failed
+    evicted: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -59,21 +133,34 @@ class RecordEpochUnit:
     position: int
     #: global epoch index (naming/diagnostics only)
     epoch_index: int
-    #: epoch start state, kernel-stripped (``Checkpoint.to_wire``)
-    start: Checkpoint
-    #: next checkpoint: per-thread targets + the end state to verify
-    boundary: Checkpoint
-    #: syscall-log suffix reachable from ``start``
-    syscalls: Tuple[SyscallRecord, ...]
-    #: signal-delivery suffix reachable from ``start``
-    signals: Tuple[tuple, ...]
-    #: thread-parallel acquisition hints, ``start``-to-segment-end suffix
-    sync_events: Tuple[tuple, ...]
+    #: epoch start state as a full skeleton (kernel-stripped)
+    start: WireCheckpoint
+    #: next checkpoint — per-thread targets + the end state to verify —
+    #: as a pure delta against ``start``
+    boundary: WireCheckpoint
+    #: the segment-level syscall-log slice (shared by every unit)
+    syscalls: BlobRef
+    #: the segment-level signal-delivery slice (shared by every unit)
+    signals: BlobRef
+    #: the segment's whole acquisition-hint tuple (shared by every unit)
+    sync_events: BlobRef
+    #: this unit's start offset into the hint tuple (its hints are the
+    #: suffix ``hints[sync_start:]``)
+    sync_start: int = 0
     use_sync_hints: bool = True
     #: fault-injection directives for this unit (testing knob; stamped by
     #: the executor from ``REPRO_FAULT``, applied by the worker — see
     #: :mod:`repro.host.faults`). Never part of the recording.
     faults: Tuple = ()
+
+    def required_digests(self) -> Set[int]:
+        """Every blob digest a worker must resolve to run this unit."""
+        required = set(self.start.blob_digests())
+        required.update(self.boundary.blob_digests())
+        required.add(self.syscalls.digest)
+        required.add(self.signals.digest)
+        required.add(self.sync_events.digest)
+        return required
 
 
 @dataclass
@@ -84,22 +171,93 @@ class ReplayEpochUnit:
     position: int
     #: the committed epoch's index
     epoch_index: int
-    #: epoch start state, kernel-stripped
-    start: Checkpoint
+    #: epoch start state as a full skeleton (kernel-stripped)
+    start: WireCheckpoint
     #: per-thread retired-op targets at the epoch's end boundary
     targets: dict
-    #: the committed timeslice schedule to follow
+    #: the committed timeslice schedule to follow (per-epoch, inline)
     schedule: object
-    #: the committed acquisition order (grant oracle)
+    #: the committed acquisition order (per-epoch and disjoint, inline)
     sync_events: Tuple[tuple, ...]
     #: guest-state digest the replay must reach
     end_digest: int
-    #: syscall-log suffix reachable from ``start``
-    syscalls: Tuple[SyscallRecord, ...]
-    #: signal-delivery suffix reachable from ``start``
-    signals: Tuple[tuple, ...]
+    #: the recording's epoch-reachable syscall log (shared by every unit)
+    syscalls: BlobRef
+    #: the recording's signal-delivery log (shared by every unit)
+    signals: BlobRef
     #: fault-injection directives for this unit (see ``RecordEpochUnit``)
     faults: Tuple = ()
+
+    def required_digests(self) -> Set[int]:
+        """Every blob digest a worker must resolve to run this unit."""
+        required = set(self.start.blob_digests())
+        required.add(self.syscalls.digest)
+        required.add(self.signals.digest)
+        return required
+
+
+@dataclass
+class UnitBatch:
+    """A segment's (or recording's) units plus their shared blob set.
+
+    ``blobs`` holds every blob any unit in the batch references, keyed by
+    digest — the executor ships each worker only the subset it is not
+    already believed to hold.
+    """
+
+    units: List[object]
+    blobs: Dict[int, bytes]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+# ----------------------------------------------------------------------
+# Log slicing.
+# ----------------------------------------------------------------------
+class ThreadLogIndex:
+    """Per-thread key index over a log, for suffix queries without rescans.
+
+    Built once per log in O(records); each :meth:`slice_from` then costs
+    O(selected) plus a bisect per thread, instead of a full-log filter.
+    Selection is by per-thread key floor and the result preserves log
+    order, so it is exactly equivalent to the old linear filters.
+    """
+
+    def __init__(self, records: Sequence, tid_of: Callable, key_of: Callable):
+        self._records = tuple(records)
+        grouped: Dict[int, List[Tuple[int, int]]] = {}
+        for position, record in enumerate(self._records):
+            grouped.setdefault(tid_of(record), []).append(
+                (key_of(record), position)
+            )
+        self._by_tid: Dict[int, Tuple[List[int], List[int]]] = {}
+        for tid, pairs in grouped.items():
+            # Per-thread keys are appended in increasing order, so this is
+            # a linear pass; sorting keeps the bisect correct regardless.
+            pairs.sort()
+            self._by_tid[tid] = ([k for k, _ in pairs], [p for _, p in pairs])
+
+    @classmethod
+    def for_syscalls(cls, records: Sequence[SyscallRecord]) -> "ThreadLogIndex":
+        return cls(records, lambda r: r.tid, lambda r: r.seq)
+
+    @classmethod
+    def for_signals(cls, records: Sequence[tuple]) -> "ThreadLogIndex":
+        return cls(records, lambda r: r[0], lambda r: r[1])
+
+    def slice_from(self, floors: Dict[int, int]) -> tuple:
+        """Records whose key is at least their thread's floor, in log order.
+
+        Threads absent from ``floors`` (spawned after the slicing point)
+        keep all their records.
+        """
+        selected: List[int] = []
+        for tid, (keys, positions) in self._by_tid.items():
+            lowest = bisect_left(keys, floors.get(tid, 0))
+            selected.extend(positions[lowest:])
+        selected.sort()
+        return tuple(self._records[p] for p in selected)
 
 
 def syscall_slice(
@@ -113,7 +271,7 @@ def syscall_slice(
     start at count 0 and keep everything.
     """
     counts = {tid: ctx.syscall_count for tid, ctx in start.contexts.items()}
-    return tuple(r for r in records if r.seq >= counts.get(r.tid, 0))
+    return ThreadLogIndex.for_syscalls(records).slice_from(counts)
 
 
 def signal_slice(records: Sequence[tuple], start: Checkpoint) -> Tuple[tuple, ...]:
@@ -123,7 +281,26 @@ def signal_slice(records: Sequence[tuple], start: Checkpoint) -> Tuple[tuple, ..
     the checkpoint's values; records below them can never match.
     """
     retired = {tid: ctx.retired for tid, ctx in start.contexts.items()}
-    return tuple(r for r in records if r[1] >= retired.get(r[0], 0))
+    return ThreadLogIndex.for_signals(records).slice_from(retired)
+
+
+# ----------------------------------------------------------------------
+# Batch builders.
+# ----------------------------------------------------------------------
+def intern_object(obj, blobs: Dict[int, bytes]) -> BlobRef:
+    """Encode ``obj`` into the batch blob set and return its reference."""
+    blob = encode_object(obj)
+    digest = blob_digest(blob)
+    blobs.setdefault(digest, blob)
+    return BlobRef(digest, obj)
+
+
+def _intern_pages(checkpoint: Checkpoint, blobs: Dict[int, bytes]) -> None:
+    """Add every page of a checkpoint's snapshot to the batch blob set."""
+    for page in checkpoint.memory.pages.values():
+        digest, blob = page.wire_blob()
+        if digest not in blobs:
+            blobs[digest] = blob
 
 
 def record_units_for_segment(
@@ -134,34 +311,53 @@ def record_units_for_segment(
     signal_log: Sequence[tuple],
     first_epoch_index: int,
     use_sync_hints: bool,
-) -> List[RecordEpochUnit]:
-    """Package every epoch of a recorded segment as a work unit."""
+) -> UnitBatch:
+    """Package every epoch of a recorded segment as a work-unit batch.
+
+    The logs are sliced ONCE, at segment level: everything reachable from
+    the segment's first checkpoint. Per-unit tighter slices would be
+    redundant (injection is keyed lookup; extra records are never
+    consulted) and would defeat blob sharing across the segment's units.
+    """
+    blobs: Dict[int, bytes] = {}
+    segment_start = checkpoints[0]
+    syscalls_ref = intern_object(syscall_slice(syscall_log, segment_start), blobs)
+    signals_ref = intern_object(signal_slice(signal_log, segment_start), blobs)
+    hints_ref = intern_object(tuple(hints), blobs)
     units = []
     for position in range(len(checkpoints) - 1):
         start = checkpoints[position]
+        boundary = checkpoints[position + 1]
+        _intern_pages(start, blobs)
+        _intern_pages(boundary, blobs)
         units.append(
             RecordEpochUnit(
                 position=position,
                 epoch_index=first_epoch_index + position,
                 start=start.to_wire(),
-                boundary=checkpoints[position + 1].to_wire(),
-                syscalls=syscall_slice(syscall_log, start),
-                signals=signal_slice(signal_log, start),
-                sync_events=tuple(hints[hint_marks[position] :]),
+                boundary=boundary.wire_delta(start),
+                syscalls=syscalls_ref,
+                signals=signals_ref,
+                sync_events=hints_ref,
+                sync_start=hint_marks[position],
                 use_sync_hints=use_sync_hints,
             )
         )
-    return units
+    return UnitBatch(units, blobs)
 
 
-def replay_units_for_recording(recording) -> List[ReplayEpochUnit]:
+def replay_units_for_recording(recording) -> UnitBatch:
     """Package every committed epoch of a recording for parallel replay.
 
     Requires materialised start checkpoints (like any parallel replay).
+    The logs ship whole — exactly what the serial replayer consumes — as
+    two blobs shared by every unit.
     """
     from repro.errors import ReplayError
 
-    syscalls = recording.syscalls_for_epochs()
+    blobs: Dict[int, bytes] = {}
+    syscalls_ref = intern_object(tuple(recording.syscalls_for_epochs()), blobs)
+    signals_ref = intern_object(tuple(recording.signal_records), blobs)
     units = []
     for position, epoch in enumerate(recording.epochs):
         start = epoch.start_checkpoint
@@ -170,6 +366,7 @@ def replay_units_for_recording(recording) -> List[ReplayEpochUnit]:
                 f"epoch {epoch.index} has no materialised checkpoint; "
                 "run materialize_checkpoints() or replay sequentially"
             )
+        _intern_pages(start, blobs)
         units.append(
             ReplayEpochUnit(
                 position=position,
@@ -179,8 +376,8 @@ def replay_units_for_recording(recording) -> List[ReplayEpochUnit]:
                 schedule=epoch.schedule,
                 sync_events=epoch.sync_log.events,
                 end_digest=epoch.end_digest,
-                syscalls=syscall_slice(syscalls, start),
-                signals=signal_slice(recording.signal_records, start),
+                syscalls=syscalls_ref,
+                signals=signals_ref,
             )
         )
-    return units
+    return UnitBatch(units, blobs)

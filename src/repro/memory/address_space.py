@@ -16,10 +16,11 @@ Host performance layer (see DESIGN.md "Host performance layer"):
   plus one fold instead of a full re-sort + re-hash of every page.
 
 Invariants: the write TLB may only cache a page that is private
-(``refs == 1``), already in ``dirty``, and hash-invalidated — then a
-TLB-hit store can skip all bookkeeping. Any operation that breaks one of
-those assumptions (snapshotting, draining the dirty set, or reading page
-hashes) must flush the write TLB first.
+(``refs == 1``), already in ``dirty``, and content-cache-invalidated
+(both the FNV hash and the wire-blob digest) — then a TLB-hit store can
+skip all bookkeeping. Any operation that breaks one of those assumptions
+(snapshotting, draining the dirty set, or reading page hashes) must
+flush the write TLB first.
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ class MemorySnapshot:
     later writes copy more than necessary.
     """
 
-    __slots__ = ("_pages", "_hash", "_sorted", "_released")
+    __slots__ = ("_pages", "_hash", "_sorted", "_digests", "_released")
 
     def __init__(
         self,
@@ -51,6 +52,7 @@ class MemorySnapshot:
         self._pages = pages
         self._hash: Optional[int] = None
         self._sorted = sorted_keys
+        self._digests: Optional[Dict[int, int]] = None
         self._released = False
 
     @property
@@ -75,6 +77,21 @@ class MemorySnapshot:
             self._hash = fold_page_table(self._pages, self._sorted)
         return self._hash
 
+    def page_digest_table(self) -> Dict[int, int]:
+        """``{page_no: wire digest}`` for every page (cached).
+
+        This is the skeleton form of the snapshot on the content-addressed
+        wire: the table names the contents, the page bytes travel (at most
+        once per worker) as separate blobs. Snapshots are immutable, so
+        the table is computed once; the per-page ``wire_blob`` caches make
+        it O(dirty pages) for the next checkpoint of the same execution.
+        """
+        if self._digests is None:
+            self._digests = {
+                no: page.wire_blob()[0] for no, page in self._pages.items()
+            }
+        return self._digests
+
     def release(self) -> None:
         """Drop the snapshot's pins on shared pages (idempotent)."""
         if self._released:
@@ -86,11 +103,14 @@ class MemorySnapshot:
     def __getstate__(self):
         # Host-wire form: pages plus the content-derived caches (hash and
         # sorted key list are functions of the contents, so they transfer).
-        # ``_released`` is host-local refcount bookkeeping.
+        # ``_released`` is host-local refcount bookkeeping; the digest
+        # table is cheap to rebuild from the per-page caches and only
+        # meaningful to the side that ships blobs.
         return (self._pages, self._hash, self._sorted)
 
     def __setstate__(self, state):
         self._pages, self._hash, self._sorted = state
+        self._digests = None
         self._released = False
 
     def __repr__(self) -> str:
@@ -269,6 +289,7 @@ class AddressSpace:
         words = page.words
         words[addr & PAGE_OFFSET_MASK] = value
         page._hash = None
+        page._wire = None
         self.dirty.add(page_no)
         self._space_hash = None
         self._wtlb_no = page_no
@@ -327,6 +348,7 @@ class AddressSpace:
             take = min(PAGE_WORDS - offset, end - addr)
             page.words[offset : offset + take] = values[taken : taken + take]
             page._hash = None
+            page._wire = None
             dirty.add(page_no)
             addr += take
             taken += take

@@ -1,0 +1,83 @@
+"""Content-addressed wire blobs for guest state.
+
+The host fan-out layer (``repro.host``) ships guest pages and shared log
+objects to worker processes by *content address*: a blob is a small,
+deterministic byte encoding of one object, its digest is a 128-bit
+BLAKE2b of those bytes, and anything already cached under its digest on
+the far side never crosses the wire again.
+
+Two requirements shape the encoding:
+
+* **Exactness.** Guest words may be stored signed (``wrap_word``) or
+  unsigned (the interpreter masks with ``2**64 - 1``), and ``-1`` versus
+  ``2**64 - 1`` are *different* page contents (``words ==`` distinguishes
+  them even though the FNV page hash wraps both the same way). The
+  encoding therefore tags each page blob: a raw little-endian ``<NQ``
+  pack when every word fits ``[0, 2**64)`` (the overwhelmingly common
+  case), and an exact pickle otherwise. Two pages share a digest iff
+  their ``words`` lists compare equal under the same representation.
+
+* **Stability within a run.** Digests live only on the wire and in
+  worker caches — they are never stored in recordings — so the scheme
+  may evolve freely between versions, but must be a pure function of
+  content within one coordinator lifetime. BLAKE2b-128 keeps accidental
+  collisions out of reach (the page hash used for divergence *checking*
+  stays the pinned FNV fold in :mod:`repro.memory.hashing`).
+
+Deliberately free of :class:`~repro.memory.page.Page` imports: decoding a
+page blob yields the word list and the caller builds the ``Page``, so the
+page module can use these helpers without a cycle.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from hashlib import blake2b
+from typing import List, Tuple
+
+from repro.memory.layout import PAGE_WORDS
+
+#: page whose words all fit an unsigned 64-bit struct pack
+TAG_PAGE_RAW = b"\x01"
+#: page with out-of-range words (negative / huge), pickled exactly
+TAG_PAGE_WIDE = b"\x02"
+#: arbitrary pickled python object (log tuples, hint tuples, programs)
+TAG_OBJECT = b"\x03"
+
+_PAGE_STRUCT = struct.Struct("<%dQ" % PAGE_WORDS)
+_U64_MAX = (1 << 64) - 1
+
+#: digest width in bytes; 128 bits keeps birthday collisions negligible
+DIGEST_BYTES = 16
+
+
+def blob_digest(blob: bytes) -> int:
+    """Content address of a blob: BLAKE2b-128 of its exact bytes."""
+    return int.from_bytes(blake2b(blob, digest_size=DIGEST_BYTES).digest(), "big")
+
+
+def encode_page_words(words: List[int]) -> bytes:
+    """Deterministic byte encoding of one page's word list."""
+    try:
+        return TAG_PAGE_RAW + _PAGE_STRUCT.pack(*words)
+    except struct.error:
+        # Signed or >64-bit words: fall back to an exact representation.
+        return TAG_PAGE_WIDE + pickle.dumps(tuple(words), protocol=4)
+
+
+def encode_object(obj) -> bytes:
+    """Byte encoding of a shared wire object (logs, hints, programs)."""
+    return TAG_OBJECT + pickle.dumps(obj, protocol=4)
+
+
+def decode_blob(blob: bytes) -> Tuple[str, object]:
+    """Decode a blob to ``("page", words)`` or ``("object", obj)``."""
+    tag = blob[:1]
+    if tag == TAG_PAGE_RAW:
+        return "page", list(_PAGE_STRUCT.unpack_from(blob, 1))
+    if tag == TAG_PAGE_WIDE:
+        return "page", list(pickle.loads(blob[1:]))
+    if tag == TAG_OBJECT:
+        return "object", pickle.loads(blob[1:])
+    raise ValueError(f"unknown blob tag {tag!r}")

@@ -9,8 +9,9 @@ write, so repeated divergence checks over unchanged pages are O(1).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.memory.blob import blob_digest, encode_page_words
 from repro.memory.hashing import fnv1a_words
 from repro.memory.layout import PAGE_WORDS
 
@@ -18,7 +19,7 @@ from repro.memory.layout import PAGE_WORDS
 class Page:
     """``PAGE_WORDS`` guest words plus sharing bookkeeping."""
 
-    __slots__ = ("words", "refs", "_hash")
+    __slots__ = ("words", "refs", "_hash", "_wire")
 
     def __init__(self, words: Optional[List[int]] = None):
         if words is None:
@@ -28,22 +29,28 @@ class Page:
         self.words = words
         self.refs = 1
         self._hash: Optional[int] = None
+        self._wire: Optional[Tuple[int, bytes]] = None
 
     def clone(self) -> "Page":
-        """Private writable copy (refs=1); the hash cache carries over."""
+        """Private writable copy (refs=1); the content caches carry over."""
         page = Page(list(self.words))
         page._hash = self._hash
+        page._wire = self._wire
         return page
 
     def __getstate__(self):
         # Host-wire form: contents plus the (content-derived, therefore
         # transferable) hash cache. ``refs`` is host-local sharing state —
         # the receiving process starts with a single private reference.
+        # The wire blob is deliberately NOT transferred: shipping the
+        # encoded bytes alongside the words would double the payload, and
+        # the receiving side re-encodes lazily if it ever ships the page on.
         return (self.words, self._hash)
 
     def __setstate__(self, state):
         self.words, self._hash = state
         self.refs = 1
+        self._wire = None
 
     def content_hash(self) -> int:
         """Stable hash of the page contents (cached until next write)."""
@@ -51,8 +58,22 @@ class Page:
             self._hash = fnv1a_words(self.words)
         return self._hash
 
+    def wire_blob(self) -> Tuple[int, bytes]:
+        """``(digest, blob bytes)`` of this page's contents (cached).
+
+        The content-addressed wire protocol (see :mod:`repro.memory.blob`)
+        ships pages by digest; like ``_hash`` the cache is invalidated on
+        every write, and ``clone()`` carries it over because the clone is
+        content-equal until its first write.
+        """
+        if self._wire is None:
+            blob = encode_page_words(self.words)
+            self._wire = (blob_digest(blob), blob)
+        return self._wire
+
     def invalidate_hash(self) -> None:
         self._hash = None
+        self._wire = None
 
     def same_content(self, other: "Page") -> bool:
         """Content equality, cheap when pages are literally shared."""

@@ -16,6 +16,7 @@ from hypothesis import given, settings, strategies as st
 from repro.baselines import run_native
 from repro.core import DoublePlayConfig, DoublePlayRecorder
 from repro.exec.interpreter import decode_program
+from repro.host.blobs import decode_blob_object
 from repro.host.wire import (
     record_units_for_segment,
     replay_units_for_recording,
@@ -149,26 +150,48 @@ def test_program_image_roundtrip_runs_identically():
 # ----------------------------------------------------------------------
 # Checkpoints and recordings
 # ----------------------------------------------------------------------
-def test_checkpoint_roundtrip_preserves_digests():
+def _blob_resolver(blobs):
+    """A coordinator-free resolve(): decode each blob once, memoised."""
+    decoded = {}
+
+    def resolve(digest):
+        if digest not in decoded:
+            decoded[digest] = decode_blob_object(blobs[digest])
+        return decoded[digest]
+
+    return resolve
+
+
+def test_checkpoint_skeleton_roundtrip_hydrates_identically():
     _, _, result = _record()
     for epoch in result.recording.epochs[:4]:
         checkpoint = epoch.start_checkpoint
         warm = checkpoint.digest()
-        clone = roundtrip(checkpoint.to_wire())
-        assert clone.kernel_state is None  # stripped: executors never need it
-        assert clone.digest() == warm
-        assert clone.contexts_digest() == checkpoint.contexts_digest()
-        assert clone.targets() == checkpoint.targets()
-        assert clone.time == checkpoint.time
+        blobs = {}
+        for page in checkpoint.memory.pages.values():
+            digest, blob = page.wire_blob()
+            blobs[digest] = blob
+        skeleton = checkpoint.to_wire()
+        # On the coordinator, hydration is the original object — free.
+        assert skeleton.hydrate(None) is checkpoint
+
+        clone = roundtrip(skeleton)
+        assert clone._local is None  # coordinator shortcut never ships
+        hydrated = clone.hydrate(_blob_resolver(blobs))
+        assert hydrated.kernel_state is None  # executors never need it
+        assert hydrated.digest() == warm
+        assert hydrated.contexts_digest() == checkpoint.contexts_digest()
+        assert hydrated.targets() == checkpoint.targets()
+        assert hydrated.time == checkpoint.time
 
         # Cold caches: wipe them and recompute from transferred content.
-        clone._digest = None
-        clone._ctx_digest = None
-        clone.memory._hash = None
-        clone.memory._sorted = None
-        for page in clone.memory.pages.values():
+        hydrated._digest = None
+        hydrated._ctx_digest = None
+        hydrated.memory._hash = None
+        hydrated.memory._sorted = None
+        for page in hydrated.memory.pages.values():
             page.invalidate_hash()
-        assert clone.digest() == warm
+        assert hydrated.digest() == warm
 
 
 def test_recording_roundtrip_preserves_plain_form():
@@ -202,28 +225,40 @@ def test_log_slices_keep_exactly_the_reachable_records():
 
 def test_replay_units_roundtrip_preserves_digests():
     _, _, result = _record()
-    units = replay_units_for_recording(result.recording)
-    assert len(units) == result.recording.epoch_count()
-    for unit, epoch in zip(units, result.recording.epochs):
+    batch = replay_units_for_recording(result.recording)
+    assert len(batch.units) == result.recording.epoch_count()
+    resolve = _blob_resolver(batch.blobs)
+    for unit, epoch in zip(batch.units, result.recording.epochs):
         clone = roundtrip(unit)
         assert clone.end_digest == epoch.end_digest
-        assert clone.start.digest() == epoch.start_checkpoint.digest()
+        assert clone.start.hydrate(resolve).digest() == epoch.start_checkpoint.digest()
         assert clone.targets == epoch.targets
         assert clone.sync_events == epoch.sync_log.events
         assert clone.schedule.slices == epoch.schedule.slices
+        # The shared log references strip their coordinator shortcut and
+        # resolve (through the batch blob set) to the serial path's logs.
+        assert clone.syscalls._local is None
+        assert resolve(clone.syscalls.digest) == tuple(
+            result.recording.syscalls_for_epochs()
+        )
+        assert resolve(clone.signals.digest) == tuple(
+            result.recording.signal_records
+        )
 
 
-def test_record_units_share_pages_within_a_unit():
-    """Pickling a unit must preserve start/boundary page sharing.
+def test_record_units_share_pages_by_content():
+    """A page unchanged across the epoch must never be re-shipped.
 
-    The pickle memo deduplicates shared pages inside one payload, so a
-    page unchanged across the epoch unpickles as a *single* object — the
-    worker's divergence check keeps its O(1) identity fast path.
+    The unit's boundary is a pure delta against its start: pages shared
+    by object identity (copy-on-write) or equal by content stay out of
+    ``page_changes``, and hydration maps both tables to the *same* page
+    object — so the worker's divergence check keeps its O(1) identity
+    fast path, and the wire carries only the epoch's dirty pages.
     """
     _, _, result = _record()
     recording = result.recording
     checkpoints = [e.start_checkpoint for e in recording.epochs]
-    units = record_units_for_segment(
+    batch = record_units_for_segment(
         checkpoints,
         hints=[],
         hint_marks=[0] * len(checkpoints),
@@ -233,22 +268,34 @@ def test_record_units_share_pages_within_a_unit():
         use_sync_hints=True,
     )
     checked = 0
-    for unit in units:
+    for unit in batch.units:
+        start_cp = checkpoints[unit.position]
+        boundary_cp = checkpoints[unit.position + 1]
+        assert not unit.start.is_delta
+        assert unit.boundary.is_delta
         shared_before = {
             no
-            for no, page in unit.start.memory.pages.items()
-            if unit.boundary.memory.pages.get(no) is page
+            for no, page in start_cp.memory.pages.items()
+            if boundary_cp.memory.pages.get(no) is page
         }
-        if not shared_before:
-            continue  # every page was dirtied in this epoch
+        # Object-shared pages never appear in the delta.
+        assert not (set(unit.boundary.page_changes) & shared_before)
         clone = roundtrip(unit)
+        resolve = _blob_resolver(batch.blobs)
+        start = clone.start.hydrate(resolve)
+        boundary = clone.boundary.hydrate(resolve, base_pages=start.memory.pages)
         shared_after = {
             no
-            for no, page in clone.start.memory.pages.items()
-            if clone.boundary.memory.pages.get(no) is page
+            for no, page in start.memory.pages.items()
+            if boundary.memory.pages.get(no) is page
         }
-        assert shared_after == shared_before, "pickle memo lost page sharing"
-        assert clone.start.kernel_state is None
-        assert clone.boundary.kernel_state is None
-        checked += 1
+        # Content addressing can only widen sharing (digest-equal pages
+        # collapse onto one object even when the originals were distinct).
+        assert shared_before <= shared_after, "hydration lost page sharing"
+        assert start.kernel_state is None
+        assert boundary.kernel_state is None
+        assert start.digest() == start_cp.digest()
+        assert boundary.digest() == boundary_cp.digest()
+        if shared_before:
+            checked += 1
     assert checked, "no unit had a surviving shared page — widen the workload"

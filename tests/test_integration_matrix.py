@@ -245,3 +245,121 @@ def test_goldens_survive_host_faults(
     if not WORKLOADS[name].racy:
         counts = result.host["faults"]
         assert sum(counts.values()) >= 1, "fault never fired"
+
+
+# Wire parity: the content-addressed dispatch protocol (page dedup,
+# delta checkpoints, worker blob caches) may change only how many bytes
+# travel — never what the workers compute. The goldens must hold when
+# the caches are starved to their degenerate limits: capacity 0 (every
+# blob evicts on insert, workers decode from the dispatch fallback) and
+# a few KiB (constant LRU churn, coordinator tracking through eviction
+# acks). (name, workers, jobs, cache_mb)
+WIRE_PARITY = [
+    ("pbzip", 2, 2, "0"),
+    ("fft", 3, 2, "0.02"),
+    ("racy-counter", 2, 4, "0.02"),
+]
+
+
+def _shutdown_pool():
+    from repro.host.pool import shutdown_shared_pool
+
+    shutdown_shared_pool()
+
+
+@pytest.mark.parametrize("name,workers,jobs,cache_mb", WIRE_PARITY)
+def test_goldens_survive_blob_cache_starvation(
+    monkeypatch, name, workers, jobs, cache_mb
+):
+    # Workers read the budget at spawn, so the shared pool must be torn
+    # down before (to pick the tiny budget up) and after (to not leak
+    # starved workers into later tests).
+    _shutdown_pool()
+    monkeypatch.setenv("REPRO_BLOB_CACHE_MB", cache_mb)
+    try:
+        instance = build_workload(name, workers=workers, scale=2, seed=11)
+        machine = MachineConfig(cores=workers)
+        native = run_native(instance.image, instance.setup, machine)
+        config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=max(native.duration // 12, 500),
+        )
+        result = DoublePlayRecorder(
+            instance.image, instance.setup, config.replace(host_jobs=jobs)
+        ).record()
+        recording = result.recording
+        observed = (
+            native.duration,
+            native.final_digest,
+            result.makespan,
+            recording.epoch_count(),
+            recording.final_digest,
+            combine_hashes([epoch.end_digest for epoch in recording.epochs]),
+            recording.total_log_bytes(),
+        )
+        assert observed == GOLDEN[(name, workers)], (
+            f"{name}/{workers}: drift under blob cache {cache_mb} MB — "
+            f"expected {GOLDEN[(name, workers)]}, got {observed}"
+        )
+        # Starvation shows up in the wire accounting, never in faults.
+        wire = result.host["wire"]
+        assert wire["bytes_shipped"] > 0 and wire["blobs_sent"] > 0
+        assert not any(result.host["faults"].values())
+
+        # Replay through the same starved pool reaches the same verdict.
+        replayer = Replayer(instance.image, machine)
+        outcome = replayer.replay_parallel(recording, jobs=jobs)
+        assert outcome.verified, f"{name}: {outcome.details}"
+    finally:
+        _shutdown_pool()
+
+
+def test_goldens_survive_forced_blob_misses(monkeypatch):
+    """An over-optimistic coordinator self-corrects via NeedBlobs.
+
+    Omission is a pure optimisation: if the tracker wrongly believes the
+    pool holds every blob (here: forced, in production: never), workers
+    answer with a structured NeedBlobs and the coordinator re-dispatches
+    with the full blob set — same goldens, resends counted, no faults.
+    """
+    from repro.host import pool as host_pool
+
+    _shutdown_pool()  # fresh workers hold nothing: misses are guaranteed
+
+    original = host_pool.HostExecutor._make_dispatch
+
+    def starved(self, batch, position, pids=(), full=False):
+        dispatch = original(self, batch, position, pids=pids, full=full)
+        if not full:
+            dispatch.blobs = {}
+            batch.last_shipped[position] = set()
+        return dispatch
+
+    monkeypatch.setattr(host_pool.HostExecutor, "_make_dispatch", starved)
+    try:
+        name, workers, jobs = "fft", 2, 2
+        instance = build_workload(name, workers=workers, scale=2, seed=11)
+        machine = MachineConfig(cores=workers)
+        native = run_native(instance.image, instance.setup, machine)
+        config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=max(native.duration // 12, 500),
+        )
+        result = DoublePlayRecorder(
+            instance.image, instance.setup, config.replace(host_jobs=jobs)
+        ).record()
+        recording = result.recording
+        observed = (
+            native.duration,
+            native.final_digest,
+            result.makespan,
+            recording.epoch_count(),
+            recording.final_digest,
+            combine_hashes([epoch.end_digest for epoch in recording.epochs]),
+            recording.total_log_bytes(),
+        )
+        assert observed == GOLDEN[(name, workers)]
+        assert result.host["wire"]["blob_resends"] >= 1, "no miss ever forced"
+        assert not any(result.host["faults"].values())
+    finally:
+        _shutdown_pool()
