@@ -10,13 +10,16 @@
   epoch) and verify it;
 * ``diagnose`` — replay a recording's rolled-back epochs under the race
   detector and name the racing addresses;
-* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``trace`` — summarize a Perfetto timeline written by ``--trace``
+  (overlap ratio, slowest epochs, straggler attribution).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -25,6 +28,14 @@ from repro.analysis.tables import render_table
 from repro.baselines import run_native
 from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
 from repro.machine.config import MachineConfig
+from repro.obs import spans as obs_spans
+from repro.obs.export import (
+    load_trace,
+    render_summary,
+    summarize_trace,
+    validate_trace,
+    write_chrome_trace,
+)
 from repro.record.recording import Recording
 from repro.workloads import WORKLOADS, build_workload, workload_names
 
@@ -112,34 +123,80 @@ def cmd_run(args, out) -> int:
     return 0 if valid else 1
 
 
-def _print_host_faults(host, out) -> None:
-    """One line of containment accounting when host workers misbehaved."""
-    faults = host.get("faults") or {}
-    if not any(faults.values()):
-        return
-    print(
-        "  host faults contained: "
-        f"{faults['crashes']} crash(es), {faults['timeouts']} timeout(s), "
-        f"{faults['task_errors']} task error(s); {faults['retries']} retried, "
-        f"{faults['serial_fallbacks']} serial fallback(s) — "
-        "recording/verdict unaffected",
-        file=out,
-    )
+#: One entry per host-accounting line: a title, the (group, counter)
+#: gates that decide whether the line prints at all, and the cells —
+#: ``(format, group, counter)`` — it renders from the run's RunMetrics.
+#: Adding a line of accounting means adding a row here, not a function.
+_HOST_SUMMARY_ROWS = (
+    {
+        "title": "host faults contained",
+        "gate": (
+            ("faults", "crashes"),
+            ("faults", "timeouts"),
+            ("faults", "task_errors"),
+            ("faults", "retries"),
+            ("faults", "serial_fallbacks"),
+        ),
+        "cells": (
+            ("{} crash(es), ", "faults", "crashes"),
+            ("{} timeout(s), ", "faults", "timeouts"),
+            ("{} task error(s); ", "faults", "task_errors"),
+            ("{} retried, ", "faults", "retries"),
+            ("{} serial fallback(s)", "faults", "serial_fallbacks"),
+        ),
+        "suffix": " — recording/verdict unaffected",
+    },
+    {
+        "title": "host wire",
+        "gate": (("wire", "blobs_sent"), ("wire", "blob_cache_hits")),
+        "cells": (
+            ("{} bytes in ", "wire", "bytes_shipped"),
+            ("{} blob(s) across ", "wire", "blobs_sent"),
+            ("{} unit(s); ", "host", "units"),
+            ("{} cache hit(s), ", "wire", "blob_cache_hits"),
+            ("{} resend(s)", "wire", "blob_resends"),
+        ),
+        "suffix": "",
+    },
+)
 
 
-def _print_host_wire(host, out) -> None:
-    """One line of content-addressed-wire accounting for parallel runs."""
-    wire = host.get("wire") or {}
-    if not wire.get("blobs_sent") and not wire.get("blob_cache_hits"):
-        return
-    print(
-        "  host wire: "
-        f"{wire['bytes_shipped']} bytes in {wire['blobs_sent']} blob(s) "
-        f"across {host.get('units', 0)} unit(s); "
-        f"{wire['blob_cache_hits']} cache hit(s), "
-        f"{wire['blob_resends']} resend(s)",
-        file=out,
-    )
+def _print_host_summary(metrics, out) -> None:
+    """Host accounting lines (fault containment, wire traffic), rendered
+    table-driven from the run's merged :class:`RunMetrics`."""
+    for row in _HOST_SUMMARY_ROWS:
+        if not any(metrics.get(group, key) for group, key in row["gate"]):
+            continue
+        cells = "".join(
+            fmt.format(metrics.get(group, key))
+            for fmt, group, key in row["cells"]
+        )
+        print(f"  {row['title']}: {cells}{row['suffix']}", file=out)
+
+
+def _trace_path(args) -> Optional[str]:
+    """``--trace PATH`` wins; ``REPRO_TRACE`` is the env fallback."""
+    return getattr(args, "trace", None) or os.environ.get("REPRO_TRACE") or None
+
+
+class _TraceScope:
+    """Starts span tracing around a record/replay and writes the Chrome
+    trace on the way out (even when the run raises)."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+
+    def __enter__(self):
+        if self.path:
+            obs_spans.start_trace(self.path)
+        return self
+
+    def __exit__(self, *exc):
+        if self.path:
+            tracer = obs_spans.stop_trace()
+            if tracer is not None:
+                write_chrome_trace(tracer, self.path)
+        return False
 
 
 def cmd_record(args, out) -> int:
@@ -156,7 +213,11 @@ def cmd_record(args, out) -> int:
         host_jobs=args.jobs,
         **overrides,
     )
-    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    trace_path = _trace_path(args)
+    with _TraceScope(trace_path):
+        result = DoublePlayRecorder(
+            instance.image, instance.setup, config
+        ).record()
     recording = result.recording
     valid = instance.validate(
         result.committed_kernel(instance.setup, instance.image.heap_base)
@@ -170,8 +231,9 @@ def cmd_record(args, out) -> int:
     )
     for key, value in recording.log_breakdown().items():
         print(f"  {key}: {value}", file=out)
-    _print_host_faults(result.host, out)
-    _print_host_wire(result.host, out)
+    _print_host_summary(result.metrics, out)
+    if trace_path:
+        print(f"wrote trace to {trace_path}", file=out)
     if args.output:
         payload = {
             "workload": {
@@ -191,20 +253,24 @@ def cmd_record(args, out) -> int:
 def cmd_replay(args, out) -> int:
     meta, instance, machine, recording = _load_recording(args.recording)
     replayer = Replayer(instance.image, machine)
-    if args.epoch is not None:
-        replayer.materialize_checkpoints(recording)
-        outcome = replayer.replay_epoch(recording, args.epoch)
-        label = f"epoch {args.epoch}"
-    elif args.parallel or args.jobs > 1:
-        replayer.materialize_checkpoints(recording)
-        outcome = replayer.replay_parallel(
-            recording, workers=meta["workers"], jobs=args.jobs,
-            unit_timeout=args.unit_timeout,
-        )
-        label = f"parallel[jobs={outcome.jobs}]" if args.jobs > 1 else "parallel"
-    else:
-        outcome = replayer.replay_sequential(recording)
-        label = "sequential"
+    trace_path = _trace_path(args)
+    with _TraceScope(trace_path):
+        if args.epoch is not None:
+            replayer.materialize_checkpoints(recording)
+            outcome = replayer.replay_epoch(recording, args.epoch)
+            label = f"epoch {args.epoch}"
+        elif args.parallel or args.jobs > 1:
+            replayer.materialize_checkpoints(recording)
+            outcome = replayer.replay_parallel(
+                recording, workers=meta["workers"], jobs=args.jobs,
+                unit_timeout=args.unit_timeout,
+            )
+            label = (
+                f"parallel[jobs={outcome.jobs}]" if args.jobs > 1 else "parallel"
+            )
+        else:
+            outcome = replayer.replay_sequential(recording)
+            label = "sequential"
     status = "verified" if outcome.verified else "FAILED"
     print(
         f"{label} replay of {meta['name']}: {status}, "
@@ -213,8 +279,9 @@ def cmd_replay(args, out) -> int:
     )
     for detail in outcome.details:
         print(f"  {detail}", file=out)
-    _print_host_faults(outcome.host, out)
-    _print_host_wire(outcome.host, out)
+    _print_host_summary(outcome.metrics, out)
+    if trace_path:
+        print(f"wrote trace to {trace_path}", file=out)
     return 0 if outcome.verified else 1
 
 
@@ -272,6 +339,18 @@ def cmd_experiment(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    payload = load_trace(args.trace)
+    problems = validate_trace(payload)
+    if problems:
+        print(f"{args.trace}: invalid trace", file=out)
+        for problem in problems:
+            print(f"  {problem}", file=out)
+        return 1
+    print(render_summary(summarize_trace(payload, top=args.top)), file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--unit-timeout", type=float, default=None, metavar="SECONDS",
         help="per-unit wall-clock budget for hung host workers "
              "(default: REPRO_UNIT_TIMEOUT or 60; 0 disables)")
+    record_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace (Perfetto) timeline of the run here "
+             "(env fallback: REPRO_TRACE)")
     record_parser.add_argument("-o", "--output", help="save recording JSON here")
 
     replay_parser = commands.add_parser("replay", help="replay a saved recording")
@@ -315,6 +398,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: REPRO_UNIT_TIMEOUT or 60; 0 disables)")
     replay_parser.add_argument("--epoch", type=int, default=None,
                                help="replay a single epoch index")
+    replay_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace (Perfetto) timeline of the replay here "
+             "(env fallback: REPRO_TRACE)")
+
+    trace_parser = commands.add_parser(
+        "trace", help="inspect a timeline written by --trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize_parser = trace_sub.add_parser(
+        "summarize",
+        help="overlap ratio, slowest epochs, straggler attribution",
+    )
+    summarize_parser.add_argument("trace", help="Chrome-trace JSON file")
+    summarize_parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest epochs to list (default 5)")
 
     diagnose_parser = commands.add_parser(
         "diagnose", help="explain a recording's rollbacks (racing addresses)"
@@ -340,6 +440,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "replay": cmd_replay,
         "diagnose": cmd_diagnose,
         "experiment": cmd_experiment,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args, out)
 

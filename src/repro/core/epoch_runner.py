@@ -26,6 +26,7 @@ from repro.exec.uniprocessor import UniprocessorEngine
 from repro.isa.instructions import Op
 from repro.isa.program import ProgramImage
 from repro.machine.config import MachineConfig
+from repro.obs import metrics as obs_metrics
 from repro.oskernel.syscalls import SyscallRecord
 from repro.record.schedule_log import ScheduleLog
 from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
@@ -64,7 +65,43 @@ def run_epoch(
     use_sync_hints: bool,
     signal_records: Sequence = (),
 ) -> EpochRunResult:
-    """Execute one epoch uniprocessor-style and verify its end state."""
+    """Execute one epoch uniprocessor-style and verify its end state.
+
+    Counts the attempt in this process's stats registry (epochs run,
+    cycles, syscalls injected, divergences) — on a worker those counters
+    ride home on the unit result; see :mod:`repro.obs.metrics`.
+    """
+    result = _run_epoch(
+        program,
+        machine,
+        epoch_index,
+        start,
+        boundary,
+        syscall_records,
+        sync_log,
+        use_sync_hints,
+        signal_records,
+    )
+    stats = obs_metrics.process_stats()
+    stats.add("exec.epochs")
+    stats.add("exec.epoch_cycles", result.duration)
+    stats.add("exec.syscalls_injected", result.syscalls_consumed)
+    if not result.ok:
+        stats.add("exec.divergences")
+    return result
+
+
+def _run_epoch(
+    program: ProgramImage,
+    machine: MachineConfig,
+    epoch_index: int,
+    start: Checkpoint,
+    boundary: Checkpoint,
+    syscall_records: Sequence[SyscallRecord],
+    sync_log: SyncOrderLog,
+    use_sync_hints: bool,
+    signal_records: Sequence = (),
+) -> EpochRunResult:
     injector = InjectedSyscalls(syscall_records)
     boundary_blocked = {}
     for tid, ctx in boundary.contexts.items():

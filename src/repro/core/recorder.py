@@ -44,6 +44,9 @@ from repro.errors import SimulationError
 from repro.exec.multicore import MulticoreEngine
 from repro.exec.services import LiveSyscalls
 from repro.isa.program import ProgramImage
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.metrics import RunMetrics
 from repro.oskernel.kernel import Kernel, KernelSetup
 from repro.oskernel.syscalls import SyscallRecord
 from repro.record.recording import (
@@ -76,6 +79,12 @@ class RecordResult:
     #: part of the recording — recordings are bit-identical at any jobs
     #: count, host numbers by construction are not.
     host: Dict[str, object] = field(default_factory=dict)
+    #: merged run-wide counters: coordinator execution counters, worker
+    #: counters harvested through unit results, host wire/fault
+    #: accounting, and the recording stats — one queryable snapshot
+    #: (see :mod:`repro.obs.metrics`). Observability only, never part
+    #: of the recording.
+    metrics: RunMetrics = field(default_factory=RunMetrics)
 
     def overhead_vs(self, native_time: int) -> float:
         """Fractional logging overhead relative to a native run."""
@@ -139,17 +148,22 @@ class DoublePlayRecorder:
                 # at the boundary would make the executor hand objects out
                 # differently than the thread-parallel run did.
                 sync_slice = SyncOrderLog(tuple(hints[hint_marks[position] :]))
-                result = run_epoch(
-                    self.program,
-                    self.machine,
-                    first_epoch_index + position,
-                    checkpoints[position],
-                    checkpoints[position + 1],
-                    syscall_log,
-                    sync_slice,
-                    self.config.use_sync_hints,
-                    signal_records=signal_log,
-                )
+                with obs_spans.span(
+                    "execute", obs_spans.CAT_EPOCH,
+                    epoch=first_epoch_index + position,
+                    position=position, kind="record",
+                ):
+                    result = run_epoch(
+                        self.program,
+                        self.machine,
+                        first_epoch_index + position,
+                        checkpoints[position],
+                        checkpoints[position + 1],
+                        syscall_log,
+                        sync_slice,
+                        self.config.use_sync_hints,
+                        signal_records=signal_log,
+                    )
                 yield position, result
                 if not result.ok:
                     return
@@ -171,6 +185,7 @@ class DoublePlayRecorder:
     def record(self) -> RecordResult:
         config = self.config
         costs = self.machine.costs
+        stats_baseline = obs_metrics.process_stats().snapshot()
         policy_cls = AdaptiveEpochPolicy if config.adaptive_epochs else FixedEpochPolicy
         policy = policy_cls(config.epoch_cycles)
 
@@ -238,6 +253,8 @@ class DoublePlayRecorder:
             hint_marks: List[int] = [0]
 
             fault = None
+            tracer = obs_spans.current()
+            tp_span_start = tracer.now() if tracer is not None else 0.0
             while True:
                 status = engine.run(
                     stop_check=lambda e: policy.should_checkpoint(e.time)
@@ -257,6 +274,15 @@ class DoublePlayRecorder:
                     break
 
             segment_tp_finish = engine.time
+            if tracer is not None:
+                tracer.add(
+                    "tp-run", obs_spans.CAT_SEGMENT,
+                    tp_span_start, tracer.now(),
+                    args={
+                        "first_epoch": epoch_index,
+                        "epochs": len(segment_checkpoints) - 1,
+                    },
+                )
 
             # ----------------------------------------------------------
             # Epoch-parallel execution of the segment's epochs.
@@ -286,20 +312,23 @@ class DoublePlayRecorder:
                     )
                 )
                 if result.ok:
-                    recording.epochs.append(
-                        EpochRecord(
-                            index=epoch_index,
-                            start_checkpoint=start_cp,
-                            targets=end_cp.targets(),
-                            schedule=result.schedule,
-                            # Store the grant order the committed run
-                            # actually used — replay pins its decisions
-                            # from this, not from the raw hints.
-                            sync_log=result.committed_sync,
-                            end_digest=result.end_digest,
-                            duration=result.duration,
+                    with obs_spans.span(
+                        "commit", obs_spans.CAT_COMMIT, epoch=epoch_index
+                    ):
+                        recording.epochs.append(
+                            EpochRecord(
+                                index=epoch_index,
+                                start_checkpoint=start_cp,
+                                targets=end_cp.targets(),
+                                schedule=result.schedule,
+                                # Store the grant order the committed run
+                                # actually used — replay pins its decisions
+                                # from this, not from the raw hints.
+                                sync_log=result.committed_sync,
+                                end_digest=result.end_digest,
+                                duration=result.duration,
+                            )
                         )
-                    )
                     committed = end_cp
                     epoch_index += 1
                     continue
@@ -308,24 +337,34 @@ class DoublePlayRecorder:
                 # ------------------------------------------------------
                 divergences += 1
                 attempt_duration = result.duration
-                counts = {
-                    tid: ctx.syscall_count
-                    for tid, ctx in start_cp.contexts.items()
-                }
-                syscall_log[:] = prune_syscall_records(syscall_log, counts)
-                retired_counts = {
-                    tid: ctx.retired for tid, ctx in start_cp.contexts.items()
-                }
-                signal_log[:] = prune_signal_records(signal_log, retired_counts)
-                recovery = recover_epoch(
-                    self.program,
-                    self.machine,
-                    self.setup,
-                    start_cp,
-                    config.epoch_cycles,
-                    syscall_log,
-                    signal_log=signal_log,
-                )
+                with obs_spans.span(
+                    "divergence", obs_spans.CAT_RECOVERY,
+                    epoch=epoch_index, reason=result.reason[:120],
+                ):
+                    counts = {
+                        tid: ctx.syscall_count
+                        for tid, ctx in start_cp.contexts.items()
+                    }
+                    syscall_log[:] = prune_syscall_records(syscall_log, counts)
+                    retired_counts = {
+                        tid: ctx.retired
+                        for tid, ctx in start_cp.contexts.items()
+                    }
+                    signal_log[:] = prune_signal_records(
+                        signal_log, retired_counts
+                    )
+                with obs_spans.span(
+                    "recovery", obs_spans.CAT_RECOVERY, epoch=epoch_index
+                ):
+                    recovery = recover_epoch(
+                        self.program,
+                        self.machine,
+                        self.setup,
+                        start_cp,
+                        config.epoch_cycles,
+                        syscall_log,
+                        signal_log=signal_log,
+                    )
                 recording.epochs.append(
                     EpochRecord(
                         index=epoch_index,
@@ -413,6 +452,12 @@ class DoublePlayRecorder:
             recording.stats["fault_message"] = str(fault)
         recording.syscall_records = list(syscall_log)
         recording.signal_records = list(signal_log)
+        host_summary = executor.timing_summary() if executor else {"jobs": 1}
+        run_metrics = obs_metrics.build_run_metrics(
+            obs_metrics.delta_since(stats_baseline),
+            host=host_summary,
+            record=recording.stats,
+        )
         return RecordResult(
             recording=recording,
             makespan=makespan,
@@ -421,5 +466,6 @@ class DoublePlayRecorder:
             stats=dict(recording.stats),
             final_kernel_state=committed.kernel_state,
             fault=str(fault) if fault is not None else None,
-            host=executor.timing_summary() if executor else {"jobs": 1},
+            host=host_summary,
+            metrics=run_metrics,
         )

@@ -32,6 +32,9 @@ from repro.exec.uniprocessor import UniprocessorEngine
 from repro.isa.program import ProgramImage
 from repro.machine.config import MachineConfig
 from repro.memory.address_space import AddressSpace
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.metrics import RunMetrics
 from repro.oskernel.sync import SyncManager
 from repro.record.recording import EpochRecord, Recording
 from repro.record.sync_log import SyncOrderLog, SyncOrderOracle
@@ -69,7 +72,21 @@ def replay_epoch_unit(program, machine, unit, start, syscalls, signals):
             message="replayed to a different state (digest mismatch)",
             epoch=unit.epoch_index,
         )
+    _count_replayed_epoch(engine.time, failure)
     return engine.time, failure
+
+
+def _count_replayed_epoch(cycles: int, failure) -> None:
+    """Count one replayed epoch in this process's stats registry.
+
+    Workers and the serial paths count identically, so the merged
+    ``replay.*`` metrics match at any jobs count.
+    """
+    stats = obs_metrics.process_stats()
+    stats.add("replay.epochs")
+    stats.add("replay.epoch_cycles", cycles)
+    if failure is not None:
+        stats.add("replay.verify_failures")
 
 
 @dataclass
@@ -109,6 +126,9 @@ class ReplayResult:
     #: host-parallelism accounting (per-unit worker timings); never part
     #: of the verification verdict
     host: Dict[str, object] = field(default_factory=dict)
+    #: merged run-wide counters (coordinator + workers + host wire/fault
+    #: accounting); observability only, never part of the verdict
+    metrics: RunMetrics = field(default_factory=RunMetrics)
 
 
 class Replayer:
@@ -158,10 +178,15 @@ class Replayer:
     # ------------------------------------------------------------------
     def replay_epoch(self, recording: Recording, index: int) -> ReplayResult:
         """Replay one epoch from its checkpoint and verify its end state."""
+        baseline = obs_metrics.process_stats().snapshot()
         epoch = self._find_epoch(recording, index)
         engine = self._epoch_engine(recording, epoch)
-        engine.run_schedule(epoch.schedule)
+        with obs_spans.span(
+            "execute", obs_spans.CAT_EPOCH, epoch=epoch.index, kind="replay"
+        ):
+            engine.run_schedule(epoch.schedule)
         failure = self._verify(engine, epoch)
+        _count_replayed_epoch(engine.time, failure)
         return ReplayResult(
             verified=failure is None,
             total_cycles=engine.time,
@@ -169,6 +194,9 @@ class Replayer:
             epochs_replayed=1,
             workers=1,
             details=[failure] if failure else [],
+            metrics=obs_metrics.build_run_metrics(
+                obs_metrics.delta_since(baseline)
+            ),
         )
 
     def replay_parallel(
@@ -196,6 +224,7 @@ class Replayer:
         wall-clock seconds (None = the ``REPRO_UNIT_TIMEOUT`` default,
         0 disables). Containment counters land in ``host["faults"]``.
         """
+        baseline = obs_metrics.process_stats().snapshot()
         durations: List[int] = []
         details: List[ReplayFailure] = []
         host: Dict[str, object] = {"jobs": 1}
@@ -214,8 +243,13 @@ class Replayer:
         else:
             for epoch in recording.epochs:
                 engine = self._epoch_engine(recording, epoch)
-                engine.run_schedule(epoch.schedule)
+                with obs_spans.span(
+                    "execute", obs_spans.CAT_EPOCH,
+                    epoch=epoch.index, kind="replay",
+                ):
+                    engine.run_schedule(epoch.schedule)
                 failure = self._verify(engine, epoch)
+                _count_replayed_epoch(engine.time, failure)
                 if failure:
                     details.append(failure)
                 durations.append(engine.time + self.machine.costs.restore_base)
@@ -239,6 +273,9 @@ class Replayer:
             jobs=max(1, jobs),
             details=details,
             host=host,
+            metrics=obs_metrics.build_run_metrics(
+                obs_metrics.delta_since(baseline), host=host
+            ),
         )
 
     def replay_sequential(self, recording: Recording) -> ReplayResult:
@@ -257,11 +294,20 @@ class Replayer:
             name=f"{self.program.name}/seqreplay",
         )
         engine.install_signal_records(recording.signal_records)
+        baseline = obs_metrics.process_stats().snapshot()
         details: List[ReplayFailure] = []
         for epoch in recording.epochs:
             self._swap_oracle(engine, epoch)
-            engine.run_schedule(epoch.schedule)
+            epoch_start_time = engine.time
+            with obs_spans.span(
+                "execute", obs_spans.CAT_EPOCH,
+                epoch=epoch.index, kind="replay-seq",
+            ):
+                engine.run_schedule(epoch.schedule)
             failure = self._verify(engine, epoch)
+            # The engine runs continuously, so the per-epoch cycle count
+            # is the delta (fresh-engine strategies count engine.time).
+            _count_replayed_epoch(engine.time - epoch_start_time, failure)
             if failure:
                 details.append(failure)
                 break
@@ -275,6 +321,9 @@ class Replayer:
             epochs_replayed=len(recording.epochs),
             workers=1,
             details=details,
+            metrics=obs_metrics.build_run_metrics(
+                obs_metrics.delta_since(baseline)
+            ),
         )
 
     # ------------------------------------------------------------------

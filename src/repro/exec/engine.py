@@ -20,6 +20,7 @@ from repro.isa.program import ProgramImage
 from repro.machine.config import MachineConfig
 from repro.memory.address_space import AddressSpace
 from repro.memory.hashing import combine_hashes, hash_structure
+from repro.obs import metrics as obs_metrics
 from repro.oskernel.sync import SyncManager
 
 #: Maximum children one thread may spawn; child tids are the deterministic
@@ -211,11 +212,15 @@ class BaseEngine:
         delivered-but-unexecuted handler.
         """
         if self.injected_signals:
-            return self.injected_signals.pop((ctx.tid, ctx.retired), None)
+            handler_pc = self.injected_signals.pop((ctx.tid, ctx.retired), None)
+            if handler_pc is not None:
+                obs_metrics.process_stats().add("exec.signals_delivered")
+            return handler_pc
         if ctx.pending_signals:
             handler_pc = ctx.pending_signals.pop(0)
             if self.signal_log is not None:
                 self.signal_log.append((ctx.tid, ctx.retired, handler_pc))
+            obs_metrics.process_stats().add("exec.signals_delivered")
             return handler_pc
         return None
 
@@ -247,6 +252,8 @@ class BaseEngine:
         )
         self.contexts[child_tid] = child
         self.live_threads += 1
+        # Rare event, so the counter costs nothing on the per-op path.
+        obs_metrics.process_stats().add("exec.threads_spawned")
         self._check_spawn(child_tid)
         self._on_ready(child_tid, self._now)
         return child_tid

@@ -100,6 +100,8 @@ from repro.host.blobs import (
 )
 from repro.host.wire import NeedBlobs, UnitBatch, UnitTiming
 from repro.memory.blob import blob_digest, encode_object
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.record.sync_log import SyncOrderLog
 
 _shared_pool = None
@@ -273,6 +275,10 @@ class UnitDispatch:
     unit: object
     program_digest: int
     blobs: Dict[int, bytes] = field(default_factory=dict)
+    #: when True the worker collects observability spans for this unit
+    #: and ships them home on ``UnitTiming.spans`` (set from the
+    #: coordinator's active tracer; workers have no tracer of their own)
+    trace: bool = False
     _local_program: object = field(default=None, repr=False)
 
     def __getstate__(self):
@@ -383,6 +389,42 @@ def _run_record_body(program, machine, unit, start, boundary, syscalls, signals,
     return result, time.perf_counter() - wall0, time.process_time() - cpu0
 
 
+def _serial_execute_span(kind: str, unit, wall: float) -> None:
+    """Record a coordinator-track execute span for a serial-fallback unit."""
+    tracer = obs_spans.current()
+    if tracer is None:
+        return
+    end = tracer.now()
+    tracer.add(
+        "execute",
+        obs_spans.CAT_EPOCH,
+        end - wall,
+        end,
+        args={
+            "epoch": unit.epoch_index,
+            "position": unit.position,
+            "kind": kind + "-serial",
+        },
+    )
+
+
+def _finish_worker_timing(timing: UnitTiming, spanlog, kind: str, unit, wall):
+    """Attach this task's spans and drained counters to its timing."""
+    if spanlog is not None:
+        end = time.perf_counter()
+        spanlog.add(
+            "execute",
+            obs_spans.CAT_EPOCH,
+            end - wall,
+            end,
+            epoch=unit.epoch_index,
+            position=unit.position,
+            kind=kind,
+        )
+        timing.spans = spanlog.export()
+    timing.metrics = tuple(sorted(obs_metrics.drain_process().items()))
+
+
 def _record_unit(dispatch: UnitDispatch) -> Tuple[int, EpochRunResult, UnitTiming]:
     unit = dispatch.unit
     result, wall, cpu = _run_record_body(
@@ -395,18 +437,36 @@ def _record_unit(dispatch: UnitDispatch) -> Tuple[int, EpochRunResult, UnitTimin
         unit.signals._local,
         unit.sync_events._local,
     )
-    return unit.position, result, UnitTiming(wall=wall, cpu=cpu)
+    _serial_execute_span("record", unit, wall)
+    return unit.position, result, UnitTiming(
+        wall=wall, cpu=cpu, worker_pid=os.getpid()
+    )
 
 
 def _record_task(dispatch: UnitDispatch):
     unit = dispatch.unit
+    # A fresh registry per task: whatever an aborted or dropped previous
+    # task accumulated must never ride home with this unit's counters.
+    obs_metrics.process_stats().clear()
+    spanlog = obs_spans.WorkerSpanLog() if dispatch.trace else None
     try:
         fault_injection.inject(unit.faults)
+        decode_start = time.perf_counter()
         resolve, timing = _absorb_dispatch(dispatch)
         if resolve is None:
             return unit.position, timing, UnitTiming(worker_pid=os.getpid())
         start = unit.start.hydrate(resolve)
         boundary = unit.boundary.hydrate(resolve, base_pages=start.memory.pages)
+        if spanlog is not None:
+            spanlog.add(
+                "wire-decode",
+                obs_spans.CAT_WIRE,
+                decode_start,
+                time.perf_counter(),
+                position=unit.position,
+                cache_hits=timing.blob_cache_hits,
+                cache_misses=timing.blob_cache_misses,
+            )
         result, wall, cpu = _run_record_body(
             resolve(dispatch.program_digest),
             dispatch.machine,
@@ -419,9 +479,12 @@ def _record_task(dispatch: UnitDispatch):
         )
         timing.wall = wall
         timing.cpu = cpu
+        _finish_worker_timing(timing, spanlog, "record", unit, wall)
         return unit.position, result, timing
     except Exception as exc:
-        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
+        return unit.position, _as_task_error(exc, unit.position), UnitTiming(
+            worker_pid=os.getpid()
+        )
 
 
 def _run_replay_body(program, machine, unit, start, syscalls, signals):
@@ -445,29 +508,49 @@ def _replay_unit(dispatch: UnitDispatch):
         unit.syscalls._local,
         unit.signals._local,
     )
-    return unit.position, value, UnitTiming(wall=wall, cpu=cpu)
+    _serial_execute_span("replay", unit, wall)
+    return unit.position, value, UnitTiming(
+        wall=wall, cpu=cpu, worker_pid=os.getpid()
+    )
 
 
 def _replay_task(dispatch: UnitDispatch):
     unit = dispatch.unit
+    obs_metrics.process_stats().clear()
+    spanlog = obs_spans.WorkerSpanLog() if dispatch.trace else None
     try:
         fault_injection.inject(unit.faults)
+        decode_start = time.perf_counter()
         resolve, timing = _absorb_dispatch(dispatch)
         if resolve is None:
             return unit.position, timing, UnitTiming(worker_pid=os.getpid())
+        start = unit.start.hydrate(resolve)
+        if spanlog is not None:
+            spanlog.add(
+                "wire-decode",
+                obs_spans.CAT_WIRE,
+                decode_start,
+                time.perf_counter(),
+                position=unit.position,
+                cache_hits=timing.blob_cache_hits,
+                cache_misses=timing.blob_cache_misses,
+            )
         value, wall, cpu = _run_replay_body(
             resolve(dispatch.program_digest),
             dispatch.machine,
             unit,
-            unit.start.hydrate(resolve),
+            start,
             resolve(unit.syscalls.digest),
             resolve(unit.signals.digest),
         )
         timing.wall = wall
         timing.cpu = cpu
+        _finish_worker_timing(timing, spanlog, "replay", unit, wall)
         return unit.position, value, timing
     except Exception as exc:
-        return unit.position, _as_task_error(exc, unit.position), UnitTiming()
+        return unit.position, _as_task_error(exc, unit.position), UnitTiming(
+            worker_pid=os.getpid()
+        )
 
 
 def _as_task_error(exc: BaseException, position: int) -> WorkerTaskError:
@@ -623,6 +706,7 @@ class HostExecutor:
             unit=unit,
             program_digest=batch.program_digest,
             blobs=blobs,
+            trace=obs_spans.enabled(),
             _local_program=batch.program,
         )
 
@@ -641,6 +725,28 @@ class HostExecutor:
             return
         _cache_tracker.note_inserted(pid, shipped)
         _cache_tracker.note_evicted(pid, evicted)
+
+    def _ingest_observability(self, timing: UnitTiming) -> None:
+        """Fold a merged unit's piggybacked counters/spans into this process.
+
+        Called only for results that actually merge — dropped results
+        (cancelled divergence tails, crashed attempts) drop their
+        counters with them, which is what keeps ``jobs=1`` and
+        ``jobs=N`` metrics identical.
+        """
+        if timing.metrics:
+            obs_metrics.process_stats().update_from(dict(timing.metrics))
+        if timing.spans:
+            tracer = obs_spans.current()
+            if tracer is not None:
+                tracer.ingest(
+                    timing.spans,
+                    track=timing.worker_pid,
+                    annotate={
+                        "bytes_shipped": timing.bytes_shipped,
+                        "blobs_sent": timing.blobs_sent,
+                    },
+                )
 
     def _note_fault(self, failure: HostPoolError) -> None:
         self.counters[_COUNTER_BY_KIND[failure.kind]] += 1
@@ -665,6 +771,7 @@ class HostExecutor:
         breakage, and waiting on it attributes the failure and rebuilds.
         """
         t0 = time.perf_counter()
+        tracer = obs_spans.current()
         try:
             pool = self._pool()
             pids = _pool_pids(pool)
@@ -675,9 +782,22 @@ class HostExecutor:
                     continue
                 if position > start and live >= window:
                     break
+                span_start = tracer.now() if tracer else 0.0
+                bytes_before = batch.bytes_shipped[position]
                 futures[position] = pool.submit(
                     task_fn, self._make_dispatch(batch, position, pids=pids)
                 )
+                if tracer is not None:
+                    tracer.add(
+                        "dispatch",
+                        obs_spans.CAT_WIRE,
+                        span_start,
+                        tracer.now(),
+                        args={
+                            "position": position,
+                            "bytes": batch.bytes_shipped[position] - bytes_before,
+                        },
+                    )
                 live += 1
         except Exception:
             pass
@@ -687,10 +807,24 @@ class HostExecutor:
     def _resend_with_blobs(self, task_fn, batch, futures, position) -> bool:
         """Re-dispatch one unit with its full blob set after a NeedBlobs."""
         t0 = time.perf_counter()
+        tracer = obs_spans.current()
+        span_start = tracer.now() if tracer else 0.0
+        bytes_before = batch.bytes_shipped[position]
         try:
             futures[position] = self._pool().submit(
                 task_fn, self._make_dispatch(batch, position, full=True)
             )
+            if tracer is not None:
+                tracer.add(
+                    "blob-resend",
+                    obs_spans.CAT_WIRE,
+                    span_start,
+                    tracer.now(),
+                    args={
+                        "position": position,
+                        "bytes": batch.bytes_shipped[position] - bytes_before,
+                    },
+                )
             return True
         except Exception:
             return False
@@ -799,6 +933,7 @@ class HostExecutor:
                         )
                         timing.bytes_shipped = batch.bytes_shipped[next_pos]
                         timing.blobs_sent = batch.blobs_sent[next_pos]
+                        self._ingest_observability(timing)
                         self.unit_timings.append((kind, next_pos, timing))
                         if stop_on is not None and stop_on(value):
                             for pending in futures.values():
@@ -882,6 +1017,7 @@ class HostExecutor:
             "units": len(self.unit_timings),
             "unit_wall": [round(t.wall, 6) for t in timings],
             "unit_cpu": [round(t.cpu, 6) for t in timings],
+            "unit_pids": [t.worker_pid for t in timings],
             "dispatch_wall": round(self.dispatch_wall, 6),
             "faults": dict(self.counters),
             "fault_events": list(self.fault_events),

@@ -62,7 +62,8 @@ from repro.oskernel.syscalls import SyscallRecord
 class UnitTiming:
     """Host-side cost of one work unit.
 
-    ``wall``/``cpu`` and the blob-cache fields are measured in the worker;
+    ``wall``/``cpu``, the blob-cache fields, and the observability
+    piggybacks (``spans``/``metrics``) are measured in the worker;
     ``bytes_shipped``/``blobs_sent`` are filled by the coordinator (it is
     the side that knows what crossed the wire, including resends).
     """
@@ -77,7 +78,9 @@ class UnitTiming:
     blob_cache_hits: int = 0
     #: referenced digests that had to be decoded from the dispatch
     blob_cache_misses: int = 0
-    #: pid of the worker that ran the unit (0 = coordinator serial path)
+    #: pid of the process that ran the unit — a worker's, or the
+    #: coordinator's own for serial fallbacks (every executed unit is
+    #: attributable to a real track; 0 only on never-run placeholders)
     worker_pid: int = 0
     #: digests the worker evicted while absorbing this unit's dispatch
     evicted: Tuple[int, ...] = ()
@@ -85,6 +88,13 @@ class UnitTiming:
     bytes_shipped: int = 0
     #: blobs shipped for this unit (all dispatch attempts)
     blobs_sent: int = 0
+    #: raw-clock worker spans ``(name, cat, start, end, args)`` collected
+    #: when the dispatch asked for tracing (see :mod:`repro.obs.spans`);
+    #: the coordinator re-bases them onto its trace timeline
+    spans: Tuple[tuple, ...] = ()
+    #: worker-process counter delta for this unit, as sorted
+    #: ``(name, amount)`` pairs (see :mod:`repro.obs.metrics`)
+    metrics: Tuple[Tuple[str, int], ...] = ()
 
 
 @dataclass

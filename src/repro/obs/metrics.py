@@ -1,0 +1,156 @@
+"""Run-wide mergeable metrics: one snapshot per record/replay.
+
+Two pieces:
+
+* A **process-global** :class:`~repro.sim.stats.StatsRegistry`
+  (:func:`process_stats`) that execution code increments with dotted
+  names (``"exec.epochs"``, ``"replay.verify_failures"``…). Counters
+  are cheap dict increments and only rare events are instrumented, so
+  the always-on cost is negligible (gated by
+  ``benchmarks/bench_obs_overhead.py``).
+* :class:`RunMetrics` — a hierarchical ``group → counter → number``
+  snapshot assembled at the end of a run from (a) the coordinator's
+  counter *delta* over the run, (b) counters drained out of worker
+  processes, and (c) the host executor's wire/fault accounting.
+  Exposed on ``RecordResult.metrics`` / ``ReplayResult.metrics``.
+
+**The worker round-trip.** Counters incremented inside worker processes
+used to be silently lost — each spawn-fresh worker had its own registry
+and nobody ever read it. Now the worker task clears the process
+registry when a unit starts and drains it (snapshot + clear) into
+``UnitTiming.metrics`` when the unit finishes; the coordinator folds
+harvested metrics into its own registry as results merge. Clearing at
+task start means an aborted previous task can never leak partial
+counters into the next unit, and dropped results (cancelled divergence
+tails, crashed attempts) drop their counters with them — which is
+exactly what keeps ``jobs=1`` and ``jobs=N`` metrics identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.sim.stats import StatsRegistry
+
+#: this process's execution counters (coordinator or worker)
+_process = StatsRegistry()
+
+
+def process_stats() -> StatsRegistry:
+    """The process-global counter registry."""
+    return _process
+
+
+def drain_process() -> Dict[str, int]:
+    """Snapshot and clear the process registry (worker task boundary)."""
+    snap = _process.snapshot()
+    _process.clear()
+    return snap
+
+
+def delta_since(baseline: Mapping[str, int]) -> Dict[str, int]:
+    """Counters accumulated in this process since ``baseline`` was taken."""
+    now = _process.snapshot()
+    delta = {}
+    for name, value in now.items():
+        diff = value - baseline.get(name, 0)
+        if diff:
+            delta[name] = diff
+    return delta
+
+
+class RunMetrics:
+    """A hierarchical, mergeable ``group → counter → number`` snapshot."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, StatsRegistry] = {}
+
+    def group(self, name: str) -> StatsRegistry:
+        """The named group's registry (created on first use)."""
+        registry = self._groups.get(name)
+        if registry is None:
+            registry = self._groups[name] = StatsRegistry()
+        return registry
+
+    def add(self, group: str, name: str, amount=1) -> None:
+        self.group(group).add(name, amount)
+
+    def get(self, group: str, name: str, default=0):
+        registry = self._groups.get(group)
+        if registry is None or name not in registry:
+            return default
+        return registry.get(name)
+
+    def merge_group(self, group: str, mapping: Optional[Mapping]) -> None:
+        """Fold a mapping's *numeric scalars* into ``group``.
+
+        Non-numeric values (per-unit lists, event dicts) are host detail
+        that stays on the ``host`` accounting dict, not in metrics.
+        """
+        if not mapping:
+            return
+        registry = self.group(group)
+        for name, value in mapping.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                registry.add(name, value)
+
+    def merge(self, other: "RunMetrics") -> None:
+        for group, registry in other._groups.items():
+            self.group(group).merge(registry)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Plain nested dicts, sorted — for reports and assertions."""
+        return {
+            group: dict(self._groups[group].items())
+            for group in sorted(self._groups)
+        }
+
+    def flat(self) -> Dict[str, int]:
+        """``{"group.counter": value}`` — for tables and quick diffing."""
+        return {
+            f"{group}.{name}": value
+            for group, counters in self.snapshot().items()
+            for name, value in counters.items()
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Mapping]) -> "RunMetrics":
+        metrics = cls()
+        for group, counters in snapshot.items():
+            metrics.merge_group(group, counters)
+        return metrics
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{group}={dict(reg.items())}" for group, reg in sorted(self._groups.items())
+        )
+        return f"RunMetrics({inner})"
+
+
+def build_run_metrics(
+    counter_delta: Mapping[str, int],
+    host: Optional[Mapping] = None,
+    **groups: Mapping,
+) -> RunMetrics:
+    """Assemble one run's :class:`RunMetrics` snapshot.
+
+    ``counter_delta`` is the dotted-name process delta (split into
+    groups on the first ``.``); ``host`` is the executor's
+    ``timing_summary()`` (its numeric scalars plus the nested ``wire``
+    and ``faults`` dicts); extra keyword groups merge verbatim (the
+    recorder passes its recording stats as ``record=...``).
+    """
+    metrics = RunMetrics()
+    for name, value in counter_delta.items():
+        group, _, key = name.partition(".")
+        if key:
+            metrics.add(group, key, value)
+        else:
+            metrics.add("misc", group, value)
+    if host:
+        metrics.merge_group("host", host)
+        metrics.merge_group("wire", host.get("wire"))
+        metrics.merge_group("faults", host.get("faults"))
+    for group, mapping in groups.items():
+        metrics.merge_group(group, mapping)
+    return metrics

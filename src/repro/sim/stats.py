@@ -1,9 +1,11 @@
 """Counters and aggregates collected during simulation.
 
-Engines increment named counters (instructions retired, pages copied,
-syscalls logged...) through a :class:`StatsRegistry`. The analysis layer
-reads the registry to build the paper's tables; tests read it to assert
-cost-model behaviour without reaching into engine internals.
+Execution code increments named counters (epochs run, syscalls
+injected, threads spawned...) through a :class:`StatsRegistry`. The
+observability layer (:mod:`repro.obs.metrics`) keeps one registry per
+*process* — coordinator and every worker — and merges worker registries
+back through unit results, so ``jobs>1`` runs lose nothing; tests read
+registries to assert behaviour without reaching into engine internals.
 """
 
 from __future__ import annotations
@@ -38,6 +40,10 @@ class StatsRegistry:
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of all counters (for reports and assertions)."""
         return dict(self._counters)
+
+    def clear(self) -> None:
+        """Drop every counter (worker task boundaries drain-and-clear)."""
+        self._counters.clear()
 
     def items(self) -> Iterator[Tuple[str, int]]:
         return iter(sorted(self._counters.items()))

@@ -314,6 +314,81 @@ def test_goldens_survive_blob_cache_starvation(
         _shutdown_pool()
 
 
+# Observability parity: a live tracer may never influence an execution.
+# With tracing on, the recording must stay byte-identical to the untraced
+# run — serially and through worker processes — and the exported timeline
+# must pass schema validation (monotonic, non-overlapping spans per
+# track) and be complete: every epoch the run executed has exactly one
+# execute span. (name, workers, jobs)
+OBS_PARITY = [
+    ("pbzip", 2, 1),
+    ("pbzip", 2, 4),
+    ("fft", 3, 1),
+    ("racy-counter", 2, 4),
+]
+
+
+@pytest.mark.parametrize("name,workers,jobs", OBS_PARITY)
+def test_goldens_survive_tracing(tmp_path, name, workers, jobs):
+    from repro.obs import export as obs_export
+    from repro.obs import spans as obs_spans
+
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+        host_jobs=jobs,
+    )
+    untraced = DoublePlayRecorder(instance.image, instance.setup, config).record()
+
+    trace_path = tmp_path / "trace.json"
+    obs_spans.start_trace(str(trace_path))
+    try:
+        traced = DoublePlayRecorder(
+            instance.image, instance.setup, config
+        ).record()
+    finally:
+        tracer = obs_spans.stop_trace()
+    payload = obs_export.write_chrome_trace(tracer, str(trace_path))
+
+    # Tracing is invisible to the execution: byte-identical recording,
+    # identical stats, and the committed goldens.
+    assert json.dumps(traced.recording.to_plain(), sort_keys=True) == json.dumps(
+        untraced.recording.to_plain(), sort_keys=True
+    )
+    assert traced.stats == untraced.stats
+    observed = (
+        native.duration,
+        native.final_digest,
+        traced.makespan,
+        traced.recording.epoch_count(),
+        traced.recording.final_digest,
+        combine_hashes([e.end_digest for e in traced.recording.epochs]),
+        traced.recording.total_log_bytes(),
+    )
+    assert observed == GOLDEN[(name, workers)]
+
+    # The timeline is schema-valid and complete.
+    assert obs_export.validate_trace(payload) == []
+    executes = [
+        e for e in payload["traceEvents"]
+        if e.get("ph") == "X" and e["name"] == "execute"
+    ]
+    # One execute span per epoch attempt the run kept (cancelled
+    # divergence tails drop their spans with their results, exactly as
+    # they drop their counters) — so spans and merged counters agree.
+    assert len(executes) == traced.metrics.get("exec", "epochs")
+    # Both runs merged the same execution counters back.
+    assert traced.metrics.snapshot()["exec"] == untraced.metrics.snapshot()["exec"]
+    if jobs > 1:
+        coordinator = payload["otherData"]["coordinator_pid"]
+        assert any(e["pid"] != coordinator for e in executes), (
+            "no execute span ever landed on a worker track"
+        )
+
+
 def test_goldens_survive_forced_blob_misses(monkeypatch):
     """An over-optimistic coordinator self-corrects via NeedBlobs.
 

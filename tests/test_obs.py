@@ -1,0 +1,360 @@
+"""The observability layer: spans, mergeable metrics, Perfetto export.
+
+The layer's contract is one-way glass — it may observe everything and
+influence nothing. These tests cover the pieces in isolation (tracer
+clock re-basing, RunMetrics merging, export schema, timeline analysis)
+and the cross-process plumbing end to end: worker counters survive the
+round-trip, serial and parallel runs report identical execution
+metrics, every executed unit is attributable to a real pid, and the
+CLI round-trips a trace through ``record --trace`` / ``trace
+summarize``.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.baselines import run_native
+from repro.cli import main as cli_main
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.machine.config import MachineConfig
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.metrics import RunMetrics, build_run_metrics
+from repro.sim.stats import StatsRegistry
+from repro.workloads import build_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """No test may leak an active tracer into the next."""
+    yield
+    assert obs_spans.current() is None, "test leaked an active tracer"
+    obs_spans.stop_trace()
+
+
+def _record(name="pbzip", workers=2, jobs=1, scale=2, seed=11):
+    instance = build_workload(name, workers=workers, scale=scale, seed=seed)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+        host_jobs=jobs,
+    )
+    return (
+        DoublePlayRecorder(instance.image, instance.setup, config).record(),
+        instance,
+        machine,
+    )
+
+
+# ---------------------------------------------------------------------------
+# StatsRegistry / RunMetrics
+# ---------------------------------------------------------------------------
+
+
+def test_stats_registry_clear():
+    registry = StatsRegistry()
+    registry.add("a")
+    registry.add("b", 5)
+    registry.clear()
+    assert registry.snapshot() == {}
+
+
+def test_run_metrics_merge_and_flat():
+    left = RunMetrics()
+    left.add("exec", "epochs", 3)
+    left.add("wire", "bytes_shipped", 100)
+    right = RunMetrics()
+    right.add("exec", "epochs", 2)
+    right.add("faults", "crashes", 1)
+    left.merge(right)
+    assert left.snapshot() == {
+        "exec": {"epochs": 5},
+        "faults": {"crashes": 1},
+        "wire": {"bytes_shipped": 100},
+    }
+    assert left.flat() == {
+        "exec.epochs": 5,
+        "faults.crashes": 1,
+        "wire.bytes_shipped": 100,
+    }
+    assert left.get("exec", "epochs") == 5
+    assert left.get("exec", "missing", default=-1) == -1
+    assert RunMetrics.from_snapshot(left.snapshot()).snapshot() == left.snapshot()
+
+
+def test_merge_group_keeps_only_numeric_scalars():
+    metrics = RunMetrics()
+    metrics.merge_group(
+        "host",
+        {"jobs": 4, "units": 7, "unit_pids": [1, 2], "wire": {"x": 1},
+         "flag": True},
+    )
+    assert metrics.snapshot() == {"host": {"jobs": 4, "units": 7}}
+
+
+def test_build_run_metrics_groups_dotted_names_and_host():
+    metrics = build_run_metrics(
+        {"exec.epochs": 2, "exec.epoch_cycles": 900, "stray": 1},
+        host={
+            "jobs": 2,
+            "units": 2,
+            "wire": {"bytes_shipped": 10, "blobs_sent": 1},
+            "faults": {"crashes": 0},
+        },
+        record={"epochs": 2, "fault_message": "not a number"},
+    )
+    snap = metrics.snapshot()
+    assert snap["exec"] == {"epochs": 2, "epoch_cycles": 900}
+    assert snap["misc"] == {"stray": 1}
+    assert snap["host"] == {"jobs": 2, "units": 2}
+    assert snap["wire"] == {"bytes_shipped": 10, "blobs_sent": 1}
+    assert snap["record"] == {"epochs": 2}
+
+
+def test_delta_since_reports_only_growth():
+    stats = obs_metrics.process_stats()
+    baseline = stats.snapshot()
+    stats.add("obs_test.counter", 3)
+    delta = obs_metrics.delta_since(baseline)
+    assert delta["obs_test.counter"] == 3
+    assert all(key == "obs_test.counter" or value for key, value in delta.items())
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+def test_span_is_noop_when_disabled():
+    assert not obs_spans.enabled()
+    with obs_spans.span("execute", obs_spans.CAT_EPOCH, epoch=0):
+        pass  # must not raise, must not record anywhere
+
+
+def test_tracer_records_and_clamps():
+    tracer = obs_spans.start_trace()
+    try:
+        with obs_spans.span("execute", obs_spans.CAT_EPOCH, epoch=7):
+            pass
+        tracer.add("weird", obs_spans.CAT_WIRE, start=2.0, end=1.0)
+    finally:
+        obs_spans.stop_trace()
+    assert [s.name for s in tracer.spans] == ["execute", "weird"]
+    execute = tracer.spans[0]
+    assert execute.args == {"epoch": 7}
+    assert execute.track == tracer.pid
+    assert 0.0 <= execute.start <= execute.end
+    # end is clamped to start: duration can never go negative
+    assert tracer.spans[1].duration == 0.0
+
+
+def test_ingest_rebases_worker_spans_onto_coordinator_clock():
+    tracer = obs_spans.start_trace()
+    obs_spans.stop_trace()
+    log = obs_spans.WorkerSpanLog()
+    raw = tracer.origin + 0.5
+    log.add("execute", obs_spans.CAT_EPOCH, raw, raw + 0.25, epoch=3)
+    log.add("wire-decode", obs_spans.CAT_WIRE, tracer.origin - 5.0,
+            tracer.origin - 4.0)
+    tracer.ingest(log.export(), track=4242, annotate={"bytes_shipped": 99})
+    execute, decode = tracer.spans
+    assert execute.track == 4242
+    assert execute.start == pytest.approx(0.5)
+    assert execute.end == pytest.approx(0.75)
+    # the coordinator's wire-cost annotation lands on epoch spans only
+    assert execute.args == {"epoch": 3, "bytes_shipped": 99}
+    assert decode.args == {}
+    # a pathological pre-origin stamp clamps to the trace start
+    assert decode.start == 0.0 and decode.end == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Export / validation / analysis
+# ---------------------------------------------------------------------------
+
+
+def _crafted_tracer():
+    tracer = obs_spans.start_trace()
+    obs_spans.stop_trace()
+    # coordinator: a segment then two commits
+    tracer.add("tp-run", obs_spans.CAT_SEGMENT, 0.0, 0.010)
+    tracer.add("commit", obs_spans.CAT_COMMIT, 0.030, 0.031, args={"epoch": 0})
+    # two workers executing epochs that overlap in time
+    tracer.add("execute", obs_spans.CAT_EPOCH, 0.010, 0.030, track=101,
+               args={"epoch": 0, "kind": "record", "bytes_shipped": 10})
+    tracer.add("execute", obs_spans.CAT_EPOCH, 0.012, 0.028, track=102,
+               args={"epoch": 1, "kind": "record", "bytes_shipped": 20})
+    return tracer
+
+
+def test_chrome_trace_structure(tmp_path):
+    tracer = _crafted_tracer()
+    path = tmp_path / "trace.json"
+    payload = obs_export.write_chrome_trace(tracer, str(path))
+    assert obs_export.load_trace(str(path)) == payload
+    assert obs_export.validate_trace(payload) == []
+
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    names = {e["pid"]: e["args"]["name"] for e in meta
+             if e["name"] == "process_name"}
+    assert names[tracer.pid] == "coordinator"
+    assert names[101] == "worker 101" and names[102] == "worker 102"
+    sort_index = {e["pid"]: e["args"]["sort_index"] for e in meta
+                  if e["name"] == "process_sort_index"}
+    assert sort_index[tracer.pid] == 0  # coordinator track on top
+
+    events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert len(events) == 4
+    execute = next(e for e in events if e["pid"] == 101)
+    assert execute["ts"] == pytest.approx(10000.0)
+    assert execute["dur"] == pytest.approx(20000.0)
+    assert execute["args"]["bytes_shipped"] == 10
+    assert payload["otherData"]["coordinator_pid"] == tracer.pid
+
+
+def test_validate_trace_catches_overlap_and_bad_events():
+    tracer = obs_spans.start_trace()
+    obs_spans.stop_trace()
+    tracer.add("a", obs_spans.CAT_EPOCH, 0.0, 0.010, track=7)
+    tracer.add("b", obs_spans.CAT_EPOCH, 0.005, 0.015, track=7)  # overlaps a
+    payload = obs_export.chrome_trace(tracer)
+    problems = obs_export.validate_trace(payload)
+    assert any("overlaps" in problem for problem in problems)
+
+    assert obs_export.validate_trace([]) != []
+    broken = {"traceEvents": [{"ph": "X", "name": "x"}]}
+    assert any("missing" in p for p in obs_export.validate_trace(broken))
+    negative = {"traceEvents": [
+        {"name": "x", "cat": "epoch", "ph": "X", "ts": -1, "dur": 1,
+         "pid": 1, "tid": 0},
+    ]}
+    assert any("negative ts" in p for p in obs_export.validate_trace(negative))
+
+
+def test_summarize_trace_overlap_ratio():
+    payload = obs_export.chrome_trace(_crafted_tracer())
+    summary = obs_export.summarize_trace(payload, top=1)
+    assert summary["epochs"] == 2
+    assert summary["spans"] == 4
+    # busy 20ms + 16ms over a 20ms union: 1.8x overlap
+    assert summary["overlap_ratio"] == pytest.approx(1.8)
+    assert summary["tracks"][101]["execute_spans"] == 1
+    assert len(summary["top_epochs"]) == 1
+    assert summary["top_epochs"][0]["epoch"] == 0
+    assert summary["straggler"]["epoch"] == 0  # finishes last at 30ms
+    rendered = obs_export.render_summary(summary)
+    assert "overlap ratio 1.80" in rendered
+    assert "slowest epochs:" in rendered
+    assert "straggler:" in rendered
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: worker metrics round-trip, pid attribution, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_worker_metrics_match_serial_metrics():
+    serial, _, _ = _record(jobs=1)
+    parallel, _, _ = _record(jobs=4)
+    # Worker counters ride home on unit results, so the execution groups
+    # are identical — losing them (the old behaviour) would zero these.
+    assert serial.metrics.snapshot()["exec"] == parallel.metrics.snapshot()["exec"]
+    assert serial.metrics.get("exec", "epochs") > 0
+    assert serial.metrics.get("exec", "epoch_cycles") > 0
+    # and the parallel run additionally reports its wire traffic
+    assert parallel.metrics.get("wire", "bytes_shipped") > 0
+    assert parallel.metrics.get("host", "jobs") == 4
+
+
+def test_replay_metrics_round_trip():
+    result, instance, machine = _record(jobs=1)
+    replayer = Replayer(instance.image, machine)
+    sequential = replayer.replay_sequential(result.recording)
+    assert sequential.verified
+    assert sequential.metrics.get("replay", "epochs") == (
+        result.recording.epoch_count()
+    )
+    # jobs=1 and jobs=2 run the same fresh-engine strategy, so worker
+    # counters merged from unit results must equal the in-process ones.
+    # (Sequential counts continuous-engine deltas — a different strategy
+    # with different boundary costs — so only its epoch count is pinned.)
+    replayer.materialize_checkpoints(result.recording)
+    serial = replayer.replay_parallel(result.recording, jobs=1)
+    parallel = replayer.replay_parallel(result.recording, jobs=2)
+    assert parallel.verified
+    assert parallel.metrics.get("replay", "epochs") == (
+        result.recording.epoch_count()
+    )
+    assert parallel.metrics.get("replay", "epoch_cycles") == (
+        serial.metrics.get("replay", "epoch_cycles")
+    )
+
+
+def test_every_unit_attributed_to_a_real_pid():
+    result, _, _ = _record(jobs=2)
+    pids = result.host["unit_pids"]
+    assert len(pids) == result.host["units"]
+    assert all(pid > 0 for pid in pids)
+    assert all(pid != os.getpid() for pid in pids)  # pool units, not serial
+
+
+def test_serial_fallback_units_attributed_to_coordinator(monkeypatch):
+    # A persistent crash on unit 1 exhausts the retry and lands on the
+    # serial fallback, which must stamp the coordinator's own pid — the
+    # bug was a 0 placeholder left in place on exactly these paths.
+    monkeypatch.setenv("REPRO_FAULT", "crash:unit1")
+    result, _, _ = _record(name="fft", jobs=2)
+    assert result.host["faults"]["serial_fallbacks"] >= 1
+    pids = result.host["unit_pids"]
+    assert all(pid > 0 for pid in pids)
+    assert os.getpid() in pids
+
+
+def test_cli_record_trace_and_summarize(tmp_path, monkeypatch):
+    trace_path = tmp_path / "out.json"
+    out = io.StringIO()
+    rc = cli_main(
+        ["record", "pbzip", "--scale", "2", "--jobs", "2",
+         "--trace", str(trace_path)],
+        out=out,
+    )
+    assert rc == 0
+    text = out.getvalue()
+    assert f"wrote trace to {trace_path}" in text
+    assert "host wire:" in text
+    assert obs_spans.current() is None  # CLI stopped its trace
+
+    payload = obs_export.load_trace(str(trace_path))
+    assert obs_export.validate_trace(payload) == []
+
+    out = io.StringIO()
+    rc = cli_main(["trace", "summarize", str(trace_path), "--top", "3"], out=out)
+    assert rc == 0
+    rendered = out.getvalue()
+    assert "overlap ratio" in rendered
+    assert "worker" in rendered  # epochs ran on pool workers, not inline
+
+    # an invalid trace is reported, not summarized
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "X", "name": "x"}]}))
+    out = io.StringIO()
+    assert cli_main(["trace", "summarize", str(bad)], out=out) == 1
+    assert "invalid trace" in out.getvalue()
+
+
+def test_cli_trace_env_fallback(tmp_path, monkeypatch):
+    trace_path = tmp_path / "env_trace.json"
+    monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+    out = io.StringIO()
+    rc = cli_main(["record", "fft", "--scale", "2"], out=out)
+    assert rc == 0
+    assert f"wrote trace to {trace_path}" in out.getvalue()
+    payload = obs_export.load_trace(str(trace_path))
+    assert obs_export.validate_trace(payload) == []
+    assert obs_spans.current() is None
