@@ -181,21 +181,54 @@ def _trace_path(args) -> Optional[str]:
 
 class _TraceScope:
     """Starts span tracing around a record/replay and writes the Chrome
-    trace on the way out (even when the run raises)."""
+    trace on the way out (even when the run raises).
+
+    The written payload also embeds the run's interpreter counters
+    (superblock fusion, ops retired) as a snapshot delta over the scope,
+    so ``repro trace summarize`` can report fusion engagement without
+    re-running anything.
+    """
+
+    #: dotted counters worth shipping in a timeline (keep it small: the
+    #: trace is the artifact, not a metrics dump). ``superblock.`` is a
+    #: whole-group prefix.
+    _COUNTER_KEYS = ("superblock.", "exec.ops_executed")
 
     def __init__(self, path: Optional[str]):
         self.path = path
+        self._baseline: dict = {}
 
     def __enter__(self):
         if self.path:
+            from repro.obs import metrics as obs_metrics
+
+            self._baseline = obs_metrics.process_stats().snapshot()
             obs_spans.start_trace(self.path)
         return self
+
+    def _counters(self) -> dict:
+        """Scope-delta of the kept counters, nested ``{group: {key: n}}``."""
+        from repro.obs import metrics as obs_metrics
+
+        current = obs_metrics.process_stats().snapshot()
+        delta: dict = {}
+        for dotted, value in current.items():
+            if not any(
+                dotted == kept or (kept.endswith(".") and dotted.startswith(kept))
+                for kept in self._COUNTER_KEYS
+            ):
+                continue
+            change = value - self._baseline.get(dotted, 0)
+            if change:
+                group, key = dotted.split(".", 1)
+                delta.setdefault(group, {})[key] = change
+        return delta
 
     def __exit__(self, *exc):
         if self.path:
             tracer = obs_spans.stop_trace()
             if tracer is not None:
-                write_chrome_trace(tracer, self.path)
+                write_chrome_trace(tracer, self.path, counters=self._counters())
         return False
 
 
@@ -347,7 +380,15 @@ def cmd_trace(args, out) -> int:
         for problem in problems:
             print(f"  {problem}", file=out)
         return 1
-    print(render_summary(summarize_trace(payload, top=args.top)), file=out)
+    summary = summarize_trace(payload, top=args.top)
+    print(render_summary(summary), file=out)
+    if args.min_overlap is not None and summary["overlap_ratio"] < args.min_overlap:
+        print(
+            f"overlap ratio {summary['overlap_ratio']:.2f} below required "
+            f"{args.min_overlap:.2f}",
+            file=out,
+        )
+        return 1
     return 0
 
 
@@ -415,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument(
         "--top", type=int, default=5,
         help="how many slowest epochs to list (default 5)")
+    summarize_parser.add_argument(
+        "--min-overlap", type=float, default=None, metavar="RATIO",
+        help="fail (exit 1) when the epoch overlap ratio is below RATIO "
+             "— the CI gate for pipelined epoch commit")
 
     diagnose_parser = commands.add_parser(
         "diagnose", help="explain a recording's rollbacks (racing addresses)"

@@ -33,6 +33,17 @@ def default_unit_timeout() -> float:
         return 60.0
 
 
+def pipelined_commit_enabled() -> bool:
+    """Speculative epoch dispatch during the thread-parallel run.
+
+    ``REPRO_PIPELINE=0`` disables the two-deep commit pipeline and
+    restores the strictly phased segment flow (thread-parallel run
+    first, then every epoch dispatch). Recordings are bit-identical
+    either way; only wall-clock overlap changes.
+    """
+    return os.environ.get("REPRO_PIPELINE", "") != "0"
+
+
 def _default_host_jobs() -> int:
     """Default host-process count: the ``REPRO_TEST_JOBS`` env var, else 1.
 

@@ -16,7 +16,7 @@ An epoch executor re-runs one epoch of the program on one simulated CPU:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.core.divergence import DivergenceReport, compare_epoch_end
@@ -52,6 +52,12 @@ class EpochRunResult:
     #: thread-parallel hints — goes into the recording, so replay pins the
     #: committed execution's grant decisions exactly.
     committed_sync: SyncOrderLog = SyncOrderLog()
+    #: sync objects the grant oracle consulted past its recorded order
+    #: (missing or exhausted queue). A speculative run on *truncated*
+    #: hints is bit-identical to the full-suffix run unless one of these
+    #: objects has hint events past the truncation cut — the recorder's
+    #: speculation validity check (see ``DoublePlayRecorder``).
+    starved: Tuple[int, ...] = ()
 
 
 def run_epoch(
@@ -150,6 +156,7 @@ def _run_epoch(
             duration=engine.time,
             reason=f"mid-epoch divergence: {signal.reason}",
             syscalls_consumed=injector.consumed,
+            starved=_oracle_starvation(engine),
         )
     report = compare_epoch_end(engine, boundary)
     duration = outcome.duration + report.check_cost
@@ -163,6 +170,7 @@ def _run_epoch(
             reason="end-state mismatch: " + "; ".join(report.details[:3]),
             report=report,
             syscalls_consumed=injector.consumed,
+            starved=_oracle_starvation(engine),
         )
     return EpochRunResult(
         epoch_index=epoch_index,
@@ -173,4 +181,13 @@ def _run_epoch(
         report=report,
         syscalls_consumed=injector.consumed,
         committed_sync=committed_sync,
+        starved=_oracle_starvation(engine),
     )
+
+
+def _oracle_starvation(engine: UniprocessorEngine) -> Tuple[int, ...]:
+    """The run's starved sync objects (empty when hints were off)."""
+    oracle = getattr(engine.sync, "oracle", None)
+    if oracle is None:
+        return ()
+    return tuple(sorted(oracle.starved))

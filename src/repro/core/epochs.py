@@ -26,6 +26,16 @@ class FixedEpochPolicy:
     def should_checkpoint(self, time: int) -> bool:
         return time - self._last_boundary >= self.epoch_cycles
 
+    def next_boundary(self) -> int:
+        """The exact time at which ``should_checkpoint`` starts firing.
+
+        The invariant ``should_checkpoint(t) == (t >= next_boundary())``
+        lets the engines run fused superblocks up to the boundary instead
+        of re-evaluating the stop check after every op (the ``stop_after``
+        contract of ``MulticoreEngine.run``).
+        """
+        return self._last_boundary + self.epoch_cycles
+
     def note_checkpoint(self, time: int) -> None:
         self._last_boundary = time
 
@@ -49,6 +59,10 @@ class AdaptiveEpochPolicy(FixedEpochPolicy):
     def should_checkpoint(self, time: int) -> bool:
         divisor = self.RAMP[min(self._epoch_index, len(self.RAMP) - 1)]
         return time - self._last_boundary >= max(self.epoch_cycles // divisor, 1)
+
+    def next_boundary(self) -> int:
+        divisor = self.RAMP[min(self._epoch_index, len(self.RAMP) - 1)]
+        return self._last_boundary + max(self.epoch_cycles // divisor, 1)
 
     def note_checkpoint(self, time: int) -> None:
         super().note_checkpoint(time)

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.checkpoint.manager import CheckpointManager
-from repro.core.config import DoublePlayConfig
+from repro.core.config import DoublePlayConfig, pipelined_commit_enabled
 from repro.core.epoch_runner import run_epoch
 from repro.core.epochs import AdaptiveEpochPolicy, FixedEpochPolicy
 from repro.core.pipeline import (
@@ -127,6 +127,7 @@ class DoublePlayRecorder:
         syscall_log: List[SyscallRecord],
         signal_log: List,
         first_epoch_index: int,
+        preloaded: Optional[Dict[int, tuple]] = None,
     ):
         """Yield ``(position, EpochRunResult)`` for a segment, in order.
 
@@ -137,7 +138,9 @@ class DoublePlayRecorder:
         a divergence at position *k* cancels everything after it. Both
         paths stop after the first failure; both produce identical result
         streams, because epoch execution is a deterministic function of
-        the checkpoints and logs.
+        the checkpoints and logs. ``preloaded`` carries the segment's
+        validated speculative results (parallel path only — speculation
+        requires an executor).
         """
         positions = len(checkpoints) - 1
         if executor is None or positions <= 1:
@@ -179,7 +182,68 @@ class DoublePlayRecorder:
             first_epoch_index,
             self.config.use_sync_hints,
         )
-        yield from executor.run_record_units(self.program, self.machine, batch)
+        yield from executor.run_record_units(
+            self.program, self.machine, batch, preloaded=preloaded
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _speculation_valid(
+        result,
+        cuts: tuple,
+        boundary_cp: Checkpoint,
+        hints: List,
+        syscall_log: List[SyscallRecord],
+        signal_log: List,
+    ) -> bool:
+        """May a speculative result stand in for the full-knowledge run?
+
+        The unit ran on snapshots cut mid-segment — hints truncated at
+        ``c_hint``, logs at ``c_sys``/``c_sig`` — while the full-knowledge
+        unit would see the segment-complete hints suffix and logs. The
+        speculative run is bit-identical to that run iff nothing arriving
+        after its cuts could ever have been consulted:
+
+        * The epoch's replay consumes syscall records with per-thread seq
+          in ``[start.syscall_count, boundary.syscall_count)`` — exactly.
+          The call straddling the boundary (seq == boundary count, logged
+          at its later completion) is deliberately never re-issued
+          (``boundary_blocked`` excludes syscalls), and a count below the
+          boundary's means the call completed — and was logged — before
+          the boundary checkpoint was taken, i.e. before any later cut.
+          A late record inside the window therefore cannot normally
+          exist; the floor check below enforces that invariant rather
+          than assumes it. Signal deliveries are keyed by per-thread
+          retired count and the same monotonicity argument applies.
+        * A sync object the grant oracle starved on (consulted past its
+          truncated queue) must have no hint events past the cut. The
+          first grant decision where a truncated run differs from the
+          full-suffix run is always such a consult, so no starved object
+          with later events ⇒ every decision was identical.
+
+        A failed run stops at its first divergence, so the rule covers
+        failures too: a *validated* failure is a real divergence and goes
+        straight to forward recovery, exactly as at ``jobs=1``.
+        """
+        c_hint, c_sys, c_sig = cuts
+        sys_floor = {
+            tid: ctx.syscall_count for tid, ctx in boundary_cp.contexts.items()
+        }
+        for record in syscall_log[c_sys:]:
+            if record.seq < sys_floor.get(record.tid, 0):
+                return False
+        sig_floor = {
+            tid: ctx.retired for tid, ctx in boundary_cp.contexts.items()
+        }
+        for record in signal_log[c_sig:]:
+            if record[1] < sig_floor.get(record[0], 0):
+                return False
+        if result.starved:
+            starved = set(result.starved)
+            for _, addr, _ in hints[c_hint:]:
+                if addr in starved:
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     def record(self) -> RecordResult:
@@ -251,42 +315,97 @@ class DoublePlayRecorder:
             segment_app_start = engine.time
             segment_checkpoints: List[Checkpoint] = [committed]
             hint_marks: List[int] = [0]
+            session = None
+            if executor is not None and pipelined_commit_enabled():
+                session = executor.speculative_session(
+                    self.program, self.machine
+                )
+            #: speculated position -> (hint cut, syscall cut, signal cut)
+            spec_cuts: Dict[int, tuple] = {}
 
             fault = None
             tracer = obs_spans.current()
-            tp_span_start = tracer.now() if tracer is not None else 0.0
-            while True:
-                status = engine.run(
-                    stop_check=lambda e: policy.should_checkpoint(e.time)
-                )
-                checkpoint = manager.take(engine, index=next_cp_index)
-                next_cp_index += 1
-                policy.note_checkpoint(engine.time)
-                segment_checkpoints.append(checkpoint)
-                hint_marks.append(len(hints))
-                if status == "faulted":
-                    # A crash ends recording at this boundary: the epochs
-                    # up to here commit, and replay reproduces the program
-                    # state at the instant before the crash.
-                    fault = engine.fault
-                    break
-                if engine.all_exited():
-                    break
+            try:
+                while True:
+                    tp_span_start = tracer.now() if tracer is not None else 0.0
+                    status = engine.run(
+                        stop_check=lambda e: policy.should_checkpoint(e.time),
+                        stop_after=policy.next_boundary(),
+                    )
+                    checkpoint = manager.take(engine, index=next_cp_index)
+                    next_cp_index += 1
+                    policy.note_checkpoint(engine.time)
+                    segment_checkpoints.append(checkpoint)
+                    hint_marks.append(len(hints))
+                    if tracer is not None:
+                        tracer.add(
+                            "tp-epoch", obs_spans.CAT_SEGMENT,
+                            tp_span_start, tracer.now(),
+                            args={
+                                "epoch": epoch_index
+                                + len(segment_checkpoints) - 2,
+                                "position": len(segment_checkpoints) - 2,
+                            },
+                        )
+                    if status == "faulted":
+                        # A crash ends recording at this boundary: the
+                        # epochs up to here commit, and replay reproduces
+                        # the program state the instant before the crash.
+                        fault = engine.fault
+                        break
+                    if engine.all_exited():
+                        break
+                    # --------------------------------------------------
+                    # Two-deep commit pipeline: once boundary p+2 exists,
+                    # epoch p's unit ships to the pool while the
+                    # thread-parallel run executes ahead. Its hints and
+                    # logs are snapshots cut *now*; whether the result
+                    # may stand in for the full-knowledge run is decided
+                    # at segment end (``_speculation_valid``).
+                    # --------------------------------------------------
+                    if session is not None and len(segment_checkpoints) >= 3:
+                        from repro.host.wire import speculative_record_unit
+
+                        position = len(segment_checkpoints) - 3
+                        unit = speculative_record_unit(
+                            position,
+                            epoch_index + position,
+                            segment_checkpoints[position],
+                            segment_checkpoints[position + 1],
+                            tuple(hints[hint_marks[position] :]),
+                            syscall_log,
+                            signal_log,
+                            config.use_sync_hints,
+                            session.blobs,
+                        )
+                        spec_cuts[position] = (
+                            len(hints), len(syscall_log), len(signal_log)
+                        )
+                        session.push(unit)
+            except BaseException:
+                if session is not None:
+                    session.close()
+                raise
 
             segment_tp_finish = engine.time
-            if tracer is not None:
-                tracer.add(
-                    "tp-run", obs_spans.CAT_SEGMENT,
-                    tp_span_start, tracer.now(),
-                    args={
-                        "first_epoch": epoch_index,
-                        "epochs": len(segment_checkpoints) - 1,
-                    },
-                )
 
             # ----------------------------------------------------------
             # Epoch-parallel execution of the segment's epochs.
             # ----------------------------------------------------------
+            preloaded: Dict[int, tuple] = {}
+            if session is not None:
+                for position, outcome in session.harvest().items():
+                    if self._speculation_valid(
+                        outcome[0],
+                        spec_cuts[position],
+                        segment_checkpoints[position + 1],
+                        hints,
+                        syscall_log,
+                        signal_log,
+                    ):
+                        preloaded[position] = outcome
+                    else:
+                        executor.speculation["invalidated"] += 1
             diverged_at: Optional[int] = None
             recovery = None
             attempt_duration = 0
@@ -299,6 +418,7 @@ class DoublePlayRecorder:
                 syscall_log,
                 signal_log,
                 epoch_index,
+                preloaded=preloaded,
             )
             for position, result in epoch_results:
                 start_cp = segment_checkpoints[position]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GuestFault, SimulationError
+from repro.exec import superblock
 from repro.exec.interpreter import decode_program
 from repro.exec.services import LiveSyscalls
 from repro.exec.trace import TraceEvent, TraceObserver
@@ -47,6 +48,10 @@ class BaseEngine:
         self.program = program
         #: per-pc ``(handler, instr)`` pairs; the interpreter's fetch+decode
         self.decoded = decode_program(program)
+        #: per-pc superblock table (or None when fusion is disabled); the
+        #: engines enter a fused handler only at a block head with no
+        #: pending event — see :mod:`repro.exec.superblock`
+        self.fused = superblock.table_for(program, config.costs)
         self.config = config
         self.costs = config.costs
         self.mem = mem
@@ -73,6 +78,11 @@ class BaseEngine:
         self.injected_signals: Dict[Tuple[int, int], int] = {}
         self.ops = 0
         self._now = 0
+        #: superblock telemetry for the current run (fused handler calls,
+        #: ops retired fused, early exits); flushed by _flush_exec_stats
+        self._sb_calls = 0
+        self._sb_ops = 0
+        self._sb_exits = 0
         #: set when the guest faulted: the GuestFault that ended the run.
         #: Faults are clean op boundaries (the faulting op applied no
         #: effects), so a faulted execution checkpoints and replays up to
@@ -340,3 +350,21 @@ class BaseEngine:
             raise SimulationError(
                 f"execution exceeded {self.config.max_ops} ops (infinite loop?)"
             )
+
+    def _flush_exec_stats(self, ops_delta: int) -> None:
+        """Publish per-run execution counters to the process stats.
+
+        Called once per engine run (from a ``finally``, so divergences and
+        faults still report); the superblock counters are accumulated by
+        the subclasses' fused-dispatch paths.
+        """
+        if not ops_delta and not self._sb_calls:
+            return
+        stats = obs_metrics.process_stats()
+        if ops_delta:
+            stats.add("exec.ops_executed", ops_delta)
+        if self._sb_calls:
+            stats.add("superblock.fused_calls", self._sb_calls)
+            stats.add("superblock.fused_ops", self._sb_ops)
+            stats.add("superblock.fallback_exits", self._sb_exits)
+            self._sb_calls = self._sb_ops = self._sb_exits = 0

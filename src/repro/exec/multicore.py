@@ -122,6 +122,7 @@ class MulticoreEngine(BaseEngine):
     def run(
         self,
         stop_check: Optional[Callable[["MulticoreEngine"], bool]] = None,
+        stop_after: Optional[int] = None,
     ) -> str:
         """Execute until completion or until ``stop_check`` fires.
 
@@ -130,25 +131,56 @@ class MulticoreEngine(BaseEngine):
         be checkpointed and resumed), or ``"faulted"`` when the guest
         crashed and ``halt_on_fault`` is set. Raises
         :class:`DeadlockError` when nothing can ever run again.
+
+        ``stop_after`` is an optional caller promise that ``stop_check(e)``
+        is exactly ``e.time >= stop_after`` (the epoch policies expose the
+        value as ``next_boundary()``); fused superblocks are then bounded
+        by the remaining cycles instead of being disabled.
         """
+        ops_before = self.ops
+        try:
+            return self._run_loop(stop_check, stop_after)
+        finally:
+            self._flush_exec_stats(self.ops - ops_before)
+
+    def _run_loop(
+        self,
+        stop_check: Optional[Callable[["MulticoreEngine"], bool]],
+        stop_after: Optional[int],
+    ) -> str:
         cores = self.cores
         contexts = self.contexts
         ready = self._ready
         next_event_fn = self.services.next_event_time
         max_ops = self.config.max_ops
         running = ThreadStatus.RUNNING
+        fused_table = self.fused
+        may_fuse = (
+            fused_table is not None
+            and not self.observers
+            and self.access_interceptor is None
+            and (stop_check is None or stop_after is not None)
+        )
+        table_len = len(fused_table) if fused_table is not None else 0
         while True:
             if self.live_threads == 0:
                 return "done"
             if ready:
                 self._dispatch()
-            # earliest busy core; strict < keeps the lowest-cid tie-break
+            # earliest busy core; strict < keeps the lowest-cid tie-break.
+            # The runner-up's time bounds any fused run from above, so
+            # tracking it here makes the common lock-step gate failure a
+            # single comparison instead of a full bound computation.
             core = None
+            runner = None
             for candidate in cores:
-                if candidate.tid is not None and (
-                    core is None or candidate.time < core.time
-                ):
+                if candidate.tid is None:
+                    continue
+                if core is None or candidate.time < core.time:
+                    runner = core
                     core = candidate
+                elif runner is None or candidate.time < runner.time:
+                    runner = candidate
             if core is None:
                 next_event = next_event_fn()
                 if next_event is None:
@@ -169,6 +201,97 @@ class MulticoreEngine(BaseEngine):
                 self._process_wakeups(core_time)
                 continue
             ctx = contexts[core.tid]
+            if may_fuse and 0 <= ctx.pc < table_len:
+                site = fused_table[ctx.pc]
+                if (
+                    site is not None
+                    # Fast reject: the exact window is at most the gap to
+                    # the runner-up core plus the tie-break cycle, so a
+                    # gap smaller than the block's minimum cost can never
+                    # pass the full gate below.
+                    and (
+                        runner is None
+                        or runner.time + 1 - core_time >= site.min_cost
+                    )
+                    and ctx.blocked is None
+                    and ctx.pending_grant is None
+                    and not ctx.pending_signals
+                    and not self.injected_signals
+                ):
+                    if max_ops - self.ops >= site.length:
+                        # Whole-block-or-nothing: every bound must leave
+                        # room for the block's static minimum cost, else
+                        # generic dispatch handles the op (measured
+                        # lock-step windows are 2-3 ops wide; fusing
+                        # prefixes that short costs more than it saves).
+                        # Cheap bounds first; the core scan exits at the
+                        # first core that makes the gate fail (the common
+                        # lock-step case costs one comparison).
+                        min_cost = site.min_cost
+                        cost_max = 1 << 62
+                        if next_event is not None:
+                            cost_max = next_event - core_time
+                        if ready and core.quantum_left < cost_max:
+                            cost_max = core.quantum_left
+                        if stop_after is not None:
+                            room = stop_after - core_time
+                            if room < cost_max:
+                                cost_max = room
+                        if cost_max >= min_cost:
+                            # The fused run must stop while this core is
+                            # still the earliest (global memory order is
+                            # core-time order): strictly below every
+                            # lower-cid busy core, at-or-below every
+                            # higher-cid one.
+                            for other in cores:
+                                if other is core or other.tid is None:
+                                    continue
+                                room = other.time - core_time
+                                if other.cid > core.cid:
+                                    room += 1
+                                if room < cost_max:
+                                    if room < min_cost:
+                                        cost_max = -1
+                                        break
+                                    cost_max = room
+                        else:
+                            cost_max = -1
+                        handler = None
+                        if cost_max >= min_cost:
+                            # Count an entry toward compilation only when
+                            # it would actually fuse: blocks whose windows
+                            # never fit (lock-step phases) stay cold and
+                            # never pay ``compile()``.
+                            handler = site.handler
+                            if handler is None:
+                                site.count -= 1
+                                if site.count <= 0:
+                                    handler = site.compile()
+                        if handler is not None:
+                            n, cum, fault = handler(self, ctx, cost_max)
+                            self.ops += n
+                            self._sb_calls += 1
+                            self._sb_ops += n
+                            if n < site.length:
+                                self._sb_exits += 1
+                            core_time += cum
+                            core.time = core_time
+                            core.quantum_left -= cum
+                            if core_time > self.time:
+                                self.time = core_time
+                            if fault is not None:
+                                self._now = core_time
+                                if not self.halt_on_fault:
+                                    raise fault
+                                self.fault = fault
+                                return "faulted"
+                            if core.quantum_left <= 0 and ready:
+                                ctx.status = ThreadStatus.READY
+                                ready.append((ctx.tid, core_time))
+                                core.tid = None
+                            if stop_check is not None and stop_check(self):
+                                return "stopped"
+                            continue
             self._now = core_time
             try:
                 cost = step(self, ctx)

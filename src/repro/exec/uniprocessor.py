@@ -39,6 +39,9 @@ from repro.memory.address_space import AddressSpace
 from repro.oskernel.sync import SyncManager
 from repro.record.schedule_log import ScheduleLog
 
+#: cost bound meaning "no cycle budget" for a fused run (replay mode)
+_UNBOUNDED_COST = 1 << 62
+
 
 class EpochOutcome:
     """Result of a captured uniprocessor run."""
@@ -222,6 +225,7 @@ class UniprocessorEngine(BaseEngine):
     def run(
         self,
         stop_check: Optional[Callable[["UniprocessorEngine"], bool]] = None,
+        stop_after: Optional[int] = None,
     ) -> EpochOutcome:
         """Run with the engine's own scheduling, capturing the schedule.
 
@@ -230,7 +234,24 @@ class UniprocessorEngine(BaseEngine):
         :class:`DivergenceSignal`. Without targets, runs until every
         thread exits. ``stop_check`` ends the run early with status
         ``"stopped"`` (used by forward recovery's epoch re-execution).
+
+        ``stop_after`` is an optional caller promise about ``stop_check``:
+        it guarantees ``stop_check(e)`` is exactly ``e.time >= stop_after``
+        (the epoch policies expose the value as ``next_boundary()``).
+        Fused superblocks are then bounded by the remaining cycles instead
+        of being disabled whenever a stop check is installed.
         """
+        ops_before = self.ops
+        try:
+            return self._run_capture(stop_check, stop_after)
+        finally:
+            self._flush_exec_stats(self.ops - ops_before)
+
+    def _run_capture(
+        self,
+        stop_check: Optional[Callable[["UniprocessorEngine"], bool]],
+        stop_after: Optional[int],
+    ) -> EpochOutcome:
         schedule = ScheduleLog()
         self._run_ops = 0
         if self.targets is not None:
@@ -249,6 +270,14 @@ class UniprocessorEngine(BaseEngine):
         next_event_fn = self.services.next_event_time
         has_events = getattr(self.services, "HAS_EVENTS", True)
         running = ThreadStatus.RUNNING
+        fused_table = self.fused
+        may_fuse = (
+            fused_table is not None
+            and not self.observers
+            and self.access_interceptor is None
+            and (stop_check is None or stop_after is not None)
+        )
+        table_len = len(fused_table) if fused_table is not None else 0
         while not stopped:
             if self._all_done():
                 return EpochOutcome("complete", schedule, self.time)
@@ -293,6 +322,86 @@ class UniprocessorEngine(BaseEngine):
                     next_event = next_event_fn()
                     if next_event is not None and next_event <= self.time:
                         self._process_wakeups(self.time)
+                if may_fuse and 0 <= ctx.pc < table_len:
+                    site = fused_table[ctx.pc]
+                    if (
+                        site is not None
+                        and ctx.blocked is None
+                        and ctx.pending_grant is None
+                        and not ctx.pending_signals
+                        and not self.injected_signals
+                    ):
+                        # Fuse only when the whole block fits inside
+                        # every bound at which the generic loop would
+                        # stop, raise, or interpose an event — a
+                        # truncated fused run costs more than it saves
+                        # and falls back to generic dispatch instead.
+                        length = site.length
+                        cost_max = budget
+                        if has_events and next_event is not None:
+                            room = next_event - self.time
+                            if room < cost_max:
+                                cost_max = room
+                        if stop_after is not None:
+                            room = stop_after - self.time
+                            if room < cost_max:
+                                cost_max = room
+                        if (
+                            cost_max >= site.min_cost
+                            and max_ops - self.ops >= length
+                            and (
+                                op_budget is None
+                                or op_budget - self._run_ops >= length
+                            )
+                            and (
+                                target is None
+                                or target - ctx.retired >= length
+                            )
+                        ):
+                            # Compilation counts only entries that would
+                            # fuse, so blocks starved by their bounds
+                            # never pay ``compile()``.
+                            handler = site.handler
+                            if handler is None:
+                                site.count -= 1
+                                if site.count <= 0:
+                                    handler = site.compile()
+                            if handler is not None:
+                                n, cum, fault = handler(self, ctx, cost_max)
+                                self.ops += n
+                                self._run_ops += n
+                                self.time += cum
+                                budget -= cum
+                                self._sb_calls += 1
+                                self._sb_ops += n
+                                if n < site.length:
+                                    self._sb_exits += 1
+                                if fault is not None:
+                                    self._now = self.time
+                                    if targets is not None:
+                                        raise DivergenceSignal(
+                                            "guest faulted during epoch "
+                                            f"re-execution: {fault}"
+                                        )
+                                    if not self.halt_on_fault:
+                                        raise fault
+                                    self.fault = fault
+                                    if ctx.retired > retired_at_start:
+                                        schedule.append(
+                                            tid,
+                                            ctx.retired - retired_at_start,
+                                            False,
+                                        )
+                                    return EpochOutcome(
+                                        "faulted",
+                                        schedule,
+                                        self.time,
+                                        reason=str(fault),
+                                    )
+                                if stop_check is not None and stop_check(self):
+                                    stopped = True
+                                    break
+                                continue
                 self._now = self.time
                 retired_before = ctx.retired
                 try:
@@ -372,7 +481,21 @@ class UniprocessorEngine(BaseEngine):
         Raises :class:`ReplayError` on any departure — a correct recording
         replayed on the starting state it was captured from never departs.
         """
+        ops_before = self.ops
+        try:
+            return self._run_schedule(schedule)
+        finally:
+            self._flush_exec_stats(self.ops - ops_before)
+
+    def _run_schedule(self, schedule: ScheduleLog) -> int:
         max_ops = self.config.max_ops
+        fused_table = self.fused
+        may_fuse = (
+            fused_table is not None
+            and not self.observers
+            and self.access_interceptor is None
+        )
+        table_len = len(fused_table) if fused_table is not None else 0
         for timeslice in schedule:
             ctx = self.contexts.get(timeslice.tid)
             if ctx is None:
@@ -417,6 +540,43 @@ class UniprocessorEngine(BaseEngine):
                         f"thread {timeslice.tid} became {ctx.status.value} "
                         f"after {executed}/{timeslice.ops} ops of its slice"
                     )
+                if may_fuse and 0 <= ctx.pc < table_len:
+                    site = fused_table[ctx.pc]
+                    if (
+                        site is not None
+                        # Cheapest bound first: short slices (contended
+                        # replays) reject most probes, so the slice-room
+                        # compare runs before the status-flag chain.
+                        and timeslice.ops - executed >= site.length
+                        and ctx.blocked is None
+                        and ctx.pending_grant is None
+                        and not ctx.pending_signals
+                        and not self.injected_signals
+                    ):
+                        handler = site.handler
+                        if handler is None:
+                            site.count -= 1
+                            if site.count <= 0:
+                                handler = site.compile()
+                        if handler is not None and (
+                            max_ops - self.ops >= site.length
+                        ):
+                            # Replay has no cycle budget: only the slice's
+                            # remaining op count and max_ops gate fusion
+                            # (fused ops always retire, so the mid-slice
+                            # blocking check cannot be skipped over).
+                            n, cum, fault = handler(self, ctx, _UNBOUNDED_COST)
+                            self.ops += n
+                            self.time += cum
+                            executed += n
+                            self._sb_calls += 1
+                            self._sb_ops += n
+                            if n < site.length:
+                                self._sb_exits += 1
+                            if fault is not None:
+                                self._now = self.time
+                                raise fault
+                            continue
                 retired_before = ctx.retired
                 self._now = self.time
                 cost = step(self, ctx)

@@ -76,6 +76,7 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -299,6 +300,26 @@ class UnitDispatch:
 #: so ``REPRO_BLOB_CACHE_MB`` is read in the worker, not inherited state)
 _worker_blobs: Optional[BlobCache] = None
 
+#: decoded :class:`~repro.isa.program.ProgramImage` objects pinned per
+#: worker process, keyed by program blob digest. The blob cache already
+#: dedupes decoded blobs, but it is byte-budgeted and may evict the
+#: program — and re-decoding an image also throws away the decode and
+#: superblock tables lazily rebuilt on its ``__dict__`` (both are
+#: stripped at the pickle boundary). Pinning a handful of images keeps
+#: those tables memoised once per image per process.
+_worker_programs: Dict[int, object] = {}
+_WORKER_PROGRAM_CAP = 4
+
+
+def _worker_program(digest: int, resolve) -> object:
+    program = _worker_programs.get(digest)
+    if program is None:
+        program = resolve(digest)
+        while len(_worker_programs) >= _WORKER_PROGRAM_CAP:
+            _worker_programs.pop(next(iter(_worker_programs)))
+        _worker_programs[digest] = program
+    return program
+
 
 def _worker_cache() -> BlobCache:
     global _worker_blobs
@@ -327,7 +348,7 @@ def _absorb_dispatch(dispatch: UnitDispatch):
     for digest in dispatch.required_digests():
         if digest in dispatch.blobs:
             misses += 1
-        elif cache.has(digest):
+        elif cache.has(digest) or digest in _worker_programs:
             hits += 1
         else:
             missing.append(digest)
@@ -468,7 +489,7 @@ def _record_task(dispatch: UnitDispatch):
                 cache_misses=timing.blob_cache_misses,
             )
         result, wall, cpu = _run_record_body(
-            resolve(dispatch.program_digest),
+            _worker_program(dispatch.program_digest, resolve),
             dispatch.machine,
             unit,
             start,
@@ -536,7 +557,7 @@ def _replay_task(dispatch: UnitDispatch):
                 cache_misses=timing.blob_cache_misses,
             )
         value, wall, cpu = _run_replay_body(
-            resolve(dispatch.program_digest),
+            _worker_program(dispatch.program_digest, resolve),
             dispatch.machine,
             unit,
             start,
@@ -620,6 +641,11 @@ class HostExecutor:
         self.unit_timings: List[Tuple[str, int, UnitTiming]] = []
         #: coordinator seconds spent building + submitting dispatches
         self.dispatch_wall = 0.0
+        #: same work measured on the dispatching thread's CPU clock —
+        #: wall inflates under timesharing (workers compete for cores
+        #: while the coordinator builds dispatches), so models of an
+        #: uncontended host should use this instead
+        self.dispatch_cpu = 0.0
         #: containment counters (crashes, timeouts, task_errors, retries,
         #: serial_fallbacks) — surfaced via ``timing_summary()``
         self.counters: Dict[str, int] = dict.fromkeys(
@@ -631,6 +657,16 @@ class HostExecutor:
         #: NeedBlobs turnarounds (benign cache-coherence traffic, never a
         #: fault — kept out of ``counters`` so clean-run assertions hold)
         self.blob_resends = 0
+        #: two-deep commit pipeline accounting (see
+        #: :class:`SpeculativeSession`): units dispatched during the
+        #: thread-parallel run, how many results were accepted into the
+        #: merge, invalidated by late-arriving log/hint events, or
+        #: discarded for host reasons (crash, timeout, NeedBlobs, task
+        #: error). Kept out of ``counters`` — speculation failures are
+        #: never faults, just discarded wall-clock.
+        self.speculation: Dict[str, int] = dict.fromkeys(
+            ("dispatched", "accepted", "invalidated", "discarded"), 0
+        )
 
     def _pool(self) -> ProcessPoolExecutor:
         if not self._private:
@@ -759,7 +795,7 @@ class HostExecutor:
             }
         )
 
-    def _submit_missing(self, task_fn, batch, futures, done, start) -> None:
+    def _submit_missing(self, task_fn, batch, futures, done, start, skip=None) -> None:
         """Keep the submission window full of live futures from ``start``.
 
         Dispatches are built lazily, at most ~2 per worker ahead of the
@@ -771,6 +807,7 @@ class HostExecutor:
         breakage, and waiting on it attributes the failure and rebuilds.
         """
         t0 = time.perf_counter()
+        c0 = time.thread_time()
         tracer = obs_spans.current()
         try:
             pool = self._pool()
@@ -779,6 +816,8 @@ class HostExecutor:
             live = sum(1 for f in futures.values() if not f.done())
             for position in range(start, len(batch.units)):
                 if position in done or position in futures:
+                    continue
+                if skip and position in skip:
                     continue
                 if position > start and live >= window:
                     break
@@ -803,10 +842,12 @@ class HostExecutor:
             pass
         finally:
             self.dispatch_wall += time.perf_counter() - t0
+            self.dispatch_cpu += time.thread_time() - c0
 
     def _resend_with_blobs(self, task_fn, batch, futures, position) -> bool:
         """Re-dispatch one unit with its full blob set after a NeedBlobs."""
         t0 = time.perf_counter()
+        c0 = time.thread_time()
         tracer = obs_spans.current()
         span_start = tracer.now() if tracer else 0.0
         bytes_before = batch.bytes_shipped[position]
@@ -830,6 +871,7 @@ class HostExecutor:
             return False
         finally:
             self.dispatch_wall += time.perf_counter() - t0
+            self.dispatch_cpu += time.thread_time() - c0
 
     @staticmethod
     def _harvest(futures, done) -> None:
@@ -844,7 +886,8 @@ class HostExecutor:
         futures.clear()
 
     def _run_units(
-        self, kind: str, task_fn, unit_fn, batch: _Batch, stop_on=None
+        self, kind: str, task_fn, unit_fn, batch: _Batch, stop_on=None,
+        preloaded: Optional[Dict[int, tuple]] = None,
     ) -> Iterator[Tuple[int, object]]:
         """Yield ``(position, value)`` in position order with containment.
 
@@ -855,6 +898,13 @@ class HostExecutor:
         unit serially in the coordinator via ``unit_fn``. ``stop_on(value)``
         truthy cancels everything still pending and ends the batch (the
         record path's divergence exit).
+
+        ``preloaded`` maps positions to validated ``(value, timing)``
+        outcomes already produced by the speculative pipeline; those
+        positions are never dispatched. Their observability ingest and
+        timing records happen here, at consume time in merge order, so a
+        divergence at an earlier position drops them exactly as it would
+        have cancelled a dispatch — ``jobs=1`` metric parity.
         """
         n = len(batch.units)
         done: Dict[int, tuple] = {}
@@ -864,10 +914,25 @@ class HostExecutor:
         next_pos = 0
         try:
             while next_pos < n:
+                if preloaded and next_pos in preloaded:
+                    value, timing = preloaded.pop(next_pos)
+                    self.speculation["accepted"] += 1
+                    self._ingest_observability(timing)
+                    self.unit_timings.append((kind, next_pos, timing))
+                    if stop_on is not None and stop_on(value):
+                        for pending in futures.values():
+                            pending.cancel()
+                        yield next_pos, value
+                        return
+                    yield next_pos, value
+                    next_pos += 1
+                    continue
                 failure = None
                 outcome = done.pop(next_pos, None)
                 if outcome is None:
-                    self._submit_missing(task_fn, batch, futures, done, next_pos)
+                    self._submit_missing(
+                        task_fn, batch, futures, done, next_pos, skip=preloaded
+                    )
                     future = futures.pop(next_pos, None)
                     if future is None:
                         failure = WorkerCrashError(
@@ -976,7 +1041,8 @@ class HostExecutor:
 
     # ------------------------------------------------------------------
     def run_record_units(
-        self, program, machine, batch: UnitBatch
+        self, program, machine, batch: UnitBatch,
+        preloaded: Optional[Dict[int, tuple]] = None,
     ) -> Iterator[Tuple[int, EpochRunResult]]:
         """Yield ``(position, result)`` in position order.
 
@@ -984,7 +1050,9 @@ class HostExecutor:
         units — exactly the serial loop's early exit. Worker crashes,
         hangs, and exceptions are contained per unit (retry once, then
         serial fallback), so the stream always completes and is always
-        bit-identical to the serial path.
+        bit-identical to the serial path. ``preloaded`` carries validated
+        speculative outcomes (see :class:`SpeculativeSession`) consumed
+        in place of a dispatch.
         """
         state = self._begin_batch("record", program, machine, batch)
         yield from self._run_units(
@@ -993,7 +1061,12 @@ class HostExecutor:
             _record_unit,
             state,
             stop_on=lambda result: not result.ok,
+            preloaded=preloaded,
         )
+
+    def speculative_session(self, program, machine) -> "SpeculativeSession":
+        """A per-segment speculative dispatch session (commit pipeline)."""
+        return SpeculativeSession(self, program, machine)
 
     def run_replay_units(
         self, program, machine, batch: UnitBatch
@@ -1019,8 +1092,10 @@ class HostExecutor:
             "unit_cpu": [round(t.cpu, 6) for t in timings],
             "unit_pids": [t.worker_pid for t in timings],
             "dispatch_wall": round(self.dispatch_wall, 6),
+            "dispatch_cpu": round(self.dispatch_cpu, 6),
             "faults": dict(self.counters),
             "fault_events": list(self.fault_events),
+            "speculation": dict(self.speculation),
             "wire": {
                 "bytes_shipped": sum(t.bytes_shipped for t in timings),
                 "blobs_sent": sum(t.blobs_sent for t in timings),
@@ -1030,3 +1105,202 @@ class HostExecutor:
                 "unit_bytes": [t.bytes_shipped for t in timings],
             },
         }
+
+
+class SpeculativeSession:
+    """One segment's speculative record-unit dispatches (commit pipeline).
+
+    The recorder creates a session per segment when the two-deep commit
+    pipeline is on. :meth:`push` ships one epoch unit to the pool *while
+    the thread-parallel run is still producing later epochs* — strictly
+    non-blocking, so a broken pool or full queue costs nothing but the
+    speculation. :meth:`harvest` collects results at segment end.
+
+    The session never retries, never counts faults, and never kills a
+    pool: a speculative attempt that crashes, hangs, misses blobs, or
+    raises is simply discarded, and the position runs again through the
+    full-knowledge batch with the pool's normal containment. Cache-mirror
+    acks are applied at harvest (the worker really did absorb the
+    blobs), but observability ingest and timing records are deferred to
+    the merge — a discarded or never-consumed result leaves no trace in
+    the run metrics, which is what keeps ``jobs=1`` and ``jobs=N``
+    metrics identical.
+    """
+
+    def __init__(self, executor: HostExecutor, program, machine):
+        self.executor = executor
+        digest, blob = executor._program_wire(program)
+        self._batch = _Batch(
+            program=program,
+            machine=machine,
+            program_digest=digest,
+            units=[],
+            blobs={digest: blob},
+        )
+
+        #: segment position -> {"future": Future|None, "index": int}
+        self._entries: Dict[int, Dict[str, object]] = {}
+        #: indices pushed before the pool was up, awaiting submission
+        self._deferred: List[int] = []
+        #: set by the warm-up thread; read (GIL-atomic) by push/harvest
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._warm = threading.Thread(target=self._warm_pool, daemon=True)
+        self._warm.start()
+
+    @property
+    def blobs(self) -> Dict[int, bytes]:
+        """The session-shared blob set speculative units intern into."""
+        return self._batch.blobs
+
+    def _warm_pool(self) -> None:
+        """Bring the worker pool up off the thread-parallel run's path.
+
+        Spawning worker processes costs ~a second of wall — paid inline
+        it would stall the guest at the first speculative dispatch. The
+        warm-up overlaps the thread-parallel run instead; pushes arriving
+        before the pool is ready are buffered and flushed the moment it
+        is (or at harvest, whichever comes first). A failed spawn leaves
+        ``_pool`` unset: the buffered units are discarded at harvest and
+        the batch path reports the pool problem the normal way.
+        """
+        try:
+            self._pool = self.executor._pool()
+        except Exception:
+            pass
+
+    def _submit(self, index: int, pool: ProcessPoolExecutor) -> None:
+        """Dispatch one buffered unit; never raises (None future = lost)."""
+        executor = self.executor
+        batch = self._batch
+        unit = batch.units[index]
+        t0 = time.perf_counter()
+        c0 = time.thread_time()
+        tracer = obs_spans.current()
+        span_start = tracer.now() if tracer is not None else 0.0
+        future = None
+        try:
+            dispatch = executor._make_dispatch(
+                batch, index, pids=_pool_pids(pool)
+            )
+            future = pool.submit(_record_task, dispatch)
+        except Exception:
+            future = None
+        finally:
+            executor.dispatch_wall += time.perf_counter() - t0
+            executor.dispatch_cpu += time.thread_time() - c0
+        if tracer is not None and future is not None:
+            tracer.add(
+                "dispatch",
+                obs_spans.CAT_WIRE,
+                span_start,
+                tracer.now(),
+                args={
+                    "position": unit.position,
+                    "bytes": batch.bytes_shipped[index],
+                    "speculative": True,
+                },
+            )
+        self._entries[unit.position]["future"] = future
+
+    def push(self, unit) -> None:
+        """Dispatch one speculative unit; non-blocking, never raises."""
+        executor = self.executor
+        batch = self._batch
+        unit.faults = fault_injection.faults_for(
+            executor._fault_specs, "record", unit.position
+        )
+        index = len(batch.units)
+        batch.units.append(unit)
+        batch.bytes_shipped.append(0)
+        batch.blobs_sent.append(0)
+        batch.last_shipped.append(set())
+        executor.speculation["dispatched"] += 1
+        self._entries[unit.position] = {"future": None, "index": index}
+        # Fold finished speculations into the cache mirror *before*
+        # building this dispatch: without this, every mid-segment
+        # dispatch sees the tracker as it stood at segment start (acks
+        # normally arrive at harvest) and re-ships the full blob set —
+        # measured at ~100x the steady-state dispatch cost on
+        # page-heavy workloads. ``done()`` keeps the sweep non-blocking.
+        for entry in self._entries.values():
+            future = entry["future"]
+            if future is not None and future.done():
+                self._settle(entry, timeout=0)
+        pool = self._pool
+        if pool is None:
+            self._deferred.append(index)
+            return
+        while self._deferred:
+            self._submit(self._deferred.pop(0), pool)
+        self._submit(index, pool)
+
+    def _settle(self, entry: Dict[str, object], timeout) -> None:
+        """Resolve one future and apply its cache-mirror ack, exactly once.
+
+        Leaves ``entry["outcome"] = (value, timing)`` with ``value`` of
+        ``None`` for anything discardable (crash, timeout, NeedBlobs,
+        failed submission); idempotent so the eager sweep in
+        :meth:`push` and the final pass in :meth:`harvest` compose.
+        """
+        if "outcome" in entry:
+            return
+        executor, batch = self.executor, self._batch
+        future = entry["future"]
+        index = entry["index"]
+        value = timing = None
+        if future is not None:
+            try:
+                _, value, timing = future.result(timeout=timeout)
+            except Exception:
+                future.cancel()
+                value = None
+        if isinstance(value, NeedBlobs):
+            executor._apply_ack(
+                value.worker_pid,
+                batch.last_shipped[index],
+                set(value.evicted) | set(value.missing),
+            )
+            value = None
+        if value is not None and not isinstance(value, WorkerTaskError):
+            executor._apply_ack(
+                timing.worker_pid, batch.last_shipped[index], timing.evicted
+            )
+        entry["outcome"] = (value, timing)
+
+    def harvest(self) -> Dict[int, Tuple[object, UnitTiming]]:
+        """Wait for every speculative future; return the good outcomes.
+
+        Anything else — worker crash, timeout, NeedBlobs, task error,
+        failed submission — is discarded here and the position falls
+        through to the full-knowledge dispatch.
+        """
+        executor, batch = self.executor, self._batch
+        self._warm.join()
+        pool = self._pool
+        if pool is not None:
+            while self._deferred:
+                self._submit(self._deferred.pop(0), pool)
+        self._deferred.clear()
+        outcomes: Dict[int, Tuple[object, UnitTiming]] = {}
+        timeout = executor.unit_timeout or None
+        for position in sorted(self._entries):
+            entry = self._entries[position]
+            self._settle(entry, timeout)
+            value, timing = entry["outcome"]
+            index = entry["index"]
+            if value is None or isinstance(value, WorkerTaskError):
+                executor.speculation["discarded"] += 1
+                continue
+            timing.bytes_shipped = batch.bytes_shipped[index]
+            timing.blobs_sent = batch.blobs_sent[index]
+            outcomes[position] = (value, timing)
+        self._entries.clear()
+        return outcomes
+
+    def close(self) -> None:
+        """Abandon whatever is still in flight (error-path hygiene)."""
+        for entry in self._entries.values():
+            future = entry["future"]
+            if future is not None:
+                future.cancel()
+        self._entries.clear()

@@ -356,6 +356,46 @@ def record_units_for_segment(
     return UnitBatch(units, blobs)
 
 
+def speculative_record_unit(
+    position: int,
+    epoch_index: int,
+    start: Checkpoint,
+    boundary: Checkpoint,
+    hints_window: Sequence[tuple],
+    syscall_log: Sequence[SyscallRecord],
+    signal_log: Sequence[tuple],
+    use_sync_hints: bool,
+    blobs: Dict[int, bytes],
+) -> object:
+    """Package one epoch for *speculative* dispatch during the TP run.
+
+    Unlike :func:`record_units_for_segment` the segment is still being
+    produced, so the unit ships snapshots cut at dispatch time: the hint
+    window ``hints[mark:cut]`` as its own tuple (``sync_start=0``) and
+    log slices taken from the *current* log prefixes. The recorder
+    validates at segment end that nothing arriving after the cut could
+    have been consulted (see ``DoublePlayRecorder``); blob interning
+    goes through the session-shared ``blobs`` dict so consecutive
+    speculative units dedupe their checkpoint pages.
+    """
+    syscalls_ref = intern_object(syscall_slice(syscall_log, start), blobs)
+    signals_ref = intern_object(signal_slice(signal_log, start), blobs)
+    hints_ref = intern_object(tuple(hints_window), blobs)
+    _intern_pages(start, blobs)
+    _intern_pages(boundary, blobs)
+    return RecordEpochUnit(
+        position=position,
+        epoch_index=epoch_index,
+        start=start.to_wire(),
+        boundary=boundary.wire_delta(start),
+        syscalls=syscalls_ref,
+        signals=signals_ref,
+        sync_events=hints_ref,
+        sync_start=0,
+        use_sync_hints=use_sync_hints,
+    )
+
+
 def replay_units_for_recording(recording) -> UnitBatch:
     """Package every committed epoch of a recording for parallel replay.
 

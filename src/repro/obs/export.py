@@ -34,8 +34,14 @@ def _us(seconds: float) -> float:
     return round(seconds * 1e6, 3)
 
 
-def chrome_trace(tracer: Tracer) -> dict:
-    """The tracer's spans as a Chrome trace-event payload (plain dict)."""
+def chrome_trace(tracer: Tracer, counters: Optional[dict] = None) -> dict:
+    """The tracer's spans as a Chrome trace-event payload (plain dict).
+
+    ``counters`` (optional, ``{group: {key: value}}``) rides along under
+    ``otherData["counters"]`` — run-scoped execution counters (fused
+    superblock ops, total ops retired) that ``repro trace summarize``
+    reports beside the timeline.
+    """
     events: List[dict] = []
     track_order: List[int] = []
     for record in tracer.spans:
@@ -79,19 +85,24 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "args": dict(record.args),
             }
         )
+    other: dict = {
+        "tool": "repro",
+        "coordinator_pid": tracer.pid,
+    }
+    if counters:
+        other["counters"] = counters
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "tool": "repro",
-            "coordinator_pid": tracer.pid,
-        },
+        "otherData": other,
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> dict:
+def write_chrome_trace(
+    tracer: Tracer, path: str, counters: Optional[dict] = None
+) -> dict:
     """Export the tracer to ``path``; returns the payload written."""
-    payload = chrome_trace(tracer)
+    payload = chrome_trace(tracer, counters=counters)
     with open(path, "w") as handle:
         json.dump(payload, handle)
     return payload
@@ -224,6 +235,20 @@ def summarize_trace(payload: dict, top: int = 5) -> dict:
         straggler = dict(
             _epoch_row(last), finish_us=round(last["ts"] + last["dur"], 3)
         )
+    counters = (payload.get("otherData") or {}).get("counters") or {}
+    superblocks: Optional[dict] = None
+    if counters.get("superblock") or counters.get("exec", {}).get("ops_executed"):
+        sb = counters.get("superblock", {})
+        ops = counters.get("exec", {}).get("ops_executed", 0)
+        fused_ops = sb.get("fused_ops", 0)
+        superblocks = {
+            "blocks_compiled": sb.get("blocks_compiled", 0),
+            "fused_calls": sb.get("fused_calls", 0),
+            "fused_ops": fused_ops,
+            "fallback_exits": sb.get("fallback_exits", 0),
+            "ops_executed": ops,
+            "fused_share": round(fused_ops / ops, 3) if ops else 0.0,
+        }
     return {
         "spans": spans,
         "epochs": len(executes),
@@ -233,6 +258,7 @@ def summarize_trace(payload: dict, top: int = 5) -> dict:
         "tracks": {pid: tracks[pid] for pid in sorted(tracks)},
         "top_epochs": [_epoch_row(e) for e in slowest],
         "straggler": straggler,
+        "superblocks": superblocks,
     }
 
 
@@ -263,5 +289,15 @@ def render_summary(summary: dict) -> str:
         lines.append(
             f"straggler: epoch {row['epoch']} on {row['track']} finished "
             f"last at {row['finish_us']:.0f}us"
+        )
+    superblocks = summary.get("superblocks")
+    if superblocks:
+        lines.append(
+            f"superblocks: {superblocks['fused_ops']} of "
+            f"{superblocks['ops_executed']} op(s) fused "
+            f"({superblocks['fused_share']:.0%}) in "
+            f"{superblocks['fused_calls']} call(s), "
+            f"{superblocks['blocks_compiled']} block(s) compiled, "
+            f"{superblocks['fallback_exits']} fallback exit(s)"
         )
     return "\n".join(lines)

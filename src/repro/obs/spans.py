@@ -22,9 +22,12 @@ Design constraints, in order:
 
 Span taxonomy (``cat`` → names):
 
-* ``segment`` — ``tp-run``: one thread-parallel segment execution on
-  the coordinator (live kernel, checkpoints, hint capture).
-* ``wire`` — ``dispatch`` (build + submit one unit, coordinator),
+* ``segment`` — ``tp-epoch``: one epoch's slice of the thread-parallel
+  run on the coordinator (live kernel, checkpoints, hint capture),
+  emitted boundary-to-boundary so the timeline shows which epoch the
+  TP run was producing while the commit pipeline worked behind it.
+* ``wire`` — ``dispatch`` (build + submit one unit, coordinator;
+  ``args["speculative"]`` marks mid-segment pipeline dispatches),
   ``blob-resend`` (full re-dispatch after a worker's ``NeedBlobs``),
   ``wire-decode`` (absorb the dispatch into the worker's blob cache
   and hydrate the checkpoints, worker side).

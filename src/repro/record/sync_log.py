@@ -12,7 +12,7 @@ from one epoch's slice of the acquisition stream.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 #: (kind, object address, acquiring tid)
 AcquisitionEvent = Tuple[str, int, int]
@@ -70,13 +70,21 @@ class SyncOrderOracle:
         self._cursors: Dict[int, int] = defaultdict(int)
         #: acquisitions that happened out of hinted order (diagnostics)
         self.violations = 0
+        #: objects consulted past their recorded order (the queue was
+        #: missing or exhausted). Every behavioural difference between a
+        #: run on truncated hints and one on the full suffix *begins*
+        #: with such a consult, so this set is what makes speculative
+        #: epoch dispatch validatable (see ``DoublePlayRecorder``).
+        self.starved: Set[int] = set()
 
     def next_turn(self, addr: int) -> Optional[int]:
         queue = self._queues.get(addr)
         if queue is None:
+            self.starved.add(addr)
             return None
         cursor = self._cursors[addr]
         if cursor >= len(queue):
+            self.starved.add(addr)
             return None
         return queue[cursor]
 

@@ -239,7 +239,14 @@ def test_record_crash_and_hang_complete_via_fallback(monkeypatch):
 
 
 def test_record_crash_once_recovers_on_retry(monkeypatch, tmp_path):
-    """With a one-shot fault the retry (not the fallback) saves the unit."""
+    """With a one-shot fault the retry (not the fallback) saves the unit.
+
+    Pipelining is pinned off: this test exercises the *batch* retry path,
+    and a speculative dispatch would otherwise blow the one-shot fuse
+    before the batch ever dispatched (the speculative variants live in
+    the pipelined-fault tests below).
+    """
+    monkeypatch.setenv("REPRO_PIPELINE", "0")
     _, _, serial = _record("fft", 2, jobs=1)
     monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path))
     monkeypatch.setenv("REPRO_FAULT", "crash:unit1:once")
@@ -256,6 +263,7 @@ def test_record_crash_once_recovers_on_retry(monkeypatch, tmp_path):
 
 def test_record_fault_with_divergence_and_recovery(monkeypatch, tmp_path):
     """Host containment composes with guest forward recovery."""
+    monkeypatch.setenv("REPRO_PIPELINE", "0")  # one-shot fuse, batch path
     _, _, serial = _record("racy-counter", 2, jobs=1)
     assert serial.stats["divergences"] > 0  # the workload actually diverges
     monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path))
@@ -263,6 +271,100 @@ def test_record_fault_with_divergence_and_recovery(monkeypatch, tmp_path):
     _, _, faulted = _record("racy-counter", 2, jobs=2)
     _assert_bit_identical(faulted, serial)
     assert faulted.host["faults"]["crashes"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Pipelined speculation under faults
+#
+# With the two-deep commit pipeline on (the default), epoch N's unit is
+# dispatched while the thread-parallel run executes N+1 and beyond. A
+# speculative attempt is disposable twice over: host faults silently
+# discard it (the full-knowledge batch re-runs the position with normal
+# containment), and segment-end validation drops any run whose snapshot
+# cuts proved stale. Either way the recording must stay byte-identical
+# to jobs=1.
+# ----------------------------------------------------------------------
+def test_pipelined_clean_run_accepts_speculation():
+    """No faults: speculative results are accepted, never re-run."""
+    _, _, serial = _record("fft", 2, jobs=1)
+    _, _, parallel = _record("fft", 2, jobs=4)
+    _assert_bit_identical(parallel, serial)
+    spec = parallel.host["speculation"]
+    assert spec["dispatched"] >= 1
+    assert spec["accepted"] >= 1
+    assert spec["discarded"] == 0
+    assert not any(parallel.host["faults"].values())
+
+
+@pytest.mark.parametrize(
+    "spec,timeout,counter",
+    [
+        ("crash:unit1", None, "crashes"),
+        ("hang:unit1:30", 1.0, "timeouts"),
+        ("error:unit1", None, "task_errors"),
+    ],
+)
+def test_pipelined_faults_discard_speculation(monkeypatch, spec, timeout, counter):
+    """A host fault during speculation is contained twice.
+
+    The fault fires on *every* dispatch of the position: the speculative
+    attempt dies (silently discarded), then the batch attempts die and
+    the retry/serial-fallback containment finishes the unit — recording
+    byte-identical to jobs=1 throughout.
+    """
+    _, _, serial = _record("fft", 2, jobs=1)
+    monkeypatch.setenv("REPRO_FAULT", spec)
+    overrides = {"unit_timeout": timeout} if timeout is not None else {}
+    _, _, faulted = _record("fft", 2, jobs=4, **overrides)
+    _assert_bit_identical(faulted, serial)
+    assert faulted.host["speculation"]["discarded"] >= 1
+    counts = faulted.host["faults"]
+    assert counts[counter] >= 1, "batch path never saw the fault"
+    assert counts["serial_fallbacks"] >= 1
+
+
+def test_pipelined_speculative_crash_only_is_invisible(monkeypatch, tmp_path):
+    """A one-shot crash consumed by the speculation leaves no fault trace.
+
+    The fuse blows on the speculative dispatch, so the batch re-run of
+    the position runs clean: zero entries in the fault counters (those
+    count only batch containment), one discarded speculation, and a
+    byte-identical recording.
+    """
+    _, _, serial = _record("fft", 2, jobs=1)
+    monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path))
+    monkeypatch.setenv("REPRO_FAULT", "crash:unit1:once")
+    _, _, faulted = _record("fft", 2, jobs=4)
+    _assert_bit_identical(faulted, serial)
+    assert faulted.host["speculation"]["discarded"] >= 1
+    assert not any(faulted.host["faults"].values())
+
+
+def test_pipelined_divergence_while_speculating():
+    """A divergence in epoch N must void in-flight speculation cleanly.
+
+    racy-counter diverges mid-segment while later epochs' speculative
+    units are already in the pool. The merge loop stops at the diverged
+    position, recovery rolls the segment back, and whatever speculation
+    returned for the discarded tail must leave no trace — recording and
+    stats byte-identical to jobs=1.
+    """
+    _, _, serial = _record("racy-counter", 2, jobs=1)
+    assert serial.stats["divergences"] > 0
+    _, _, parallel = _record("racy-counter", 2, jobs=2)
+    _assert_bit_identical(parallel, serial)
+    assert parallel.host["speculation"]["dispatched"] >= 1
+    assert not any(parallel.host["faults"].values())
+
+
+def test_pipeline_env_toggle_is_parity(monkeypatch):
+    """REPRO_PIPELINE=0 changes wall-clock shape only, never results."""
+    _, _, piped = _record("pbzip", 2, jobs=2)
+    assert piped.host["speculation"]["dispatched"] >= 1
+    monkeypatch.setenv("REPRO_PIPELINE", "0")
+    _, _, phased = _record("pbzip", 2, jobs=2)
+    assert phased.host["speculation"]["dispatched"] == 0
+    _assert_bit_identical(piped, phased)
 
 
 # ----------------------------------------------------------------------

@@ -138,6 +138,66 @@ def test_program_image_roundtrip_rebuilds_decode_cache():
     assert all(r[0] is o[0] for r, o in zip(rebuilt, original))
 
 
+def test_program_image_pickle_strips_superblock_tables():
+    """Fused-block tables are host-local: stripped at the wire, rebuilt.
+
+    The table holds generated function objects (like the decode cache),
+    so it must never travel; the wire form is exactly the declared
+    dataclass fields, whatever caches warmed up in ``__dict__``.
+    """
+    from repro.exec.superblock import table_for
+
+    instance = build_workload("fft", workers=2, scale=2, seed=11)
+    image = instance.image
+    machine = MachineConfig(cores=2)
+    decode_program(image)
+    table_for(image, machine.costs)
+    assert "_superblocks" in image.__dict__
+
+    assert set(image.__getstate__()) == {
+        "code", "entry", "data", "symbols", "functions",
+        "register_count", "heap_base", "name",
+    }
+    clone = roundtrip(image)
+    assert "_superblocks" not in clone.__dict__
+    assert "_decoded" not in clone.__dict__
+    # The cold clone lazily rebuilds an equivalent table: same fusable
+    # block heads discovered from the identical code tuple.
+    rebuilt = table_for(clone, machine.costs)
+    original = table_for(image, machine.costs)
+    assert [s is not None for s in rebuilt] == [s is not None for s in original]
+
+
+def test_worker_program_memo_decodes_once_and_caps(monkeypatch):
+    """Worker-side decode-table rebuilds are memoised per program digest.
+
+    A worker decodes (and block-discovers) each program image once per
+    process, keyed by the program blob digest; the memo pins the decoded
+    image so its tables survive blob-cache eviction, FIFO-capped so a
+    long-lived worker can't accumulate stale images.
+    """
+    from repro.host import pool as host_pool
+
+    monkeypatch.setattr(host_pool, "_worker_programs", {})
+    calls = []
+
+    def resolve(digest):
+        calls.append(digest)
+        return f"image-{digest}"
+
+    assert host_pool._worker_program(1, resolve) == "image-1"
+    assert host_pool._worker_program(1, resolve) == "image-1"
+    assert calls == [1], "second lookup must hit the memo"
+    for digest in range(2, 2 + host_pool._WORKER_PROGRAM_CAP - 1):
+        host_pool._worker_program(digest, resolve)
+    assert len(host_pool._worker_programs) == host_pool._WORKER_PROGRAM_CAP
+    host_pool._worker_program(99, resolve)
+    assert len(host_pool._worker_programs) == host_pool._WORKER_PROGRAM_CAP
+    assert 1 not in host_pool._worker_programs, "FIFO evicts the oldest"
+    host_pool._worker_program(1, resolve)
+    assert calls.count(1) == 2, "evicted image re-resolves"
+
+
 def test_program_image_roundtrip_runs_identically():
     instance = build_workload("fft", workers=2, scale=2, seed=11)
     machine = MachineConfig(cores=2)

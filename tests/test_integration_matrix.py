@@ -197,6 +197,141 @@ def test_host_parallel_matches_goldens(name, workers, jobs):
     )
 
 
+# Superinstruction parity: trace-level superblock fusion is a pure
+# interpreter-speed optimisation — every golden tuple must be reproduced
+# with fusion disabled, proving the fused handlers retire the exact
+# instruction stream the generic loop does. The main matrix above runs
+# with fusion ON (the default); this slice re-runs every configuration
+# with ``REPRO_SUPERBLOCKS=0``.
+@pytest.mark.parametrize("name,workers", CONFIGS)
+def test_goldens_without_superblocks(monkeypatch, name, workers):
+    monkeypatch.setenv("REPRO_SUPERBLOCKS", "0")
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    recording = result.recording
+    observed = (
+        native.duration,
+        native.final_digest,
+        result.makespan,
+        recording.epoch_count(),
+        recording.final_digest,
+        combine_hashes([epoch.end_digest for epoch in recording.epochs]),
+        recording.total_log_bytes(),
+    )
+    assert observed == GOLDEN[(name, workers)], (
+        f"{name}/{workers}: superblock fusion changed behaviour — "
+        f"expected {GOLDEN[(name, workers)]}, got {observed}"
+    )
+    fused = result.metrics.snapshot().get("superblock", {})
+    assert fused.get("fused_calls", 0) == 0, "fusion ran while disabled"
+
+
+# The same through worker processes: workers read the env at spawn, so
+# the shared pool is torn down around each case. (name, workers, jobs)
+SUPERBLOCK_JOBS_PARITY = [
+    ("pbzip", 2, 4),
+    ("fft", 3, 2),
+    ("racy-counter", 2, 4),
+]
+
+
+@pytest.mark.parametrize("name,workers,jobs", SUPERBLOCK_JOBS_PARITY)
+def test_goldens_without_superblocks_parallel(monkeypatch, name, workers, jobs):
+    _shutdown_pool()
+    monkeypatch.setenv("REPRO_SUPERBLOCKS", "0")
+    try:
+        instance = build_workload(name, workers=workers, scale=2, seed=11)
+        machine = MachineConfig(cores=workers)
+        native = run_native(instance.image, instance.setup, machine)
+        config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=max(native.duration // 12, 500),
+        )
+        result = DoublePlayRecorder(
+            instance.image, instance.setup, config.replace(host_jobs=jobs)
+        ).record()
+        recording = result.recording
+        observed = (
+            native.duration,
+            native.final_digest,
+            result.makespan,
+            recording.epoch_count(),
+            recording.final_digest,
+            combine_hashes([epoch.end_digest for epoch in recording.epochs]),
+            recording.total_log_bytes(),
+        )
+        assert observed == GOLDEN[(name, workers)]
+    finally:
+        _shutdown_pool()
+
+
+# Pipelined-commit parity: the two-deep speculative pipeline dispatches
+# epoch N while the thread-parallel run executes ahead — wall-clock
+# overlap only, results bit-identical. Each configuration records three
+# ways (pipelined jobs=N, phased jobs=N via REPRO_PIPELINE=0, serial
+# jobs=1) and all three must agree byte-for-byte and hit the goldens.
+# (name, workers, jobs, expect_speculation)
+PIPELINE_PARITY = [
+    ("pbzip", 2, 4, True),
+    ("fft", 3, 2, True),
+    ("apache", 2, 2, True),
+    ("racy-counter", 2, 4, False),
+    ("water", 3, 2, True),
+]
+
+
+@pytest.mark.parametrize("name,workers,jobs,expect_spec", PIPELINE_PARITY)
+def test_goldens_survive_pipelined_commit(
+    monkeypatch, name, workers, jobs, expect_spec
+):
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+    )
+    serial = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    piped = DoublePlayRecorder(
+        instance.image, instance.setup, config.replace(host_jobs=jobs)
+    ).record()
+    monkeypatch.setenv("REPRO_PIPELINE", "0")
+    phased = DoublePlayRecorder(
+        instance.image, instance.setup, config.replace(host_jobs=jobs)
+    ).record()
+
+    canonical = json.dumps(serial.recording.to_plain(), sort_keys=True)
+    for result in (piped, phased):
+        assert json.dumps(result.recording.to_plain(), sort_keys=True) == canonical
+        assert (result.makespan, result.tp_finish, result.app_time) == (
+            serial.makespan, serial.tp_finish, serial.app_time,
+        )
+        assert result.stats == serial.stats
+        observed = (
+            native.duration,
+            native.final_digest,
+            result.makespan,
+            result.recording.epoch_count(),
+            result.recording.final_digest,
+            combine_hashes([e.end_digest for e in result.recording.epochs]),
+            result.recording.total_log_bytes(),
+        )
+        assert observed == GOLDEN[(name, workers)]
+
+    spec = piped.host["speculation"]
+    if expect_spec:
+        # Race-free segments are long enough that speculation engages and
+        # (with the boundary-floor validity rule) is actually accepted.
+        assert spec["dispatched"] >= 1 and spec["accepted"] >= 1
+    assert phased.host["speculation"]["dispatched"] == 0
+
+
 # Fault parity: the goldens must also survive injected host-worker
 # failures. A crash mid-matrix, a one-shot crash on a divergence-heavy
 # workload, and a worker exception all go through the retry/serial-
