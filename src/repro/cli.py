@@ -158,6 +158,19 @@ _HOST_SUMMARY_ROWS = (
         ),
         "suffix": "",
     },
+    {
+        "title": "durable log",
+        "gate": (("durable", "epochs"),),
+        "cells": (
+            ("{} epoch(s), ", "durable", "epochs"),
+            ("{} shard byte(s) -> ", "durable", "shard_bytes"),
+            ("{} on disk; ", "durable", "segment_bytes"),
+            ("{} group commit(s), ", "durable", "group_commits"),
+            ("{} fsync(s), ", "durable", "fsyncs"),
+            ("{} blob(s) stored", "durable", "blobs_written"),
+        ),
+        "suffix": "",
+    },
 )
 
 
@@ -190,9 +203,9 @@ class _TraceScope:
     """
 
     #: dotted counters worth shipping in a timeline (keep it small: the
-    #: trace is the artifact, not a metrics dump). ``superblock.`` is a
-    #: whole-group prefix.
-    _COUNTER_KEYS = ("superblock.", "exec.ops_executed")
+    #: trace is the artifact, not a metrics dump). ``superblock.`` and
+    #: ``durable.`` are whole-group prefixes.
+    _COUNTER_KEYS = ("superblock.", "exec.ops_executed", "durable.")
 
     def __init__(self, path: Optional[str]):
         self.path = path
@@ -234,10 +247,30 @@ class _TraceScope:
 
 def cmd_record(args, out) -> int:
     instance, machine = _build(args)
+    if args.log_spill and not args.log_dir:
+        print("error: --log-spill requires --log-dir", file=out)
+        return 2
+    if args.output and args.log_spill:
+        print(
+            "error: --output needs the in-memory logs, which --log-spill "
+            "drops; the durable log directory already holds the recording",
+            file=out,
+        )
+        return 2
     native = run_native(instance.image, instance.setup, machine)
     overrides = {}
     if args.unit_timeout is not None:
         overrides["unit_timeout"] = args.unit_timeout
+    if args.log_dir:
+        overrides["log_dir"] = args.log_dir
+        overrides["log_spill"] = args.log_spill
+        overrides["log_codec"] = args.log_codec
+        overrides["log_meta"] = {
+            "name": args.workload,
+            "workers": args.workers,
+            "scale": args.scale,
+            "seed": args.seed,
+        }
     config = DoublePlayConfig(
         machine=machine,
         epoch_cycles=max(native.duration // args.epoch_divisor, 400),
@@ -267,6 +300,8 @@ def cmd_record(args, out) -> int:
     _print_host_summary(result.metrics, out)
     if trace_path:
         print(f"wrote trace to {trace_path}", file=out)
+    if args.log_dir:
+        print(f"saved durable log to {args.log_dir}", file=out)
     if args.output:
         payload = {
             "workload": {
@@ -284,16 +319,35 @@ def cmd_record(args, out) -> int:
 
 
 def cmd_replay(args, out) -> int:
-    meta, instance, machine, recording = _load_recording(args.recording)
+    from repro.errors import ReplayError
+
+    durable = os.path.isdir(args.recording)
+    want_checkpoints = (
+        args.epoch is not None or args.parallel or args.jobs > 1
+    )
+    try:
+        meta, instance, machine, recording = _load_recording(
+            args.recording,
+            from_epoch=args.from_epoch,
+            materialize=want_checkpoints,
+        )
+    except ReplayError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     replayer = Replayer(instance.image, machine)
     trace_path = _trace_path(args)
     with _TraceScope(trace_path):
         if args.epoch is not None:
-            replayer.materialize_checkpoints(recording)
+            if not durable:
+                # Durable logs hydrate checkpoints straight from the blob
+                # store at load time — only JSON recordings need the
+                # sequential re-execution pass.
+                replayer.materialize_checkpoints(recording)
             outcome = replayer.replay_epoch(recording, args.epoch)
             label = f"epoch {args.epoch}"
         elif args.parallel or args.jobs > 1:
-            replayer.materialize_checkpoints(recording)
+            if not durable:
+                replayer.materialize_checkpoints(recording)
             outcome = replayer.replay_parallel(
                 recording, workers=meta["workers"], jobs=args.jobs,
                 unit_timeout=args.unit_timeout,
@@ -304,6 +358,8 @@ def cmd_replay(args, out) -> int:
         else:
             outcome = replayer.replay_sequential(recording)
             label = "sequential"
+    if args.from_epoch:
+        label = f"{label} from epoch {args.from_epoch}"
     status = "verified" if outcome.verified else "FAILED"
     print(
         f"{label} replay of {meta['name']}: {status}, "
@@ -318,7 +374,42 @@ def cmd_replay(args, out) -> int:
     return 0 if outcome.verified else 1
 
 
-def _load_recording(path):
+def _load_recording(path, from_epoch: int = 0, materialize: bool = False):
+    """Load a recording from a JSON file or a durable log directory.
+
+    Directory paths are sharded durable logs (``repro.record.shards``):
+    the recording is rebuilt from the manifest, ``from_epoch`` selects a
+    suffix whose start checkpoint materialises from the blob store, and
+    ``materialize`` hydrates every epoch's checkpoint (parallel replay) —
+    no sequential re-execution in either case.
+    """
+    if os.path.isdir(path):
+        from repro.errors import ReplayError
+        from repro.record.shards import ShardedLogReader
+
+        reader = ShardedLogReader(path)
+        meta = reader.workload
+        if not meta.get("name"):
+            raise ReplayError(
+                f"{path}: manifest has no workload metadata (recorded "
+                "without the CLI?) — cannot rebuild the program image"
+            )
+        instance = build_workload(
+            meta["name"], workers=meta["workers"], scale=meta["scale"],
+            seed=meta["seed"],
+        )
+        machine = MachineConfig(cores=meta["workers"])
+        recording = reader.load_recording(
+            from_epoch=from_epoch, materialize=materialize
+        )
+        return meta, instance, machine, recording
+    if from_epoch:
+        from repro.errors import ReplayError
+
+        raise ReplayError(
+            "--from-epoch needs a durable log directory (JSON recordings "
+            "hold no checkpoints to start from)"
+        )
     with open(path) as handle:
         payload = json.load(handle)
     meta = payload["workload"]
@@ -423,12 +514,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="write a Chrome-trace (Perfetto) timeline of the run here "
              "(env fallback: REPRO_TRACE)")
+    record_parser.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help="stream committed epochs to a durable sharded log here "
+             "(manifest + segments + blob store); replay it with "
+             "'repro replay DIR [--from-epoch N]'")
+    record_parser.add_argument(
+        "--log-spill", action="store_true",
+        help="flight-recorder mode: drop each epoch's in-memory logs once "
+             "durable, bounding resident log memory (requires --log-dir)")
+    record_parser.add_argument(
+        "--log-codec", default=None, choices=["raw", "zlib1", "zlib6"],
+        help="segment compression codec (default: REPRO_LOG_COMPRESS or "
+             "zlib1)")
     record_parser.add_argument("-o", "--output", help="save recording JSON here")
 
     replay_parser = commands.add_parser("replay", help="replay a saved recording")
-    replay_parser.add_argument("recording", help="recording JSON file")
+    replay_parser.add_argument(
+        "recording", help="recording JSON file or durable log directory")
     replay_parser.add_argument("--parallel", action="store_true",
                                help="parallel epoch replay")
+    replay_parser.add_argument(
+        "--from-epoch", type=int, default=0, metavar="N", dest="from_epoch",
+        help="incremental replay: materialize epoch N's checkpoint from "
+             "the durable log and replay only the suffix (directory "
+             "recordings only)")
     replay_parser.add_argument(
         "--jobs", type=int, default=1,
         help="host worker processes for parallel replay (implies --parallel; "

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.machine.config import MachineConfig
 
@@ -97,6 +98,23 @@ class DoublePlayConfig:
     #: ``REPRO_UNIT_TIMEOUT`` (else 60); 0 disables hang detection.
     #: Irrelevant at ``host_jobs=1``.
     unit_timeout: float = dataclasses.field(default_factory=default_unit_timeout)
+    #: durable sharded log directory (``repro.record.shards``). When set,
+    #: committed epochs stream to disk as they commit — the recording on
+    #: disk is {manifest, segments, blob store} and ``repro replay`` can
+    #: start from any epoch's checkpoint. None = in-memory only.
+    log_dir: Optional[str] = None
+    #: flight-recorder mode: drop each epoch's logs (and skip the final
+    #: syscall/signal log retention) once its shards are durable, keeping
+    #: resident log memory bounded by the commit pipeline instead of the
+    #: run length. Requires ``log_dir``; the returned recording can then
+    #: only be replayed by loading it back from the durable log.
+    log_spill: bool = False
+    #: segment compression codec override (``raw``/``zlib1``/``zlib6``);
+    #: None = ``REPRO_LOG_COMPRESS`` or the measured default (zlib1).
+    log_codec: Optional[str] = None
+    #: workload metadata recorded verbatim in the durable manifest so
+    #: ``repro replay <dir>`` can rebuild the program (name/workers/...).
+    log_meta: Optional[dict] = None
 
     def workers(self) -> int:
         return self.machine.cores

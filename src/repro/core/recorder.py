@@ -268,6 +268,23 @@ class DoublePlayRecorder:
             initial_checkpoint=initial,
         )
 
+        sink = None
+        if config.log_dir:
+            # Imported lazily: purely in-memory recordings never touch
+            # the durable-log layer.
+            from repro.record.shards import ShardedLogWriter
+
+            sink = ShardedLogWriter(
+                config.log_dir,
+                initial,
+                self.program.name,
+                self.machine.cores,
+                codec=config.log_codec,
+                meta=config.log_meta,
+            )
+        elif config.log_spill:
+            raise ValueError("log_spill requires log_dir")
+
         host_jobs = config.resolve_host_jobs()
         executor = None
         if host_jobs > 1:
@@ -435,20 +452,26 @@ class DoublePlayRecorder:
                     with obs_spans.span(
                         "commit", obs_spans.CAT_COMMIT, epoch=epoch_index
                     ):
-                        recording.epochs.append(
-                            EpochRecord(
-                                index=epoch_index,
-                                start_checkpoint=start_cp,
-                                targets=end_cp.targets(),
-                                schedule=result.schedule,
-                                # Store the grant order the committed run
-                                # actually used — replay pins its decisions
-                                # from this, not from the raw hints.
-                                sync_log=result.committed_sync,
-                                end_digest=result.end_digest,
-                                duration=result.duration,
-                            )
+                        record = EpochRecord(
+                            index=epoch_index,
+                            start_checkpoint=start_cp,
+                            targets=end_cp.targets(),
+                            schedule=result.schedule,
+                            # Store the grant order the committed run
+                            # actually used — replay pins its decisions
+                            # from this, not from the raw hints.
+                            sync_log=result.committed_sync,
+                            end_digest=result.end_digest,
+                            duration=result.duration,
                         )
+                        recording.epochs.append(record)
+                        if sink is not None:
+                            sink.commit_epoch(
+                                record, start_cp, end_cp,
+                                syscall_log, signal_log,
+                            )
+                            if config.log_spill:
+                                record.spill()
                     committed = end_cp
                     epoch_index += 1
                     continue
@@ -485,18 +508,24 @@ class DoublePlayRecorder:
                         syscall_log,
                         signal_log=signal_log,
                     )
-                recording.epochs.append(
-                    EpochRecord(
-                        index=epoch_index,
-                        start_checkpoint=start_cp,
-                        targets=recovery.committed.targets(),
-                        schedule=recovery.schedule,
-                        sync_log=recovery.committed_sync,
-                        end_digest=recovery.end_digest,
-                        duration=recovery.duration,
-                        recovered=True,
-                    )
+                record = EpochRecord(
+                    index=epoch_index,
+                    start_checkpoint=start_cp,
+                    targets=recovery.committed.targets(),
+                    schedule=recovery.schedule,
+                    sync_log=recovery.committed_sync,
+                    end_digest=recovery.end_digest,
+                    duration=recovery.duration,
+                    recovered=True,
                 )
+                recording.epochs.append(record)
+                if sink is not None:
+                    sink.commit_epoch(
+                        record, start_cp, recovery.committed,
+                        syscall_log, signal_log,
+                    )
+                    if config.log_spill:
+                        record.spill()
                 committed = recovery.committed
                 epoch_index += 1
                 diverged_at = position
@@ -556,6 +585,17 @@ class DoublePlayRecorder:
                     finished = True
                     recording.final_digest = recovery.end_digest
                     tp_finish = max(tp_finish, recovery_finish)
+            if config.log_spill and not finished:
+                # Flight-recorder mode: at a segment restart every record
+                # still in the raw logs belongs to a committed (hence
+                # durable) epoch — the divergence prune dropped the
+                # abandoned future and recovery's appends were committed
+                # above. The next segment starts from the committed
+                # checkpoint's per-thread counts, so nothing below them is
+                # ever consulted again: clear the logs instead of letting
+                # them grow with run length.
+                syscall_log.clear()
+                signal_log.clear()
 
         recording.stats = {
             "divergences": divergences,
@@ -570,8 +610,21 @@ class DoublePlayRecorder:
         }
         if fault is not None:
             recording.stats["fault_message"] = str(fault)
-        recording.syscall_records = list(syscall_log)
-        recording.signal_records = list(signal_log)
+        if sink is not None:
+            # Final manifest write — stats are sealed into it *before* any
+            # spill-mode markers, so a durable log's stats are identical
+            # whether or not the in-memory copy was dropped.
+            sink.close(
+                final_digest=recording.final_digest, stats=recording.stats
+            )
+        if config.log_spill:
+            # The durable log holds the only full copy of the event
+            # streams; retaining them here would re-grow memory with run
+            # length, defeating flight-recorder mode.
+            recording.stats["log_spilled"] = 1
+        else:
+            recording.syscall_records = list(syscall_log)
+            recording.signal_records = list(signal_log)
         host_summary = executor.timing_summary() if executor else {"jobs": 1}
         run_metrics = obs_metrics.build_run_metrics(
             obs_metrics.delta_since(stats_baseline),

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.checkpoint.checkpoint import Checkpoint, WireCheckpoint
 from repro.memory.blob import blob_digest, encode_object
@@ -235,18 +235,53 @@ class ThreadLogIndex:
     """
 
     def __init__(self, records: Sequence, tid_of: Callable, key_of: Callable):
-        self._records = tuple(records)
-        grouped: Dict[int, List[Tuple[int, int]]] = {}
-        for position, record in enumerate(self._records):
-            grouped.setdefault(tid_of(record), []).append(
-                (key_of(record), position)
-            )
+        self._tid_of = tid_of
+        self._key_of = key_of
+        self._records: List = []
         self._by_tid: Dict[int, Tuple[List[int], List[int]]] = {}
-        for tid, pairs in grouped.items():
-            # Per-thread keys are appended in increasing order, so this is
-            # a linear pass; sorting keeps the bisect correct regardless.
-            pairs.sort()
-            self._by_tid[tid] = ([k for k, _ in pairs], [p for _, p in pairs])
+        self._absorb(records, 0)
+
+    def _absorb(self, records: Sequence, start: int) -> None:
+        append = self._records.append
+        by_tid = self._by_tid
+        tid_of, key_of = self._tid_of, self._key_of
+        unsorted_tail = False
+        for position in range(start, len(records)):
+            record = records[position]
+            append(record)
+            tid, key = tid_of(record), key_of(record)
+            entry = by_tid.get(tid)
+            if entry is None:
+                entry = by_tid[tid] = ([], [])
+            keys = entry[0]
+            # Per-thread keys are appended in increasing order, so this
+            # is a linear pass; a sort below keeps the bisect correct
+            # regardless.
+            if keys and key < keys[-1]:
+                unsorted_tail = True
+            keys.append(key)
+            entry[1].append(position)
+        if unsorted_tail:
+            for tid, (keys, positions) in by_tid.items():
+                pairs = sorted(zip(keys, positions))
+                by_tid[tid] = (
+                    [k for k, _ in pairs], [p for _, p in pairs]
+                )
+
+    def extend_to(self, records: Sequence) -> "ThreadLogIndex":
+        """Absorb records appended to the same log since the index was
+        built — O(new records), the streaming commit path's amortizer.
+
+        Only valid when ``records`` is the already-indexed log plus new
+        entries at the tail; callers seeing a shrink or an in-place
+        rewrite must rebuild instead.
+        """
+        if len(records) < len(self._records):
+            raise ValueError(
+                "log shrank since the index was built — rebuild it"
+            )
+        self._absorb(records, len(self._records))
+        return self
 
     @classmethod
     def for_syscalls(cls, records: Sequence[SyscallRecord]) -> "ThreadLogIndex":
@@ -268,6 +303,47 @@ class ThreadLogIndex:
             selected.extend(positions[lowest:])
         selected.sort()
         return tuple(self._records[p] for p in selected)
+
+    def positions_between(
+        self, start_floors: Dict[int, int], end_floors: Optional[Dict[int, int]]
+    ) -> Tuple[int, ...]:
+        """Log positions of records in the half-open per-thread key window
+        ``[start_floors[tid], end_floors[tid])``, in log order.
+
+        This is the *shard extent* query of the durable log
+        (:mod:`repro.record.shards`): per-epoch per-thread shards are
+        exactly these windows between consecutive checkpoints' per-thread
+        counts. Floor semantics match :meth:`slice_from`: a thread absent
+        from ``start_floors`` starts at 0 (spawned mid-epoch), a thread
+        absent from ``end_floors`` keeps everything from its start floor
+        (the final, unbounded slice), and ``end_floors=None`` means no
+        upper bound for anyone. Records at exactly a checkpoint's count —
+        boundary-straddling calls logged at their later completion —
+        land in the *following* window, mirroring the floor rule.
+        """
+        selected: List[int] = []
+        for tid, (keys, positions) in self._by_tid.items():
+            lowest = bisect_left(keys, start_floors.get(tid, 0))
+            if end_floors is None or tid not in end_floors:
+                highest = len(keys)
+            else:
+                highest = bisect_left(keys, end_floors[tid])
+            selected.extend(positions[lowest:highest])
+        selected.sort()
+        return tuple(selected)
+
+    def slice_between(
+        self, start_floors: Dict[int, int], end_floors: Optional[Dict[int, int]]
+    ) -> tuple:
+        """Records of the ``[start, end)`` per-thread window, in log order."""
+        return tuple(
+            self._records[p]
+            for p in self.positions_between(start_floors, end_floors)
+        )
+
+    def record_at(self, position: int):
+        """The record at a global log position (shard frame rebuild)."""
+        return self._records[position]
 
 
 def syscall_slice(

@@ -249,6 +249,22 @@ def summarize_trace(payload: dict, top: int = 5) -> dict:
             "ops_executed": ops,
             "fused_share": round(fused_ops / ops, 3) if ops else 0.0,
         }
+    durable: Optional[dict] = None
+    if counters.get("durable"):
+        dc = counters["durable"]
+        shard_bytes = dc.get("shard_bytes", 0)
+        segment_bytes = dc.get("segment_bytes", 0)
+        durable = {
+            "epochs": dc.get("epochs", 0),
+            "shard_bytes": shard_bytes,
+            "segment_bytes": segment_bytes,
+            "compression": (
+                round(shard_bytes / segment_bytes, 2) if segment_bytes else 0.0
+            ),
+            "group_commits": dc.get("group_commits", 0),
+            "fsyncs": dc.get("fsyncs", 0),
+            "blobs_written": dc.get("blobs_written", 0),
+        }
     return {
         "spans": spans,
         "epochs": len(executes),
@@ -259,6 +275,7 @@ def summarize_trace(payload: dict, top: int = 5) -> dict:
         "top_epochs": [_epoch_row(e) for e in slowest],
         "straggler": straggler,
         "superblocks": superblocks,
+        "durable": durable,
     }
 
 
@@ -299,5 +316,15 @@ def render_summary(summary: dict) -> str:
             f"{superblocks['fused_calls']} call(s), "
             f"{superblocks['blocks_compiled']} block(s) compiled, "
             f"{superblocks['fallback_exits']} fallback exit(s)"
+        )
+    durable = summary.get("durable")
+    if durable:
+        lines.append(
+            f"durable log: {durable['epochs']} epoch(s), "
+            f"{durable['shard_bytes']} shard byte(s) -> "
+            f"{durable['segment_bytes']} on disk "
+            f"({durable['compression']:.2f}x) in "
+            f"{durable['group_commits']} group commit(s), "
+            f"{durable['fsyncs']} fsync(s)"
         )
     return "\n".join(lines)

@@ -48,9 +48,36 @@ class EpochRecord:
     #: True when this epoch was committed by forward recovery (a live
     #: uniprocessor re-execution) rather than a verified epoch-parallel run
     recovered: bool = False
+    #: True when the logs were streamed to the durable sharded log and
+    #: dropped from memory (``repro.record.shards``); size accounting
+    #: survives, the log contents live on disk only
+    spilled: bool = False
+
+    def spill(self) -> None:
+        """Drop the in-memory logs after a durable write.
+
+        Flight-recorder mode: once the epoch's shards are on disk, the
+        resident copy serves no replay (replay loads from the manifest),
+        so only the byte accounting is kept. The checkpoint reference is
+        dropped too — the durable manifest can re-materialise it.
+        """
+        if self.spilled:
+            return
+        self._schedule_words = self.schedule.size_words()
+        self._sync_words = self.sync_log.size_words()
+        self.schedule = None
+        self.sync_log = None
+        self.start_checkpoint = None
+        self.spilled = True
+
+    def schedule_words(self) -> int:
+        return self._schedule_words if self.spilled else self.schedule.size_words()
+
+    def sync_words(self) -> int:
+        return self._sync_words if self.spilled else self.sync_log.size_words()
 
     def size_words(self) -> int:
-        return self.schedule.size_words() + self.sync_log.size_words() + 8
+        return self.schedule_words() + self.sync_words() + 8
 
 
 @dataclass
@@ -79,10 +106,10 @@ class Recording:
         return self.stats.get("divergences", 0)
 
     def schedule_log_bytes(self) -> int:
-        return WORD_BYTES * sum(e.schedule.size_words() for e in self.epochs)
+        return WORD_BYTES * sum(e.schedule_words() for e in self.epochs)
 
     def sync_log_bytes(self) -> int:
-        return WORD_BYTES * sum(e.sync_log.size_words() for e in self.epochs)
+        return WORD_BYTES * sum(e.sync_words() for e in self.epochs)
 
     def syscall_log_bytes(self) -> int:
         return WORD_BYTES * sum(r.size_words() for r in self.syscall_records)
@@ -114,8 +141,26 @@ class Recording:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
+    def resident_log_bytes(self) -> int:
+        """Bytes of log data actually held in memory right now.
+
+        Spilled epochs count zero — their logs live in the durable
+        sharded log only. This is the quantity flight-recorder mode
+        bounds (pipeline depth, not run length).
+        """
+        return WORD_BYTES * (
+            sum(e.size_words() for e in self.epochs if not e.spilled)
+            + sum(r.size_words() for r in self.syscall_records)
+            + 3 * len(self.signal_records)
+        )
+
     def to_plain(self) -> Dict:
         """JSON-compatible form of the durable logs (no checkpoints)."""
+        if any(e.spilled for e in self.epochs):
+            raise ValueError(
+                "recording was spilled to a durable log; load it back with "
+                "repro.record.shards.ShardedLogReader instead of to_plain()"
+            )
         return {
             "program": self.program_name,
             "worker_threads": self.worker_threads,

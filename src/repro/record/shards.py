@@ -1,0 +1,949 @@
+"""The sharded durable event log: per-thread append streams on disk.
+
+This is the durable backend behind ``record --log-dir`` and
+``replay --from-epoch``. The in-memory :class:`~repro.record.recording.
+Recording` funnels every logged event into one stream whose resident
+size is O(run); here the same events become **per-thread, per-epoch log
+shards** appended to compressed segment files
+(:mod:`repro.record.segment`) as epochs commit, with a **manifest**
+tying every epoch's shard extents to its start checkpoint's
+content-addressed blob digests. A recording on disk is::
+
+    <dir>/manifest.json        epoch directory: shard extents, checkpoint
+                               digests, stats — the commit point
+    <dir>/segments/seg-*.dpseg append-only blocks of shard frames
+    <dir>/blobs/pack.dppack    content-addressed blob pack: checkpoint
+                               pages (PR 4's wire digests) + skeletons,
+                               one append-only file
+
+Ordering: LSN vectors, not a global stream
+------------------------------------------
+Shards are per-thread, so no shard encodes the cross-thread order by
+position. Instead every shard record carries its **epoch-local sequence
+number** (its rank in the epoch's committed order), and per-thread
+syscall/signal records additionally keep their ``(tid, seq)`` /
+``(tid, retired)`` keys — the per-record vectors that make the merge
+deterministic: a reader k-way-merges a stream's per-thread shards by
+rank and provably reconstructs the exact committed order (within an
+epoch ranks are a permutation of ``0..n-1``; across epochs the
+per-thread key floors at checkpoints make concatenation order-exact,
+see ``ThreadLogIndex.positions_between``). This is Taurus's design
+point: parallel log streams stay independent at append time and the
+ordering metadata rides in the records.
+
+Group commit and crash rule
+---------------------------
+Epoch commits append frames to the segment's group-commit buffer;
+the buffer is forced (one compressed block + one fsync) when it
+exceeds the group-commit threshold and at close. The manifest is
+rewritten (atomic tmp + rename) only *after* a flush completes, so a
+crash mid-write leaves at most a torn segment tail that no manifest
+entry references — recovery is "read the manifest, ignore the tail"
+(the segment layer's truncation rule verifies this).
+
+Shard extents reuse the epoch index
+-----------------------------------
+Which records belong to epoch *e* for thread *t* is exactly the
+``[start_floor, end_floor)`` per-thread key window between consecutive
+checkpoints — the same query :class:`~repro.host.wire.ThreadLogIndex`
+answers for wire slicing, so shard-extent lookup calls
+``positions_between`` on that index rather than re-implementing the
+bisect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.checkpoint import Checkpoint
+from repro.errors import ReplayError
+from repro.host.wire import ThreadLogIndex
+from repro.memory.address_space import MemorySnapshot
+from repro.memory.blob import blob_digest, decode_blob, encode_object
+from repro.memory.page import Page
+from repro.obs import metrics as obs_metrics
+from repro.oskernel.syscalls import SyscallKind, SyscallRecord
+from repro.record.recording import EpochRecord, Recording
+from repro.record.schedule_log import ScheduleLog, Timeslice
+from repro.record.segment import (
+    SegmentReader,
+    SegmentWriter,
+    resolve_codec,
+)
+from repro.record.sync_log import SyncOrderLog
+
+#: manifest format generation (bump on incompatible layout changes)
+MANIFEST_FORMAT = 1
+MANIFEST_NAME = "manifest.json"
+
+#: shard stream codes (one byte in every frame header)
+STREAM_SCHEDULE = 1
+STREAM_SYNC = 2
+STREAM_SYSCALL = 3
+STREAM_SIGNAL = 4
+STREAM_META = 5
+
+_FRAME_HEADER = struct.Struct("<BII")  # stream, tid, epoch index
+_SCHED_REC = struct.Struct("<IQB")     # rank, ops, flags
+_SYNC_REC = struct.Struct("<IQB")      # rank, object addr, kind code
+
+#: repeated-record packers, keyed by record count ("<" means no padding,
+#: so one pack of "<IQBIQB…" is byte-identical to concatenated "<IQB"
+#: packs — ``iter_unpack`` on the read side never notices)
+_REPEAT_PACKERS: Dict[int, struct.Struct] = {}
+
+
+def _repeat_packer(count: int) -> struct.Struct:
+    packer = _REPEAT_PACKERS.get(count)
+    if packer is None:
+        packer = _REPEAT_PACKERS[count] = struct.Struct("<" + "IQB" * count)
+    return packer
+
+_DEF_GROUP_KB = 32
+
+
+def _group_commit_bytes() -> int:
+    """Group-commit threshold: ``REPRO_LOG_GROUP_KB`` KiB, else 32."""
+    raw = os.environ.get("REPRO_LOG_GROUP_KB", "")
+    try:
+        return max(1, int(float(raw) * 1024)) if raw else _DEF_GROUP_KB * 1024
+    except ValueError:
+        return _DEF_GROUP_KB * 1024
+
+
+def _fsync_enabled() -> bool:
+    """``REPRO_LOG_FSYNC=0`` skips fsync (benchmarks on throwaway dirs)."""
+    return os.environ.get("REPRO_LOG_FSYNC", "") != "0"
+
+
+def _hex(digest: int) -> str:
+    return f"{digest:032x}"
+
+
+#: pack file header and per-blob entry: digest (16 bytes) + length u32
+PACK_MAGIC = b"DPPK01\n"
+PACK_NAME = "pack.dppack"
+_PACK_ENTRY = struct.Struct("<16sI")
+
+
+class BlobStore:
+    """Content-addressed blobs in one append-only pack: ``blobs/pack.dppack``.
+
+    Digests are PR 4's wire digests (BLAKE2b-128 of the encoded blob),
+    so checkpoint pages dedupe across epochs for free: consecutive
+    checkpoints share almost every page and an already-present digest
+    is never appended again — the on-disk analogue of delta checkpoints.
+
+    One pack file, not one file per blob: blob appends buffer in memory
+    and hit the filesystem at group-commit points, so persisting an
+    epoch costs sequential writes to two files (pack + segment) instead
+    of a file creation per page. The pack is self-describing (entries
+    carry their digest and length) and append-only, so recovery is the
+    same forward-scan-truncate rule as segments: an entry cut short by a
+    crash is a torn tail — the manifest is only written after the pack
+    is flushed, so no manifest ever references a torn blob.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.path = os.path.join(root, PACK_NAME)
+        #: digest -> (payload offset, payload length), buffered included
+        self._index: Dict[int, Tuple[int, int]] = {}
+        self._buffer: List[bytes] = []
+        self._append: Optional[object] = None
+        self._read: Optional[object] = None
+        #: logical end including buffered entries / end of verified data
+        #: actually on disk (they differ between flushes)
+        self._end = self._disk_end = len(PACK_MAGIC)
+        self.blobs_written = 0
+        self.bytes_written = 0
+        if os.path.exists(self.path):
+            self._scan()
+
+    def _scan(self) -> None:
+        """Index an existing pack; a torn tail entry truncates the scan."""
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        if data[: len(PACK_MAGIC)] != PACK_MAGIC:
+            raise ReplayError(f"{self.path}: not a blob pack")
+        offset = len(PACK_MAGIC)
+        while offset + _PACK_ENTRY.size <= len(data):
+            digest_bytes, length = _PACK_ENTRY.unpack_from(data, offset)
+            start = offset + _PACK_ENTRY.size
+            if start + length > len(data):
+                break  # torn tail: nothing references an unflushed blob
+            digest = int.from_bytes(digest_bytes, "big")
+            self._index[digest] = (start, length)
+            offset = start + length
+        self._end = self._disk_end = offset
+
+    def put(self, digest: int, blob: bytes) -> bool:
+        """Buffer a blob for the pack; returns True when newly stored."""
+        if digest in self._index:
+            return False
+        self._buffer.append(
+            _PACK_ENTRY.pack(digest.to_bytes(16, "big"), len(blob)) + blob
+        )
+        self._index[digest] = (self._end + _PACK_ENTRY.size, len(blob))
+        self._end += _PACK_ENTRY.size + len(blob)
+        self.blobs_written += 1
+        self.bytes_written += len(blob)
+        return True
+
+    def flush(self, fsync: bool = False) -> bool:
+        """Append buffered blobs to the pack; True when anything was written.
+
+        Must run (with the caller's durability choice) before any
+        manifest write that references the buffered digests.
+        """
+        if not self._buffer:
+            return False
+        if self._append is None:
+            if os.path.exists(self.path):
+                # Resume at the last verified entry: a torn tail past it
+                # is dead bytes a plain append would corrupt the index
+                # against, so cut it before writing.
+                self._append = open(self.path, "r+b")
+                self._append.truncate(self._disk_end)
+                self._append.seek(self._disk_end)
+            else:
+                self._append = open(self.path, "wb")
+                self._append.write(PACK_MAGIC)
+        self._append.write(b"".join(self._buffer))
+        self._append.flush()
+        if fsync:
+            os.fsync(self._append.fileno())
+        self._buffer = []
+        self._disk_end = self._end
+        return True
+
+    def close(self, fsync: bool = False) -> None:
+        self.flush(fsync=fsync)
+        for handle in (self._append, self._read):
+            if handle is not None:
+                handle.close()
+        self._append = self._read = None
+
+    def get(self, digest: int) -> bytes:
+        entry = self._index.get(digest)
+        if entry is None:
+            raise ReplayError(f"blob {_hex(digest)} not in pack")
+        self.flush()
+        if self._read is None:
+            self._read = open(self.path, "rb")
+        offset, length = entry
+        self._read.seek(offset)
+        return self._read.read(length)
+
+    def has(self, digest: int) -> bool:
+        return digest in self._index
+
+
+class _LogIndexCache:
+    """Reuses one :class:`ThreadLogIndex` across a segment's commits.
+
+    The index is O(records) to build, and the recorder's log *grows*
+    between commits — rebuilding per epoch would make streaming commits
+    quadratic in run length. Same list object + a longer tail extends
+    the index in O(new records) instead. A rebuild happens on a new
+    list, a shrink, or the ``force`` flag, which covers the one case
+    where contents change in place without shrinking (forward recovery
+    prunes then appends).
+    """
+
+    def __init__(self, factory):
+        self._factory = factory
+        self._key = None
+        self._index: Optional[ThreadLogIndex] = None
+
+    def index_for(self, log: Sequence, force: bool = False) -> ThreadLogIndex:
+        key = (id(log), len(log))
+        if (
+            force
+            or self._index is None
+            or key[0] != self._key[0]
+            or key[1] < self._key[1]
+        ):
+            self._index = self._factory(log)
+        elif key[1] > self._key[1]:
+            self._index.extend_to(log)
+        self._key = key
+        return self._index
+
+
+def checkpoint_floors(checkpoint: Checkpoint) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """``(syscall_count, retired)`` per-thread floors of a checkpoint."""
+    return (
+        {tid: ctx.syscall_count for tid, ctx in checkpoint.contexts.items()},
+        {tid: ctx.retired for tid, ctx in checkpoint.contexts.items()},
+    )
+
+
+class ShardedLogWriter:
+    """Streams committed epochs into the durable sharded log."""
+
+    def __init__(
+        self,
+        directory: str,
+        initial_checkpoint: Checkpoint,
+        program_name: str,
+        worker_threads: int,
+        codec: Optional[str] = None,
+        meta: Optional[dict] = None,
+        group_commit_bytes: Optional[int] = None,
+        segment_max_bytes: int = 4 << 20,
+        fsync: Optional[bool] = None,
+    ):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        os.makedirs(os.path.join(directory, "segments"), exist_ok=True)
+        self.codec = resolve_codec(codec)
+        self.store = BlobStore(os.path.join(directory, "blobs"))
+        self.group_commit_bytes = (
+            group_commit_bytes if group_commit_bytes else _group_commit_bytes()
+        )
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync = _fsync_enabled() if fsync is None else fsync
+        self.program_name = program_name
+        self.worker_threads = worker_threads
+        self.meta = dict(meta or {})
+        self._sync_kinds: Dict[str, int] = {}
+        self._segments: List[dict] = []
+        self._segment: Optional[SegmentWriter] = None
+        #: manifest entries already assigned a block
+        self._sealed: List[dict] = []
+        #: manifest entries whose frames sit in the group-commit buffer
+        self._pending: List[dict] = []
+        self._syscall_index = _LogIndexCache(ThreadLogIndex.for_syscalls)
+        self._signal_index = _LogIndexCache(ThreadLogIndex.for_signals)
+        self._final: dict = {"final_digest": 0, "stats": {}, "complete": False}
+        self._closed = False
+        self.peak_buffered = 0
+        self.epochs_written = 0
+        self._last_checkpoint_ref: Optional[tuple] = None
+        self.initial_ref = self._put_checkpoint(initial_checkpoint)
+        self._write_manifest()
+
+    # -- storage helpers ------------------------------------------------
+    def _stats(self):
+        return obs_metrics.process_stats()
+
+    def _put_checkpoint(self, checkpoint: Checkpoint) -> str:
+        """Persist a checkpoint (pages + skeleton) into the blob store.
+
+        Pages go in under PR 4's wire digests — identical content across
+        epochs is written once. The skeleton (contexts, sync state, page
+        digest table) is itself a content-addressed blob whose hex digest
+        the manifest records; kernel state is deliberately excluded,
+        exactly like the wire skeletons (replay never needs it).
+        """
+        memo = self._last_checkpoint_ref
+        if memo is not None and memo[0] is checkpoint:
+            return memo[1]
+        stats = self._stats()
+        page_table: Dict[int, int] = {}
+        for no, page in checkpoint.memory.pages.items():
+            digest, blob = page.wire_blob()
+            page_table[no] = digest
+            if self.store.put(digest, blob):
+                stats.add("durable.blobs_written")
+                stats.add("durable.blob_bytes", len(blob))
+        skeleton = encode_object(
+            (
+                checkpoint.index,
+                checkpoint.time,
+                checkpoint.contexts,
+                checkpoint.sync_state,
+                checkpoint.dirty_pages,
+                page_table,
+            )
+        )
+        digest = blob_digest(skeleton)
+        if self.store.put(digest, skeleton):
+            stats.add("durable.blobs_written")
+            stats.add("durable.blob_bytes", len(skeleton))
+        ref = _hex(digest)
+        # Pin only the most recent checkpoint: each epoch's start is put
+        # exactly once except the initial one (put again by epoch 0's
+        # commit), so one entry is all the dedup this path ever needs —
+        # and pinning more would hold pages the spill mode wants freed.
+        self._last_checkpoint_ref = (checkpoint, ref)
+        return ref
+
+    def _segment_writer(self) -> SegmentWriter:
+        if self._segment is not None and (
+            self._segment.stored_bytes < self.segment_max_bytes
+        ):
+            return self._segment
+        if self._segment is not None:
+            self._retire_segment()
+        name = f"seg-{len(self._segments):05d}.dpseg"
+        path = os.path.join(self.directory, "segments", name)
+        self._segment = SegmentWriter(path, codec=self.codec)
+        self._segments.append(
+            {"file": f"segments/{name}", "codec": self.codec, "blocks": []}
+        )
+        return self._segment
+
+    def _retire_segment(self) -> None:
+        self._flush()
+        self.peak_buffered = max(self.peak_buffered, self._segment.peak_buffered)
+        self._segment.close(fsync=self.fsync)
+        self._segment = None
+
+    # -- frame encoding -------------------------------------------------
+    def _kind_code(self, kind: str) -> int:
+        code = self._sync_kinds.get(kind)
+        if code is None:
+            code = self._sync_kinds[kind] = len(self._sync_kinds)
+            if code > 0xFF:
+                raise ValueError("too many sync kinds for a one-byte code")
+        return code
+
+    @staticmethod
+    def _frame(stream: int, tid: int, epoch: int, payload: bytes) -> bytes:
+        return _FRAME_HEADER.pack(stream, tid, epoch) + payload
+
+    def _schedule_frames(self, epoch: int, schedule: ScheduleLog) -> List[bytes]:
+        per_tid: Dict[int, list] = {}
+        setdefault = per_tid.setdefault
+        for rank, timeslice in enumerate(schedule):
+            setdefault(timeslice.tid, []).extend(
+                (rank, timeslice.ops, 1 if timeslice.ended_blocked else 0)
+            )
+        return [
+            self._frame(
+                STREAM_SCHEDULE, tid, epoch,
+                _repeat_packer(len(flat) // 3).pack(*flat),
+            )
+            for tid, flat in sorted(per_tid.items())
+        ]
+
+    def _sync_frames(self, epoch: int, sync_log: SyncOrderLog) -> List[bytes]:
+        per_tid: Dict[int, list] = {}
+        setdefault = per_tid.setdefault
+        kind_code = self._kind_code
+        for rank, (kind, addr, tid) in enumerate(sync_log.events):
+            setdefault(tid, []).extend((rank, addr, kind_code(kind)))
+        return [
+            self._frame(
+                STREAM_SYNC, tid, epoch,
+                _repeat_packer(len(flat) // 3).pack(*flat),
+            )
+            for tid, flat in sorted(per_tid.items())
+        ]
+
+    def _syscall_frames(
+        self, epoch: int, log: Sequence[SyscallRecord], positions: Sequence[int]
+    ) -> List[bytes]:
+        per_tid: Dict[int, list] = {}
+        for rank, position in enumerate(positions):
+            record = log[position]
+            per_tid.setdefault(record.tid, []).append(
+                (
+                    rank,
+                    (
+                        record.tid,
+                        record.seq,
+                        record.kind.value,
+                        record.retval,
+                        record.writes,
+                        record.transferred,
+                    ),
+                )
+            )
+        return [
+            self._frame(
+                STREAM_SYSCALL, tid, epoch,
+                pickle.dumps(tuple(entries), protocol=4),
+            )
+            for tid, entries in sorted(per_tid.items())
+        ]
+
+    def _signal_frames(
+        self, epoch: int, log: Sequence[tuple], positions: Sequence[int]
+    ) -> List[bytes]:
+        per_tid: Dict[int, list] = {}
+        for rank, position in enumerate(positions):
+            record = log[position]
+            per_tid.setdefault(record[0], []).append((rank, tuple(record)))
+        return [
+            self._frame(
+                STREAM_SIGNAL, tid, epoch,
+                pickle.dumps(tuple(entries), protocol=4),
+            )
+            for tid, entries in sorted(per_tid.items())
+        ]
+
+    # -- commit path ----------------------------------------------------
+    def commit_epoch(
+        self,
+        record: EpochRecord,
+        start_checkpoint: Checkpoint,
+        end_checkpoint: Optional[Checkpoint],
+        syscall_log: Sequence[SyscallRecord],
+        signal_log: Sequence[tuple],
+    ) -> None:
+        """Append one committed epoch's shards to the group-commit buffer.
+
+        ``start_checkpoint``/``end_checkpoint`` bound the epoch's shard
+        extents: per-thread syscall records with ``seq`` in
+        ``[start.syscall_count, end.syscall_count)`` and signal records
+        with ``retired`` in the matching window belong to this epoch —
+        disjoint across epochs and (by checkpoint monotonicity)
+        concatenation-exact in global log order. ``end_checkpoint=None``
+        means no upper bound (the run's final epoch when the closing
+        checkpoint is not at hand — offline persistence): the logs were
+        already pruned to the committed prefix, so unbounded selects the
+        exact same records the live floors would.
+        """
+        if self._closed:
+            raise ValueError("durable log already closed")
+        stats = self._stats()
+        epoch = record.index
+        start_sys, start_sig = checkpoint_floors(start_checkpoint)
+        if end_checkpoint is None:
+            end_sys = end_sig = None
+        else:
+            end_sys, end_sig = checkpoint_floors(end_checkpoint)
+        syscall_positions = self._syscall_index.index_for(
+            syscall_log, force=record.recovered
+        ).positions_between(start_sys, end_sys)
+        signal_positions = self._signal_index.index_for(
+            signal_log, force=record.recovered
+        ).positions_between(start_sig, end_sig)
+
+        frames = self._schedule_frames(epoch, record.schedule)
+        frames += self._sync_frames(epoch, record.sync_log)
+        frames += self._syscall_frames(epoch, syscall_log, syscall_positions)
+        frames += self._signal_frames(epoch, signal_log, signal_positions)
+        meta = {
+            "index": epoch,
+            "targets": dict(record.targets),
+            "end_digest": record.end_digest,
+            "duration": record.duration,
+            "recovered": record.recovered,
+            "counts": {
+                "schedule": len(record.schedule),
+                "sync": len(record.sync_log),
+                "syscall": len(syscall_positions),
+                "signal": len(signal_positions),
+            },
+        }
+        frames.append(
+            self._frame(STREAM_META, 0, epoch, pickle.dumps(meta, protocol=4))
+        )
+
+        writer = self._segment_writer()
+        shard_bytes = 0
+        for frame in frames:
+            writer.append(frame)
+            shard_bytes += len(frame)
+        self._pending.append(
+            {
+                "index": epoch,
+                "recovered": record.recovered,
+                "checkpoint": self._put_checkpoint(start_checkpoint),
+                "block": None,
+                "records": sum(meta["counts"].values()),
+                "bytes": shard_bytes,
+            }
+        )
+        self.epochs_written += 1
+        stats.add("durable.epochs")
+        stats.add("durable.shard_bytes", shard_bytes)
+        if writer.buffered_bytes >= self.group_commit_bytes:
+            self._flush()
+            self._write_manifest()
+
+    def _flush(self) -> None:
+        """Force the buffer: one block, one fsync, seal pending epochs."""
+        if self._segment is None:
+            return
+        before = self._segment.stored_bytes
+        block_index = self._segment.flush(fsync=self.fsync)
+        if block_index is None:
+            return
+        stats = self._stats()
+        segment_index = len(self._segments) - 1
+        extent = self._segment.blocks[block_index]
+        self._segments[segment_index]["blocks"].append(list(extent))
+        for entry in self._pending:
+            entry["block"] = [segment_index, block_index]
+            self._sealed.append(entry)
+        sealed = len(self._pending)
+        self._pending = []
+        stats.add("durable.group_commits")
+        stats.add("durable.group_commit_epochs", sealed)
+        stats.add("durable.segment_bytes", self._segment.stored_bytes - before)
+        if self.fsync:
+            stats.add("durable.fsyncs")
+
+    # -- manifest -------------------------------------------------------
+    def _manifest_payload(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "codec": self.codec,
+            "program": self.program_name,
+            "worker_threads": self.worker_threads,
+            "workload": self.meta,
+            "initial": self.initial_ref,
+            "sync_kinds": [
+                kind
+                for kind, _ in sorted(
+                    self._sync_kinds.items(), key=lambda item: item[1]
+                )
+            ],
+            "epochs": list(self._sealed),
+            "segments": self._segments,
+            "final_digest": self._final["final_digest"],
+            "stats": self._final["stats"],
+            "complete": self._final["complete"],
+        }
+
+    def _write_manifest(self) -> None:
+        # The manifest is the commit point: every blob it references
+        # must already be in the pack, so force the pack first.
+        if self.store.flush(fsync=self.fsync) and self.fsync:
+            self._stats().add("durable.fsyncs")
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        payload = json.dumps(
+            self._manifest_payload(), separators=(",", ":")
+        ).encode("utf-8")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+
+    def close(self, final_digest: int = 0, stats: Optional[dict] = None) -> None:
+        """Seal the log: flush, close segments, write the final manifest."""
+        if self._closed:
+            return
+        self._final = {
+            "final_digest": final_digest,
+            "stats": dict(stats or {}),
+            "complete": True,
+        }
+        if self._segment is not None:
+            self._retire_segment()
+        self._stats().add("durable.buffered_peak", self.peak_buffered)
+        self._write_manifest()
+        self.store.close(fsync=self.fsync)
+        self._closed = True
+
+    def totals(self) -> dict:
+        """On-disk accounting for reports and benchmarks."""
+        segment_bytes = sum(
+            stored
+            for seg_entry in self._segments
+            for _offset, stored, _raw in seg_entry["blocks"]
+        )
+        return {
+            "epochs": self.epochs_written,
+            "segments": len(self._segments),
+            "segment_bytes": segment_bytes,
+            "blob_bytes": self.store.bytes_written,
+            "blobs_written": self.store.blobs_written,
+            "peak_buffered": self.peak_buffered,
+        }
+
+
+def persist_recording(
+    recording: Recording,
+    directory: str,
+    codec: Optional[str] = None,
+    meta: Optional[dict] = None,
+    fsync: Optional[bool] = None,
+    group_commit_bytes: Optional[int] = None,
+) -> dict:
+    """Write a finished in-memory recording out as a durable sharded log.
+
+    The offline twin of the recorder's streaming path (``log_dir``):
+    identical epochs, floors and codec produce a byte-identical log —
+    the final epoch just commits with no upper floor, which selects the
+    same records because the retained logs already end at the committed
+    prefix. Used by benchmarks and the log-size experiments; spilled
+    recordings no longer hold their logs and cannot be re-persisted.
+    Returns the writer's :meth:`~ShardedLogWriter.totals`.
+    """
+    if any(epoch.spilled for epoch in recording.epochs):
+        raise ValueError("recording was spilled; its logs live on disk only")
+    writer = ShardedLogWriter(
+        directory,
+        recording.initial_checkpoint,
+        recording.program_name,
+        recording.worker_threads,
+        codec=codec,
+        meta=meta,
+        fsync=fsync,
+        group_commit_bytes=group_commit_bytes,
+    )
+    epochs = recording.epochs
+    for position, record in enumerate(epochs):
+        end = (
+            epochs[position + 1].start_checkpoint
+            if position + 1 < len(epochs)
+            else None
+        )
+        writer.commit_epoch(
+            record,
+            record.start_checkpoint,
+            end,
+            recording.syscall_records,
+            recording.signal_records,
+        )
+    writer.close(final_digest=recording.final_digest, stats=recording.stats)
+    return writer.totals()
+
+
+class ShardedLogReader:
+    """Reads a durable sharded recording back into replayable form."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path) as handle:
+                self.manifest = json.load(handle)
+        except FileNotFoundError:
+            raise ReplayError(f"{directory}: no durable log manifest") from None
+        if self.manifest.get("format") != MANIFEST_FORMAT:
+            raise ReplayError(
+                f"{directory}: unsupported manifest format "
+                f"{self.manifest.get('format')!r}"
+            )
+        self.store = BlobStore(os.path.join(directory, "blobs"))
+        self._readers: Dict[int, SegmentReader] = {}
+        self._pages: Dict[int, Page] = {}
+        self._kinds = {kind.value: kind for kind in SyscallKind}
+
+    # -- introspection --------------------------------------------------
+    @property
+    def workload(self) -> dict:
+        return dict(self.manifest.get("workload") or {})
+
+    def epoch_count(self) -> int:
+        return len(self.manifest["epochs"])
+
+    # -- blob resolution ------------------------------------------------
+    def _page(self, digest: int) -> Page:
+        page = self._pages.get(digest)
+        if page is None:
+            kind, words = decode_blob(self.store.get(digest))
+            if kind != "page":
+                raise ReplayError(f"blob {_hex(digest)} is not a page")
+            page = Page(words)
+            self._pages[digest] = page
+        return page
+
+    def materialize_checkpoint(self, skeleton_hex: str) -> Checkpoint:
+        """Rebuild a :class:`Checkpoint` from its stored skeleton.
+
+        Pages resolve through a shared digest→``Page`` cache, so
+        checkpoints of consecutive epochs share page *objects* exactly
+        like in-memory copy-on-write snapshots do — the divergence
+        check's identity fast path survives the round trip. Each
+        checkpoint pins a reference per page, mirroring
+        ``WireCheckpoint.hydrate``.
+        """
+        kind, skeleton = decode_blob(self.store.get(int(skeleton_hex, 16)))
+        if kind != "object":
+            raise ReplayError("checkpoint skeleton blob is not an object")
+        index, time, contexts, sync_state, dirty_pages, page_table = skeleton
+        pages = {no: self._page(digest) for no, digest in page_table.items()}
+        for page in pages.values():
+            page.refs += 1
+        return Checkpoint(
+            index=index,
+            time=time,
+            memory=MemorySnapshot(pages),
+            contexts=contexts,
+            sync_state=sync_state,
+            kernel_state=None,
+            dirty_pages=dirty_pages,
+        )
+
+    # -- shard reads ----------------------------------------------------
+    def _segment_reader(self, segment_index: int) -> SegmentReader:
+        reader = self._readers.get(segment_index)
+        if reader is None:
+            entry = self.manifest["segments"][segment_index]
+            reader = SegmentReader(os.path.join(self.directory, entry["file"]))
+            self._readers[segment_index] = reader
+        return reader
+
+    def _frames_for(self, entries: Sequence[dict]) -> Dict[int, List[bytes]]:
+        """Read exactly the blocks the chosen epochs live in.
+
+        Blocks are the unit of compression, so a suffix load decompresses
+        only the suffix's blocks — this is what makes ``--from-epoch N``
+        I/O proportional to the suffix, not the run.
+        """
+        wanted = {entry["index"] for entry in entries}
+        blocks: Dict[Tuple[int, int], None] = {}
+        for entry in entries:
+            if entry["block"] is None:
+                raise ReplayError(
+                    f"epoch {entry['index']} was never sealed (torn log?)"
+                )
+            blocks[tuple(entry["block"])] = None
+        frames: Dict[int, List[bytes]] = {index: [] for index in wanted}
+        for segment_index, block_index in blocks:
+            segment = self.manifest["segments"][segment_index]
+            offset = segment["blocks"][block_index][0]
+            for frame in self._segment_reader(segment_index).read_block(offset):
+                stream, tid, epoch = _FRAME_HEADER.unpack_from(frame, 0)
+                if epoch in wanted:
+                    frames[epoch].append(frame)
+        return frames
+
+    def _decode_epoch(self, frames: List[bytes]) -> EpochRecord:
+        """Merge one epoch's shard frames back into an EpochRecord."""
+        sync_kinds = self.manifest["sync_kinds"]
+        schedule: List[Tuple[int, Timeslice]] = []
+        sync_events: List[Tuple[int, tuple]] = []
+        syscalls: List[Tuple[int, SyscallRecord]] = []
+        signals: List[Tuple[int, tuple]] = []
+        meta: Optional[dict] = None
+        for frame in frames:
+            stream, tid, _epoch = _FRAME_HEADER.unpack_from(frame, 0)
+            payload = frame[_FRAME_HEADER.size :]
+            if stream == STREAM_SCHEDULE:
+                for rank, ops, flags in _SCHED_REC.iter_unpack(payload):
+                    schedule.append(
+                        (rank, Timeslice(tid, ops, bool(flags & 1)))
+                    )
+            elif stream == STREAM_SYNC:
+                for rank, addr, code in _SYNC_REC.iter_unpack(payload):
+                    sync_events.append((rank, (sync_kinds[code], addr, tid)))
+            elif stream == STREAM_SYSCALL:
+                for rank, fields in pickle.loads(payload):
+                    rtid, seq, kind, retval, writes, transferred = fields
+                    syscalls.append(
+                        (
+                            rank,
+                            SyscallRecord(
+                                tid=rtid,
+                                seq=seq,
+                                kind=self._kinds[kind],
+                                retval=retval,
+                                writes=tuple(
+                                    (base, tuple(words))
+                                    for base, words in writes
+                                ),
+                                transferred=transferred,
+                            ),
+                        )
+                    )
+            elif stream == STREAM_SIGNAL:
+                for rank, record in pickle.loads(payload):
+                    signals.append((rank, tuple(record)))
+            elif stream == STREAM_META:
+                meta = pickle.loads(payload)
+        if meta is None:
+            raise ReplayError("epoch shard set has no meta frame")
+        for counted, merged in (
+            ("schedule", schedule),
+            ("sync", sync_events),
+            ("syscall", syscalls),
+            ("signal", signals),
+        ):
+            if meta["counts"][counted] != len(merged):
+                raise ReplayError(
+                    f"epoch {meta['index']}: {counted} shard records "
+                    f"{len(merged)} != manifest count {meta['counts'][counted]}"
+                )
+        schedule.sort()
+        sync_events.sort()
+        syscalls.sort()
+        signals.sort()
+        record = EpochRecord(
+            index=meta["index"],
+            start_checkpoint=None,
+            targets={int(t): ops for t, ops in meta["targets"].items()},
+            schedule=ScheduleLog(tuple(ts for _, ts in schedule)),
+            sync_log=SyncOrderLog(tuple(ev for _, ev in sync_events)),
+            end_digest=meta["end_digest"],
+            duration=meta["duration"],
+            recovered=meta["recovered"],
+        )
+        # ride the per-epoch logs out for the Recording-level concatenation
+        record._durable_syscalls = [r for _, r in syscalls]  # type: ignore
+        record._durable_signals = [r for _, r in signals]    # type: ignore
+        return record
+
+    # -- loading --------------------------------------------------------
+    def load_recording(
+        self, from_epoch: int = 0, materialize: bool = False
+    ) -> Recording:
+        """Rebuild a :class:`Recording` from the durable shards.
+
+        ``from_epoch=N`` loads only the suffix: the returned recording's
+        ``initial_checkpoint`` is epoch N's start state **materialised
+        from the blob store** — no prefix re-execution — and its epochs,
+        syscall and signal logs are the suffix shards. ``materialize``
+        additionally hydrates every epoch's start checkpoint (what
+        parallel replay needs), again from the store rather than by
+        sequential re-execution.
+        """
+        entries = self.manifest["epochs"]
+        if not 0 <= from_epoch <= len(entries):
+            raise ReplayError(
+                f"--from-epoch {from_epoch} outside recorded range "
+                f"0..{len(entries)}"
+            )
+        if from_epoch == len(entries) and not entries:
+            raise ReplayError("durable log holds no epochs")
+        chosen = entries[from_epoch:]
+        frames = self._frames_for(chosen)
+        if chosen:
+            initial = self.materialize_checkpoint(chosen[0]["checkpoint"])
+        else:
+            initial = self.materialize_checkpoint(self.manifest["initial"])
+        recording = Recording(
+            program_name=self.manifest["program"],
+            worker_threads=self.manifest["worker_threads"],
+            initial_checkpoint=initial,
+            final_digest=self.manifest["final_digest"],
+            stats=dict(self.manifest["stats"]),
+        )
+        for position, entry in enumerate(chosen):
+            record = self._decode_epoch(frames[entry["index"]])
+            if position == 0:
+                # The suffix's first epoch starts from ``initial`` — the
+                # very checkpoint just materialised from its manifest ref.
+                record.start_checkpoint = initial
+            elif materialize:
+                record.start_checkpoint = self.materialize_checkpoint(
+                    entry["checkpoint"]
+                )
+            recording.epochs.append(record)
+            recording.syscall_records.extend(record._durable_syscalls)
+            recording.signal_records.extend(record._durable_signals)
+            del record._durable_syscalls, record._durable_signals
+        return recording
+
+    def verify(self) -> List[str]:
+        """Integrity sweep: every referenced block and blob must verify."""
+        problems: List[str] = []
+        for entry in self.manifest["epochs"]:
+            if entry["block"] is None:
+                problems.append(f"epoch {entry['index']}: never sealed")
+                continue
+            if not self.store.has(int(entry["checkpoint"], 16)):
+                problems.append(
+                    f"epoch {entry['index']}: checkpoint blob missing"
+                )
+        for segment_index, segment in enumerate(self.manifest["segments"]):
+            try:
+                reader = self._segment_reader(segment_index)
+                for offset, _stored, _raw in segment["blocks"]:
+                    reader.read_block(offset)
+            except Exception as exc:  # noqa: BLE001 - report, don't raise
+                problems.append(f"{segment['file']}: {exc}")
+        return problems

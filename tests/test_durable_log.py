@@ -1,0 +1,364 @@
+"""The durable sharded event log: segments, blobs, writer/reader.
+
+Covers the storage layers bottom-up — block round trips per codec, the
+crash-truncation rule (torn tails truncate, interior corruption raises),
+content-addressed blob dedup — then the full writer/reader path on real
+recordings: durable round trips, ``--from-epoch`` suffix loads, spill
+(flight-recorder) mode, and the group-commit/fsync knobs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.baselines import run_native
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
+from repro.errors import ReplayError
+from repro.machine.config import MachineConfig
+from repro.record.segment import (
+    DEFAULT_CODEC,
+    SegmentCorruption,
+    SegmentReader,
+    SegmentWriter,
+    resolve_codec,
+)
+from repro.record.shards import BlobStore, ShardedLogReader
+from repro.workloads import build_workload
+
+FRAMES = [b"alpha", b"b" * 200, b"", b"gamma" * 50]
+
+
+# ----------------------------------------------------------------------
+# Segment files
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("codec", ["raw", "zlib1", "zlib6"])
+def test_segment_round_trip(tmp_path, codec):
+    path = str(tmp_path / "seg.dpseg")
+    writer = SegmentWriter(path, codec=codec)
+    for frame in FRAMES:
+        writer.append(frame)
+    first = writer.flush(fsync=False)
+    writer.append(b"second block")
+    writer.close(fsync=False)
+    assert first == 0
+    assert len(writer.blocks) == 2
+
+    reader = SegmentReader(path)
+    blocks = list(reader.iter_blocks())
+    assert [frames for _, frames in blocks] == [FRAMES, [b"second block"]]
+    # extents recorded by the writer address the same blocks
+    for extent, (offset, frames) in zip(writer.blocks, blocks):
+        assert extent.offset == offset
+        assert reader.read_block(offset) == frames
+
+
+def test_empty_flush_is_a_noop(tmp_path):
+    writer = SegmentWriter(str(tmp_path / "seg.dpseg"))
+    assert writer.flush(fsync=False) is None
+    assert writer.blocks == []
+
+
+def test_torn_tail_truncates(tmp_path):
+    path = str(tmp_path / "seg.dpseg")
+    writer = SegmentWriter(path, codec="raw")
+    writer.append(b"kept")
+    writer.flush(fsync=False)
+    writer.append(b"torn away")
+    writer.close(fsync=False)
+    # A crash mid-write leaves a partial second block: cut its body.
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 4)
+    blocks = list(SegmentReader(path).iter_blocks())
+    assert [frames for _, frames in blocks] == [[b"kept"]]
+
+
+def test_garbage_tail_truncates(tmp_path):
+    path = str(tmp_path / "seg.dpseg")
+    writer = SegmentWriter(path, codec="raw")
+    writer.append(b"kept")
+    writer.close(fsync=False)
+    with open(path, "ab") as handle:
+        handle.write(b"DPBK\x00garbage that is no block")
+    blocks = list(SegmentReader(path).iter_blocks())
+    assert [frames for _, frames in blocks] == [[b"kept"]]
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = str(tmp_path / "seg.dpseg")
+    writer = SegmentWriter(path, codec="raw")
+    writer.append(b"first block body")
+    first = writer.flush(fsync=False)
+    writer.append(b"second block")
+    writer.close(fsync=False)
+    offset = writer.blocks[first].offset
+    # Flip a byte inside the FIRST block's stored body — a later block
+    # still verifies, so this is corruption, not a torn tail.
+    with open(path, "r+b") as handle:
+        handle.seek(offset + 24)
+        byte = handle.read(1)
+        handle.seek(offset + 24)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    reader = SegmentReader(path)
+    with pytest.raises(SegmentCorruption):
+        list(reader.iter_blocks())
+    with pytest.raises(SegmentCorruption):
+        reader.read_block(offset)
+
+
+def test_not_a_segment_file(tmp_path):
+    path = tmp_path / "nope.dpseg"
+    path.write_bytes(b"hello world, definitely not a segment")
+    with pytest.raises(SegmentCorruption):
+        SegmentReader(str(path))
+
+
+class TestResolveCodec:
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_COMPRESS", "zlib6")
+        assert resolve_codec("raw") == "raw"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_COMPRESS", "zlib6")
+        assert resolve_codec() == "zlib6"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_COMPRESS", raising=False)
+        assert resolve_codec() == DEFAULT_CODEC
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_codec("lz4")
+
+
+# ----------------------------------------------------------------------
+# Blob store
+# ----------------------------------------------------------------------
+def test_blob_store_dedup(tmp_path):
+    store = BlobStore(str(tmp_path / "blobs"))
+    assert store.put(0xAB, b"payload") is True
+    assert store.put(0xAB, b"payload") is False
+    assert store.blobs_written == 1
+    assert store.bytes_written == len(b"payload")
+    assert store.get(0xAB) == b"payload"
+    assert store.has(0xAB)
+    assert not store.has(0xCD)
+    store.close()
+    # A second store over the same pack rediscovers on-disk blobs and
+    # never appends them again.
+    other = BlobStore(str(tmp_path / "blobs"))
+    assert other.put(0xAB, b"payload") is False
+    assert other.blobs_written == 0
+    assert other.get(0xAB) == b"payload"
+
+
+def test_blob_pack_torn_tail_truncates(tmp_path):
+    store = BlobStore(str(tmp_path / "blobs"))
+    store.put(0xAB, b"first blob")
+    store.put(0xCD, b"second blob")
+    store.close()
+    # A crash mid-append leaves a partial trailing entry; the scan must
+    # keep every complete blob and drop the torn one.
+    with open(store.path, "r+b") as handle:
+        handle.truncate(os.path.getsize(store.path) - 3)
+    reopened = BlobStore(str(tmp_path / "blobs"))
+    assert reopened.get(0xAB) == b"first blob"
+    assert not reopened.has(0xCD)
+    # The torn tail is overwritten by the next append at the same spot.
+    assert reopened.put(0xCD, b"second blob") is True
+
+
+# ----------------------------------------------------------------------
+# Sharded writer/reader end-to-end
+# ----------------------------------------------------------------------
+def _record(name="prodcons", workers=2, **overrides):
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+        **overrides,
+    )
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    return instance, machine, result
+
+
+def test_durable_round_trip_matches_in_memory(tmp_path):
+    log_dir = str(tmp_path / "log")
+    _, _, in_memory = _record("pbzip")
+    _, _, durable = _record("pbzip", log_dir=log_dir)
+    loaded = ShardedLogReader(log_dir).load_recording()
+    assert json.dumps(loaded.to_plain(), sort_keys=True) == json.dumps(
+        in_memory.recording.to_plain(), sort_keys=True
+    )
+    manifest = json.load(open(os.path.join(log_dir, "manifest.json")))
+    assert manifest["complete"] is True
+    assert manifest["final_digest"] == durable.recording.final_digest
+    assert ShardedLogReader(log_dir).verify() == []
+
+
+def test_from_epoch_loads_only_the_suffix(tmp_path):
+    log_dir = str(tmp_path / "log")
+    instance, machine, result = _record("pbzip", log_dir=log_dir)
+    total = result.recording.epoch_count()
+    assert total >= 4, "need a multi-epoch run for a mid-run start"
+    mid = total // 2
+    reader = ShardedLogReader(log_dir)
+    suffix = reader.load_recording(from_epoch=mid)
+    assert suffix.epoch_count() == total - mid
+    assert [e.index for e in suffix.epochs] == list(range(mid, total))
+    # The suffix starts from epoch mid's checkpoint, materialised from
+    # the blob store — not from program start.
+    assert suffix.initial_checkpoint.index == result.recording.epochs[
+        mid
+    ].start_checkpoint.index
+    outcome = Replayer(instance.image, machine).replay_sequential(suffix)
+    assert outcome.verified, outcome.details
+    assert outcome.epochs_replayed == total - mid
+
+
+def test_from_epoch_out_of_range(tmp_path):
+    log_dir = str(tmp_path / "log")
+    _record(log_dir=log_dir)
+    reader = ShardedLogReader(log_dir)
+    with pytest.raises(ReplayError):
+        reader.load_recording(from_epoch=reader.epoch_count() + 1)
+    with pytest.raises(ReplayError):
+        reader.load_recording(from_epoch=-1)
+
+
+def test_missing_manifest_raises(tmp_path):
+    with pytest.raises(ReplayError):
+        ShardedLogReader(str(tmp_path))
+
+
+def test_unsupported_manifest_format_raises(tmp_path):
+    (tmp_path / "manifest.json").write_text(json.dumps({"format": 99}))
+    with pytest.raises(ReplayError):
+        ShardedLogReader(str(tmp_path))
+
+
+def test_spill_mode_bounds_memory_and_matches_durable(tmp_path):
+    plain_dir = str(tmp_path / "plain")
+    spill_dir = str(tmp_path / "spill")
+    _, _, plain = _record("pbzip", log_dir=plain_dir)
+    instance, machine, spilled = _record(
+        "pbzip", log_dir=spill_dir, log_spill=True
+    )
+    # Spilled epochs hold no resident log data and refuse to_plain().
+    assert spilled.recording.resident_log_bytes() == 0
+    assert spilled.recording.stats["log_spilled"] == 1
+    with pytest.raises(ValueError):
+        spilled.recording.to_plain()
+    # Per-epoch size accounting survives the spill; full accounting
+    # (syscall/signal bytes included) lives on the durable load below.
+    assert (
+        spilled.recording.schedule_log_bytes()
+        == plain.recording.schedule_log_bytes()
+    )
+    assert (
+        spilled.recording.sync_log_bytes() == plain.recording.sync_log_bytes()
+    )
+    # The durable artefacts are byte-identical: spill changes only what
+    # stays resident, never what is written.
+    plain_manifest = open(os.path.join(plain_dir, "manifest.json")).read()
+    spill_manifest = open(os.path.join(spill_dir, "manifest.json")).read()
+    assert plain_manifest == spill_manifest
+    loaded = ShardedLogReader(spill_dir).load_recording()
+    assert loaded.total_log_bytes() == plain.recording.total_log_bytes()
+    outcome = Replayer(instance.image, machine).replay_sequential(loaded)
+    assert outcome.verified, outcome.details
+
+
+def test_spill_requires_log_dir():
+    with pytest.raises(ValueError):
+        _record(log_spill=True)
+
+
+def test_crash_tail_never_strands_a_sealed_epoch(tmp_path):
+    # Garbage appended past the last flushed block (a crash mid-write)
+    # is invisible: the manifest only references completed blocks.
+    log_dir = str(tmp_path / "log")
+    instance, machine, _ = _record("pbzip", log_dir=log_dir)
+    segments = sorted(os.listdir(os.path.join(log_dir, "segments")))
+    with open(os.path.join(log_dir, "segments", segments[-1]), "ab") as handle:
+        handle.write(b"DPBK partial block torn by a crash")
+    reader = ShardedLogReader(log_dir)
+    assert reader.verify() == []
+    loaded = reader.load_recording()
+    outcome = Replayer(instance.image, machine).replay_sequential(loaded)
+    assert outcome.verified, outcome.details
+
+
+def test_verify_reports_missing_blobs(tmp_path):
+    log_dir = str(tmp_path / "log")
+    _record(log_dir=log_dir)
+    os.remove(os.path.join(log_dir, "blobs", "pack.dppack"))
+    problems = ShardedLogReader(log_dir).verify()
+    assert any("checkpoint blob missing" in problem for problem in problems)
+
+
+def test_group_commit_and_fsync_knobs(tmp_path, monkeypatch):
+    # A 1 KiB threshold forces many group commits; REPRO_LOG_FSYNC=0
+    # skips the log force entirely (throwaway-dir benchmarks).
+    monkeypatch.setenv("REPRO_LOG_GROUP_KB", "1")
+    monkeypatch.setenv("REPRO_LOG_FSYNC", "0")
+    log_dir = str(tmp_path / "log")
+    _, _, result = _record("pbzip", log_dir=log_dir)
+    durable = result.metrics.snapshot()["durable"]
+    assert durable["group_commits"] > 1
+    assert durable.get("fsyncs", 0) == 0
+    manifest = json.load(open(os.path.join(log_dir, "manifest.json")))
+    blocks = sum(len(seg["blocks"]) for seg in manifest["segments"])
+    assert blocks == durable["group_commits"]
+    # Knobs change physical layout only — the logical content survives.
+    loaded = ShardedLogReader(log_dir).load_recording()
+    _, _, baseline = _record("pbzip")
+    assert json.dumps(loaded.to_plain(), sort_keys=True) == json.dumps(
+        baseline.recording.to_plain(), sort_keys=True
+    )
+
+
+def test_codec_choice_is_logically_invisible(tmp_path):
+    plains = {}
+    for codec in ("raw", "zlib1", "zlib6"):
+        log_dir = str(tmp_path / codec)
+        _record("pbzip", log_dir=log_dir, log_codec=codec)
+        loaded = ShardedLogReader(log_dir).load_recording()
+        plains[codec] = json.dumps(loaded.to_plain(), sort_keys=True)
+        manifest = json.load(open(os.path.join(log_dir, "manifest.json")))
+        assert manifest["codec"] == codec
+    assert plains["raw"] == plains["zlib1"] == plains["zlib6"]
+
+
+@pytest.mark.parametrize("name", ["pbzip", "racy-counter"])
+def test_offline_persist_matches_streamed_log(tmp_path, name):
+    # persist_recording (offline, final epoch unbounded) and the
+    # recorder's streaming path must produce byte-identical logs —
+    # including through forward recoveries (racy-counter prunes logs).
+    from repro.record.shards import persist_recording
+
+    streamed_dir = str(tmp_path / "streamed")
+    _, _, streamed = _record(name, log_dir=streamed_dir)
+    offline_dir = str(tmp_path / "offline")
+    _, _, in_memory = _record(name)
+    totals = persist_recording(in_memory.recording, offline_dir)
+    assert totals["epochs"] == in_memory.recording.epoch_count()
+
+    streamed_manifest = open(os.path.join(streamed_dir, "manifest.json")).read()
+    offline_manifest = open(os.path.join(offline_dir, "manifest.json")).read()
+    assert streamed_manifest == offline_manifest
+    for segment in sorted(os.listdir(os.path.join(streamed_dir, "segments"))):
+        a = open(os.path.join(streamed_dir, "segments", segment), "rb").read()
+        b = open(os.path.join(offline_dir, "segments", segment), "rb").read()
+        assert a == b, f"{segment} differs between streamed and offline"
+
+
+def test_persist_refuses_spilled_recordings(tmp_path):
+    from repro.record.shards import persist_recording
+
+    _, _, spilled = _record(log_dir=str(tmp_path / "log"), log_spill=True)
+    with pytest.raises(ValueError):
+        persist_recording(spilled.recording, str(tmp_path / "again"))

@@ -573,3 +573,98 @@ def test_goldens_survive_forced_blob_misses(monkeypatch):
         assert not any(result.host["faults"].values())
     finally:
         _shutdown_pool()
+
+
+# Durable-log parity: streaming committed epochs into the sharded
+# durable log (``--log-dir``), even in flight-recorder spill mode, is
+# invisible to the execution — and replay is bit-identical whether it
+# starts from (a) the in-memory recording, (b) the durable round trip,
+# or (c) ``--from-epoch N`` at a mid-run checkpoint materialised from
+# the blob store.
+DURABLE_PARITY = [
+    ("pbzip", 2, 1),
+    ("pbzip", 2, 4),
+    ("fft", 3, 1),
+    ("racy-counter", 2, 4),
+    ("prodcons-sem", 3, 1),
+]
+
+
+@pytest.mark.parametrize("name,workers,jobs", DURABLE_PARITY)
+def test_goldens_survive_durable_round_trip(tmp_path, name, workers, jobs):
+    from repro.record.shards import ShardedLogReader
+
+    instance = build_workload(name, workers=workers, scale=2, seed=11)
+    machine = MachineConfig(cores=workers)
+    native = run_native(instance.image, instance.setup, machine)
+    config = DoublePlayConfig(
+        machine=machine,
+        epoch_cycles=max(native.duration // 12, 500),
+        host_jobs=jobs,
+    )
+    log_dir = str(tmp_path / "log")
+    try:
+        in_memory = DoublePlayRecorder(
+            instance.image, instance.setup, config
+        ).record()
+        durable = DoublePlayRecorder(
+            instance.image,
+            instance.setup,
+            config.replace(log_dir=log_dir, log_spill=True),
+        ).record()
+
+        # Durable streaming (with spill!) changes nothing observable.
+        assert durable.makespan == in_memory.makespan
+        assert durable.stats == dict(in_memory.stats, log_spilled=1)
+
+        # (b) the round-tripped durable recording is byte-identical to
+        # (a) the in-memory one, and reproduces the committed goldens.
+        loaded = ShardedLogReader(log_dir).load_recording()
+        assert json.dumps(loaded.to_plain(), sort_keys=True) == json.dumps(
+            in_memory.recording.to_plain(), sort_keys=True
+        )
+        observed = (
+            native.duration,
+            native.final_digest,
+            durable.makespan,
+            loaded.epoch_count(),
+            loaded.final_digest,
+            combine_hashes([e.end_digest for e in loaded.epochs]),
+            loaded.total_log_bytes(),
+        )
+        assert observed == GOLDEN[(name, workers)]
+
+        # Replay verdicts and cycle counts agree across all sources.
+        replayer = Replayer(instance.image, machine)
+        from_memory = replayer.replay_sequential(in_memory.recording)
+        assert from_memory.verified, f"{name}: {from_memory.details}"
+        from_durable = replayer.replay_sequential(loaded)
+        assert from_durable.verified, f"{name}: {from_durable.details}"
+        assert (from_durable.total_cycles, from_durable.makespan) == (
+            from_memory.total_cycles, from_memory.makespan,
+        )
+
+        # Parallel replay runs from blob-store checkpoints (materialize),
+        # through worker processes when jobs > 1.
+        hydrated = ShardedLogReader(log_dir).load_recording(materialize=True)
+        parallel = replayer.replay_parallel(hydrated, jobs=jobs)
+        assert parallel.verified, f"{name}: {parallel.details}"
+        reference = replayer.replay_parallel(in_memory.recording)
+        assert (parallel.total_cycles, parallel.makespan) == (
+            reference.total_cycles, reference.makespan,
+        )
+
+        # (c) a mid-run suffix replays only total - N epochs, ending in
+        # the same verified final state.
+        total = loaded.epoch_count()
+        mid = total // 2
+        suffix = ShardedLogReader(log_dir).load_recording(from_epoch=mid)
+        assert suffix.epoch_count() == total - mid
+        assert [e.index for e in suffix.epochs] == list(range(mid, total))
+        from_mid = replayer.replay_sequential(suffix)
+        assert from_mid.verified, f"{name}: {from_mid.details}"
+        assert from_mid.epochs_replayed == total - mid
+        assert from_mid.total_cycles < from_memory.total_cycles
+    finally:
+        if jobs > 1:
+            _shutdown_pool()
