@@ -1,0 +1,323 @@
+"""Flight-recorder benchmark: the window really bounds on-disk bytes.
+
+The acceptance property for ``record --flight-window K`` is a *bound*:
+on-disk log bytes must depend on the window, not the run length. Per
+workload, two streamed recordings with the same epoch granularity and
+the same window K — one short (a handful of epochs past K) and one
+~4× longer — and the measurements:
+
+* ``footprint_ratio`` — long-run disk bytes over short-run disk bytes,
+  both with window K. Without GC this grows linearly with run length
+  (the long run here writes ~4× the epochs); with the window it must
+  stay within a constant factor (residual pack slack, the open
+  segment, per-epoch size drift between scales). The committed number
+  is CI-gated against ``FOOTPRINT_CEILING``.
+* ``reclaim_factor`` — unwindowed long-run footprint over windowed
+  long-run footprint: how much the slide+GC actually deleted.
+* ``window_overhead`` — windowed record wall over unwindowed record
+  wall (paired-ratio median, the repo's standard estimator): the
+  price of refcounting, manifest slides, segment deletion and pack
+  compaction on the record path.
+* ``recover_ms`` — wall time of the full recovery path on the windowed
+  artifact: open, ``verify()``, load the tail, replay it sequentially
+  (verified = bit-identical per-epoch digests).
+
+Results are written to ``BENCH_flight_recorder.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_flight_recorder.py            # measure + print
+    python benchmarks/bench_flight_recorder.py --quick
+    python benchmarks/bench_flight_recorder.py --write optimized
+    python benchmarks/bench_flight_recorder.py --quick --check  # CI gate
+
+``--check`` fails (exit 1) when the footprint ratio exceeds
+``max(FOOTPRINT_CEILING, committed * (1 + BENCH_TOLERANCE))``, or when
+any windowed run stopped replaying verified.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+# Measure the GC/write path, not the device sync latency.
+os.environ.setdefault("REPRO_LOG_FSYNC", "0")
+# Commit every epoch so the window slides continuously — that is the
+# flight-recorder steady state this benchmark is about.
+os.environ.setdefault("REPRO_LOG_GROUP_KB", "1")
+
+from repro.baselines import run_native  # noqa: E402
+from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer  # noqa: E402
+from repro.machine.config import MachineConfig  # noqa: E402
+from repro.record.shards import ShardedLogReader  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
+
+#: pbzip: page/syscall-heavy shards; apache: sync-heavy shards
+WORKLOADS = ("pbzip", "apache")
+WINDOW = 4
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_flight_recorder.json"
+)
+#: long-run/short-run windowed footprint — the constant-factor bound.
+#: Slack sources: the still-open segment, pack bytes below the
+#: compaction threshold at close (reclaimed, but the long run carries
+#: more churn), and per-epoch shard size drifting with workload scale.
+FOOTPRINT_CEILING = 3.0
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _disk_bytes(directory):
+    return sum(
+        os.path.getsize(os.path.join(root, name))
+        for root, _, names in os.walk(directory)
+        for name in names
+    )
+
+
+def _record_durable(instance, machine, epoch_cycles, log_dir, window):
+    shutil.rmtree(log_dir, ignore_errors=True)
+    overrides = {
+        "machine": machine,
+        "epoch_cycles": epoch_cycles,
+        "log_dir": log_dir,
+        "log_spill": True,
+        "flight_window": window,
+    }
+    config = DoublePlayConfig(**overrides)
+    start = time.perf_counter()
+    result = DoublePlayRecorder(instance.image, instance.setup, config).record()
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def measure_workload(name: str, short_scale: int, pairs: int, workdir: str):
+    machine = MachineConfig(cores=2)
+    long_scale = short_scale * 4
+    short = build_workload(name, workers=2, scale=short_scale, seed=1)
+    long_ = build_workload(name, workers=2, scale=long_scale, seed=1)
+    native = run_native(short.image, short.setup, machine)
+    # Fixed epoch granularity across both run lengths: the long run gets
+    # ~4x the epochs, not 4x-longer epochs.
+    epoch_cycles = max(native.duration // (WINDOW + 2), 500)
+
+    dirs = {
+        key: os.path.join(workdir, f"{name}-{key}")
+        for key in ("short-win", "long-win", "long-full")
+    }
+    short_win, _ = _record_durable(
+        short, machine, epoch_cycles, dirs["short-win"], WINDOW
+    )
+    long_win, _ = _record_durable(
+        long_, machine, epoch_cycles, dirs["long-win"], WINDOW
+    )
+    long_full, _ = _record_durable(
+        long_, machine, epoch_cycles, dirs["long-full"], None
+    )
+    short_epochs = short_win.stats["epochs"]
+    long_epochs = long_win.stats["epochs"]
+    assert long_epochs > short_epochs > WINDOW, (
+        f"{name}: degenerate epoch counts {short_epochs}/{long_epochs} — "
+        "the bound would be vacuous"
+    )
+
+    footprints = {key: _disk_bytes(path) for key, path in dirs.items()}
+    footprint_ratio = footprints["long-win"] / footprints["short-win"]
+    reclaim_factor = footprints["long-full"] / footprints["long-win"]
+
+    # -- window overhead on the record path (paired-ratio median) --------
+    ratios = []
+    walls = {"windowed": [], "unwindowed": []}
+    for _ in range(pairs):
+        _, full_wall = _record_durable(
+            long_, machine, epoch_cycles, dirs["long-full"], None
+        )
+        _, win_wall = _record_durable(
+            long_, machine, epoch_cycles, dirs["long-win"], WINDOW
+        )
+        ratios.append(win_wall / full_wall)
+        walls["unwindowed"].append(full_wall)
+        walls["windowed"].append(win_wall)
+    ratios.sort()
+    window_overhead = ratios[len(ratios) // 2] - 1.0
+
+    # -- full recovery path on the windowed artifact ---------------------
+    def _recover():
+        reader = ShardedLogReader(dirs["long-win"])
+        assert reader.verify() == [], f"{name}: windowed log failed verify"
+        tail = reader.load_recording()
+        outcome = Replayer(long_.image, machine).replay_sequential(tail)
+        assert outcome.verified, f"{name}: tail replay diverged"
+        return outcome
+
+    recover_walls = []
+    for _ in range(max(2, pairs)):
+        start = time.perf_counter()
+        outcome = _recover()
+        recover_walls.append(time.perf_counter() - start)
+
+    durable = long_win.metrics.snapshot().get("durable", {})
+    return {
+        "window": WINDOW,
+        "epochs": {"short": short_epochs, "long": long_epochs},
+        "disk_bytes": {
+            "short_windowed": footprints["short-win"],
+            "long_windowed": footprints["long-win"],
+            "long_unwindowed": footprints["long-full"],
+        },
+        "footprint_ratio": round(footprint_ratio, 3),
+        "reclaim_factor": round(reclaim_factor, 3),
+        "window_overhead": round(window_overhead, 4),
+        "record_wall_ms": {
+            key: round(min(values) * 1e3, 3) for key, values in walls.items()
+        },
+        "recover_ms": round(min(recover_walls) * 1e3, 3),
+        "tail_epochs_replayed": outcome.epochs_replayed,
+        "gc": {
+            "window_slides": durable.get("window_slides", 0),
+            "epochs_dropped": durable.get("window_epochs_dropped", 0),
+            "segments_deleted": durable.get("segments_deleted", 0),
+            "pack_compactions": durable.get("pack_compactions", 0),
+            "segment_bytes_reclaimed": durable.get(
+                "segment_bytes_reclaimed", 0
+            ),
+            "pack_bytes_reclaimed": durable.get("pack_bytes_reclaimed", 0),
+        },
+    }
+
+
+def run_suite(quick: bool):
+    short_scale = 4 if quick else 8
+    pairs = 3 if quick else 7
+    per_workload = {}
+    workdir = tempfile.mkdtemp(prefix="bench-flight-")
+    try:
+        for name in WORKLOADS:
+            per_workload[name] = measure_workload(
+                name, short_scale=short_scale, pairs=pairs, workdir=workdir
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    headline = _geomean(
+        [row["footprint_ratio"] for row in per_workload.values()]
+    )
+    reclaim = _geomean(
+        [row["reclaim_factor"] for row in per_workload.values()]
+    )
+    overhead = (
+        _geomean(
+            [1.0 + row["window_overhead"] for row in per_workload.values()]
+        )
+        - 1.0
+    )
+    return {
+        "mode": "quick" if quick else "full",
+        "short_scale": short_scale,
+        "window": WINDOW,
+        "pairs": pairs,
+        "host_cpu_count": os.cpu_count() or 1,
+        "per_workload": per_workload,
+        "headline": round(headline, 3),
+        "reclaim_factor": round(reclaim, 3),
+        "window_overhead": round(overhead, 4),
+    }
+
+
+def _load_results():
+    if RESULT_PATH.exists():
+        return json.loads(RESULT_PATH.read_text())
+    return {}
+
+
+def _print_suite(result):
+    print(
+        f"flight recorder ({result['mode']}, window={result['window']}, "
+        f"pairs={result['pairs']}):"
+    )
+    for name, row in result["per_workload"].items():
+        disk = row["disk_bytes"]
+        print(
+            f"  {name:<8} {row['epochs']['short']:>2} vs "
+            f"{row['epochs']['long']:>2} epochs: "
+            f"{disk['short_windowed']}B vs {disk['long_windowed']}B windowed "
+            f"({row['footprint_ratio']:.2f}x), unwindowed "
+            f"{disk['long_unwindowed']}B ({row['reclaim_factor']:.2f}x "
+            f"reclaimed)"
+        )
+        gc = row["gc"]
+        print(
+            f"           {gc['window_slides']} slide(s) dropped "
+            f"{gc['epochs_dropped']} epoch(s); {gc['segments_deleted']} "
+            f"segment(s) + {gc['pack_compactions']} compaction(s) freed "
+            f"{gc['segment_bytes_reclaimed'] + gc['pack_bytes_reclaimed']}B; "
+            f"record overhead {row['window_overhead']:+.1%}, recover+replay "
+            f"{row['recover_ms']:.1f}ms ({row['tail_epochs_replayed']} "
+            f"epochs)"
+        )
+    print(
+        f"  HEADLINE footprint ratio {result['headline']:.2f}x "
+        f"(ceiling {FOOTPRINT_CEILING:.1f}x), reclaim "
+        f"{result['reclaim_factor']:.2f}x, window overhead "
+        f"{result['window_overhead']:+.1%} (suite geomeans)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small scale")
+    parser.add_argument(
+        "--write", choices=("optimized",), help="store results under this key"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the footprint bound regresses vs committed",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite(quick=args.quick)
+    _print_suite(result)
+
+    results = _load_results()
+    if args.write:
+        results.setdefault(args.write, {})[result["mode"]] = result
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.write}/{result['mode']} to {RESULT_PATH.name}")
+
+    if args.check:
+        committed = results.get("optimized", {}).get(result["mode"])
+        if not committed:
+            print(
+                "check: no committed optimized numbers for this mode",
+                file=sys.stderr,
+            )
+            return 1
+        tolerance = float(os.environ.get("BENCH_TOLERANCE", "0.2"))
+        # The absolute ceiling is the bar; committed + tolerance absorbs
+        # box-to-box noise around it.
+        ceiling = max(
+            FOOTPRINT_CEILING, committed["headline"] * (1.0 + tolerance)
+        )
+        status = "ok" if result["headline"] <= ceiling else "REGRESSION"
+        print(
+            f"check: footprint ratio {result['headline']:.2f}x vs committed "
+            f"{committed['headline']:.2f}x (ceiling {ceiling:.2f}x) → {status}"
+        )
+        return 1 if status != "ok" else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

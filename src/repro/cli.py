@@ -171,6 +171,23 @@ _HOST_SUMMARY_ROWS = (
         ),
         "suffix": "",
     },
+    {
+        "title": "flight recorder",
+        "gate": (
+            ("durable", "window_slides"),
+            ("durable", "segments_deleted"),
+            ("durable", "pack_compactions"),
+        ),
+        "cells": (
+            ("{} window slide(s) dropped ", "durable", "window_slides"),
+            ("{} epoch(s); ", "durable", "window_epochs_dropped"),
+            ("{} segment(s) deleted, ", "durable", "segments_deleted"),
+            ("{} pack compaction(s); ", "durable", "pack_compactions"),
+            ("{} segment + ", "durable", "segment_bytes_reclaimed"),
+            ("{} pack byte(s) reclaimed", "durable", "pack_bytes_reclaimed"),
+        ),
+        "suffix": "",
+    },
 )
 
 
@@ -250,6 +267,12 @@ def cmd_record(args, out) -> int:
     if args.log_spill and not args.log_dir:
         print("error: --log-spill requires --log-dir", file=out)
         return 2
+    if args.flight_window is not None and not args.log_dir:
+        print("error: --flight-window requires --log-dir", file=out)
+        return 2
+    if args.flight_window is not None and args.flight_window < 1:
+        print("error: --flight-window must be >= 1", file=out)
+        return 2
     if args.output and args.log_spill:
         print(
             "error: --output needs the in-memory logs, which --log-spill "
@@ -265,6 +288,7 @@ def cmd_record(args, out) -> int:
         overrides["log_dir"] = args.log_dir
         overrides["log_spill"] = args.log_spill
         overrides["log_codec"] = args.log_codec
+        overrides["flight_window"] = args.flight_window
         overrides["log_meta"] = {
             "name": args.workload,
             "workers": args.workers,
@@ -322,6 +346,30 @@ def cmd_replay(args, out) -> int:
     from repro.errors import ReplayError
 
     durable = os.path.isdir(args.recording)
+    if args.tail:
+        if not durable:
+            print("error: --tail needs a durable log directory", file=out)
+            return 2
+        from repro.record.shards import ShardedLogReader
+
+        try:
+            reader = ShardedLogReader(args.recording)
+        except ReplayError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        if not reader.complete:
+            reason = reader.crash_reason or "no final manifest seal"
+            print(f"crashed/unsealed log: {reason}", file=out)
+        problems = reader.verify()
+        if problems:
+            for problem in problems:
+                print(f"  {problem}", file=out)
+            print(
+                f"error: {len(problems)} integrity problem(s) — "
+                "tail is not replayable",
+                file=out,
+            )
+            return 2
     want_checkpoints = (
         args.epoch is not None or args.parallel or args.jobs > 1
     )
@@ -358,7 +406,10 @@ def cmd_replay(args, out) -> int:
         else:
             outcome = replayer.replay_sequential(recording)
             label = "sequential"
-    if args.from_epoch:
+    if args.tail:
+        first, last = recording.epoch_range()
+        label = f"{label} tail (epochs {first}..{last})"
+    elif args.from_epoch is not None:
         label = f"{label} from epoch {args.from_epoch}"
     status = "verified" if outcome.verified else "FAILED"
     print(
@@ -374,14 +425,18 @@ def cmd_replay(args, out) -> int:
     return 0 if outcome.verified else 1
 
 
-def _load_recording(path, from_epoch: int = 0, materialize: bool = False):
+def _load_recording(
+    path, from_epoch: Optional[int] = None, materialize: bool = False
+):
     """Load a recording from a JSON file or a durable log directory.
 
     Directory paths are sharded durable logs (``repro.record.shards``):
     the recording is rebuilt from the manifest, ``from_epoch`` selects a
     suffix whose start checkpoint materialises from the blob store, and
     ``materialize`` hydrates every epoch's checkpoint (parallel replay) —
-    no sequential re-execution in either case.
+    no sequential re-execution in either case. ``from_epoch`` uses
+    ``None`` as the "not given" sentinel so epoch 0 is an explicit,
+    valid target.
     """
     if os.path.isdir(path):
         from repro.errors import ReplayError
@@ -403,7 +458,7 @@ def _load_recording(path, from_epoch: int = 0, materialize: bool = False):
             from_epoch=from_epoch, materialize=materialize
         )
         return meta, instance, machine, recording
-    if from_epoch:
+    if from_epoch is not None:
         from repro.errors import ReplayError
 
         raise ReplayError(
@@ -428,6 +483,60 @@ def _load_recording(path, from_epoch: int = 0, materialize: bool = False):
     initial = CheckpointManager().initial(boot)
     recording = Recording.from_plain(payload["recording"], initial)
     return meta, instance, machine, recording
+
+
+def cmd_log(args, out) -> int:
+    """Durable-log maintenance; today one subcommand, ``recover``."""
+    from repro.errors import ReplayError
+    from repro.record.shards import ShardedLogReader
+
+    try:
+        reader = ShardedLogReader(args.directory)
+    except ReplayError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    state = "complete" if reader.complete else "crashed/unsealed"
+    line = f"{args.directory}: {state}"
+    if reader.crash_reason:
+        line += f" — {reader.crash_reason}"
+    print(line, file=out)
+    problems = reader.verify()
+    if problems:
+        for problem in problems:
+            print(f"  {problem}", file=out)
+        print(
+            f"recover FAILED: {len(problems)} integrity problem(s)", file=out
+        )
+        return 1
+    count = reader.epoch_count()
+    if not count:
+        print("recover FAILED: no committed epochs survived", file=out)
+        return 1
+    first = reader.first_epoch()
+    window = (
+        f", flight window {reader.flight_window}"
+        if reader.flight_window
+        else ""
+    )
+    print(
+        f"  {count} committed epoch(s), {first}..{first + count - 1}{window}",
+        file=out,
+    )
+    try:
+        meta, instance, machine, recording = _load_recording(args.directory)
+    except ReplayError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    outcome = Replayer(instance.image, machine).replay_sequential(recording)
+    status = "verified" if outcome.verified else "FAILED"
+    print(
+        f"tail replay of {meta['name']}: {status}, "
+        f"{outcome.epochs_replayed} epoch(s)",
+        file=out,
+    )
+    for detail in outcome.details:
+        print(f"  {detail}", file=out)
+    return 0 if outcome.verified else 1
 
 
 def cmd_diagnose(args, out) -> int:
@@ -527,6 +636,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-codec", default=None, choices=["raw", "zlib1", "zlib6"],
         help="segment compression codec (default: REPRO_LOG_COMPRESS or "
              "zlib1)")
+    record_parser.add_argument(
+        "--flight-window", type=int, default=None, metavar="K",
+        help="flight-recorder window: keep only the last K epochs durable "
+             "— old shard extents drop from the manifest, dead segments "
+             "are deleted and the blob pack compacted, so disk stays "
+             "bounded by the window (requires --log-dir; env fallback: "
+             "REPRO_FLIGHT_WINDOW)")
     record_parser.add_argument("-o", "--output", help="save recording JSON here")
 
     replay_parser = commands.add_parser("replay", help="replay a saved recording")
@@ -535,10 +651,15 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--parallel", action="store_true",
                                help="parallel epoch replay")
     replay_parser.add_argument(
-        "--from-epoch", type=int, default=0, metavar="N", dest="from_epoch",
+        "--from-epoch", type=int, default=None, metavar="N", dest="from_epoch",
         help="incremental replay: materialize epoch N's checkpoint from "
              "the durable log and replay only the suffix (directory "
-             "recordings only)")
+             "recordings only; on a flight-recorder log N is the absolute "
+             "run index and must be inside the surviving window)")
+    replay_parser.add_argument(
+        "--tail", action="store_true",
+        help="recover a crashed/unsealed durable log: verify integrity, "
+             "then replay the surviving committed tail")
     replay_parser.add_argument(
         "--jobs", type=int, default=1,
         help="host worker processes for parallel replay (implies --parallel; "
@@ -571,6 +692,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when the epoch overlap ratio is below RATIO "
              "— the CI gate for pipelined epoch commit")
 
+    log_parser = commands.add_parser(
+        "log", help="durable-log maintenance (crash recovery)"
+    )
+    log_sub = log_parser.add_subparsers(dest="log_command", required=True)
+    recover_parser = log_sub.add_parser(
+        "recover",
+        help="open a crashed/unsealed durable log, verify it, and replay "
+             "the surviving committed tail",
+    )
+    recover_parser.add_argument("directory", help="durable log directory")
+
     diagnose_parser = commands.add_parser(
         "diagnose", help="explain a recording's rollbacks (racing addresses)"
     )
@@ -593,6 +725,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "run": cmd_run,
         "record": cmd_record,
         "replay": cmd_replay,
+        "log": cmd_log,
         "diagnose": cmd_diagnose,
         "experiment": cmd_experiment,
         "trace": cmd_trace,

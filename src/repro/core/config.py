@@ -115,6 +115,13 @@ class DoublePlayConfig:
     #: workload metadata recorded verbatim in the durable manifest so
     #: ``repro replay <dir>`` can rebuild the program (name/workers/...).
     log_meta: Optional[dict] = None
+    #: rolling flight-recorder window: keep only the last K epochs
+    #: durable (pre-window shard extents drop from the manifest, dead
+    #: segments are deleted, the blob pack is compacted), bounding
+    #: on-disk bytes by the window regardless of run length. Requires
+    #: ``log_dir``. None = keep everything; the ``REPRO_FLIGHT_WINDOW``
+    #: env var supplies a default when the field is unset.
+    flight_window: Optional[int] = None
 
     def workers(self) -> int:
         return self.machine.cores
@@ -127,6 +134,14 @@ class DoublePlayConfig:
 
     def resolve_host_jobs(self) -> int:
         return max(1, self.host_jobs)
+
+    def resolve_flight_window(self) -> Optional[int]:
+        """Effective flight window: the explicit field, else the env var."""
+        if self.flight_window is not None:
+            return self.flight_window
+        from repro.record.shards import _flight_window_env
+
+        return _flight_window_env()
 
     def replace(self, **overrides) -> "DoublePlayConfig":
         return dataclasses.replace(self, **overrides)

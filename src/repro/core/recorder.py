@@ -247,6 +247,30 @@ class DoublePlayRecorder:
 
     # ------------------------------------------------------------------
     def record(self) -> RecordResult:
+        """Record one run; the durable sink never leaks on a crash.
+
+        Everything that can go wrong mid-run — a workload fault escaping
+        the engine, ``KeyboardInterrupt``, a host-layer error — used to
+        skip ``sink.close()`` entirely, losing the group-commit buffer
+        and the sealing manifest: the one scenario a durable log exists
+        for. The sink is tracked on the instance so this wrapper can
+        seal the committed prefix (``close_partial``) with the crash
+        reason before re-raising; `repro log recover` / `replay --tail`
+        then open exactly that artifact.
+        """
+        self._sink = None
+        try:
+            return self._record()
+        except BaseException as exc:
+            sink = self._sink
+            if sink is not None and not sink.closed:
+                try:
+                    sink.close_partial(f"{type(exc).__name__}: {exc}")
+                except Exception:
+                    pass  # never mask the original failure
+            raise
+
+    def _record(self) -> RecordResult:
         config = self.config
         costs = self.machine.costs
         stats_baseline = obs_metrics.process_stats().snapshot()
@@ -274,16 +298,19 @@ class DoublePlayRecorder:
             # the durable-log layer.
             from repro.record.shards import ShardedLogWriter
 
-            sink = ShardedLogWriter(
+            sink = self._sink = ShardedLogWriter(
                 config.log_dir,
                 initial,
                 self.program.name,
                 self.machine.cores,
                 codec=config.log_codec,
                 meta=config.log_meta,
+                flight_window=config.resolve_flight_window(),
             )
         elif config.log_spill:
             raise ValueError("log_spill requires log_dir")
+        elif config.flight_window:
+            raise ValueError("flight_window requires log_dir")
 
         host_jobs = config.resolve_host_jobs()
         executor = None

@@ -19,7 +19,7 @@ and can regenerate the checkpoints as it goes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.checkpoint.checkpoint import Checkpoint
 from repro.oskernel.syscalls import SyscallKind, SyscallRecord
@@ -101,6 +101,18 @@ class Recording:
     # ------------------------------------------------------------------
     def epoch_count(self) -> int:
         return len(self.epochs)
+
+    def epoch_range(self) -> Tuple[int, int]:
+        """``(first, last)`` absolute epoch indices held by this recording.
+
+        0-based run indices, inclusive. Differs from ``(0,
+        epoch_count()-1)`` for suffix loads (``--from-epoch``) and
+        flight-recorder tails, whose first surviving epoch is the window
+        base. ``(0, -1)`` when empty.
+        """
+        if not self.epochs:
+            return (0, -1)
+        return (self.epochs[0].index, self.epochs[-1].index)
 
     def divergences(self) -> int:
         return self.stats.get("divergences", 0)

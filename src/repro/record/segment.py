@@ -65,6 +65,29 @@ CODEC_NAMES = {value: name for name, value in CODECS.items()}
 DEFAULT_CODEC = "zlib1"
 
 
+def fsync_dir(path: str) -> bool:
+    """fsync a directory so renames/creates/unlinks inside it are durable.
+
+    ``os.replace`` makes a manifest swap atomic but not durable: until
+    the *directory* is synced, power loss can roll the rename back (or
+    resurrect an unlinked segment). Returns False where directories
+    cannot be fsynced (some platforms/filesystems) — durability then
+    degrades to the filesystem's own ordering, which is the best
+    available.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
 def resolve_codec(name: Optional[str] = None) -> str:
     """Codec to use: explicit ``name``, else ``REPRO_LOG_COMPRESS``, else
     the measured default. Unknown names raise — a typo silently falling
@@ -155,6 +178,7 @@ class SegmentWriter:
         self.stored_bytes = self._offset
         self.flushes = 0
         self.fsyncs = 0
+        self._dir_synced = False
 
     def append(self, frame: bytes) -> None:
         """Buffer one frame for the next group commit."""
@@ -190,6 +214,14 @@ class SegmentWriter:
         if fsync:
             os.fsync(self._handle.fileno())
             self.fsyncs += 1
+            if not self._dir_synced:
+                # The first durable block must also make the segment
+                # file's directory entry durable, or power loss can
+                # drop the whole file out from under a manifest that
+                # references its blocks.
+                if fsync_dir(os.path.dirname(self.path) or "."):
+                    self.fsyncs += 1
+                self._dir_synced = True
         extent = BlockExtent(self._offset, len(stored), raw_len)
         self.blocks.append(extent)
         self._offset += _BLOCK_HEADER.size + len(stored)

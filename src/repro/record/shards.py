@@ -72,6 +72,7 @@ from repro.record.schedule_log import ScheduleLog, Timeslice
 from repro.record.segment import (
     SegmentReader,
     SegmentWriter,
+    fsync_dir,
     resolve_codec,
 )
 from repro.record.sync_log import SyncOrderLog
@@ -120,6 +121,36 @@ def _fsync_enabled() -> bool:
     return os.environ.get("REPRO_LOG_FSYNC", "") != "0"
 
 
+_DEF_COMPACT_KB = 256
+
+
+def _pack_compact_bytes() -> int:
+    """Dead-byte threshold that triggers a pack compaction mid-run.
+
+    ``REPRO_LOG_COMPACT_KB`` KiB, default 256. Compaction rewrites the
+    whole pack, so slides accumulate dead checkpoint blobs until the
+    reclaimable bytes justify the copy; a clean close always compacts
+    whatever is left so the final footprint is exactly the live window.
+    """
+    raw = os.environ.get("REPRO_LOG_COMPACT_KB", "")
+    try:
+        return max(1, int(float(raw) * 1024)) if raw else _DEF_COMPACT_KB * 1024
+    except ValueError:
+        return _DEF_COMPACT_KB * 1024
+
+
+def _flight_window_env() -> Optional[int]:
+    """``REPRO_FLIGHT_WINDOW=K`` turns on the rolling K-epoch window."""
+    raw = os.environ.get("REPRO_FLIGHT_WINDOW", "")
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
+
+
 def _hex(digest: int) -> str:
     return f"{digest:032x}"
 
@@ -162,6 +193,8 @@ class BlobStore:
         self._end = self._disk_end = len(PACK_MAGIC)
         self.blobs_written = 0
         self.bytes_written = 0
+        self.fsyncs = 0
+        self._dir_synced = False
         if os.path.exists(self.path):
             self._scan()
 
@@ -218,6 +251,11 @@ class BlobStore:
         self._append.flush()
         if fsync:
             os.fsync(self._append.fileno())
+            self.fsyncs += 1
+            if not self._dir_synced:
+                if fsync_dir(self.root):
+                    self.fsyncs += 1
+                self._dir_synced = True
         self._buffer = []
         self._disk_end = self._end
         return True
@@ -242,6 +280,66 @@ class BlobStore:
 
     def has(self, digest: int) -> bool:
         return digest in self._index
+
+    def entry_bytes(self, digest: int) -> int:
+        """On-disk footprint of one blob (entry header + payload)."""
+        entry = self._index.get(digest)
+        return 0 if entry is None else _PACK_ENTRY.size + entry[1]
+
+    @property
+    def pack_bytes(self) -> int:
+        """Logical pack size (header + all entries, buffered included)."""
+        return self._end
+
+    def compact(self, drop, fsync: bool = False) -> int:
+        """Rewrite the pack without the ``drop`` digests; returns bytes freed.
+
+        Crash-safe by construction: the surviving entries are copied to
+        ``pack.dppack.tmp``, fsynced (when asked), and atomically
+        ``os.replace``d over the pack — a crash mid-compaction leaves
+        the old pack intact and the tmp file as garbage the next open
+        ignores. Dropped digests leave the index, so re-appearing
+        content (a page cycling back into a later checkpoint) is simply
+        appended again.
+        """
+        drop = {digest for digest in drop if digest in self._index}
+        if not drop:
+            return 0
+        self.flush(fsync=fsync)
+        if not os.path.exists(self.path):
+            for digest in drop:
+                del self._index[digest]
+            return 0
+        for handle in (self._append, self._read):
+            if handle is not None:
+                handle.close()
+        self._append = self._read = None
+        tmp = self.path + ".tmp"
+        new_index: Dict[int, Tuple[int, int]] = {}
+        before = self._disk_end
+        with open(self.path, "rb") as src, open(tmp, "wb") as dst:
+            dst.write(PACK_MAGIC)
+            offset = len(PACK_MAGIC)
+            for digest, (start, length) in sorted(
+                self._index.items(), key=lambda item: item[1][0]
+            ):
+                if digest in drop:
+                    continue
+                src.seek(start - _PACK_ENTRY.size)
+                dst.write(src.read(_PACK_ENTRY.size + length))
+                new_index[digest] = (offset + _PACK_ENTRY.size, length)
+                offset += _PACK_ENTRY.size + length
+            dst.flush()
+            if fsync:
+                os.fsync(dst.fileno())
+                self.fsyncs += 1
+        os.replace(tmp, self.path)
+        if fsync:
+            if fsync_dir(self.root):
+                self.fsyncs += 1
+        self._index = new_index
+        self._end = self._disk_end = offset
+        return before - offset
 
 
 class _LogIndexCache:
@@ -298,6 +396,8 @@ class ShardedLogWriter:
         group_commit_bytes: Optional[int] = None,
         segment_max_bytes: int = 4 << 20,
         fsync: Optional[bool] = None,
+        flight_window: Optional[int] = None,
+        pack_compact_bytes: Optional[int] = None,
     ):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
@@ -326,7 +426,34 @@ class ShardedLogWriter:
         self.peak_buffered = 0
         self.epochs_written = 0
         self._last_checkpoint_ref: Optional[tuple] = None
+        # -- flight-recorder window state --------------------------------
+        if flight_window is not None and flight_window < 1:
+            raise ValueError("flight_window must be >= 1")
+        self.flight_window = flight_window
+        self.pack_compact_bytes = (
+            pack_compact_bytes
+            if pack_compact_bytes is not None
+            else _pack_compact_bytes()
+        )
+        #: skeleton hex ref -> every pack digest the checkpoint pins
+        self._ref_digests: Dict[str, Tuple[int, ...]] = {}
+        #: pack digest -> live manifest references (window mode only)
+        self._blob_refs: Dict[int, int] = {}
+        #: digests whose refcount fell to zero, awaiting compaction
+        self._dead_digests: set = set()
+        self._dead_pack_bytes = 0
+        #: (segment index, block index) -> live manifest epoch entries
+        self._block_refs: Dict[Tuple[int, int], int] = {}
+        #: segment index -> count of its blocks still referenced
+        self._live_blocks: Dict[int, int] = {}
+        #: segment files to unlink once the manifest stops naming them
+        self._doomed_segments: List[Tuple[int, str]] = []
+        self.epochs_dropped = 0
+        self.segments_deleted = 0
+        self.bytes_reclaimed = 0
+        self.pack_compactions = 0
         self.initial_ref = self._put_checkpoint(initial_checkpoint)
+        self._pin_checkpoint(self.initial_ref)
         self._write_manifest()
 
     # -- storage helpers ------------------------------------------------
@@ -368,12 +495,48 @@ class ShardedLogWriter:
             stats.add("durable.blobs_written")
             stats.add("durable.blob_bytes", len(skeleton))
         ref = _hex(digest)
+        if self.flight_window is not None and ref not in self._ref_digests:
+            self._ref_digests[ref] = (digest, *page_table.values())
         # Pin only the most recent checkpoint: each epoch's start is put
         # exactly once except the initial one (put again by epoch 0's
         # commit), so one entry is all the dedup this path ever needs —
         # and pinning more would hold pages the spill mode wants freed.
         self._last_checkpoint_ref = (checkpoint, ref)
         return ref
+
+    # -- flight-window blob refcounts -----------------------------------
+    def _pin_checkpoint(self, ref: str) -> None:
+        """Count one live manifest reference on a checkpoint's blobs."""
+        if self.flight_window is None:
+            return
+        for digest in self._ref_digests.get(ref, ()):
+            count = self._blob_refs.get(digest, 0)
+            if count == 0 and digest in self._dead_digests:
+                # Resurrection: the digest cycled back into the window
+                # before a compaction reclaimed it.
+                self._dead_digests.discard(digest)
+                self._dead_pack_bytes -= self.store.entry_bytes(digest)
+            self._blob_refs[digest] = count + 1
+
+    def _unpin_checkpoint(self, ref: str) -> None:
+        """Drop one manifest reference; zero-ref blobs become dead bytes."""
+        if self.flight_window is None:
+            return
+        digests = self._ref_digests.get(ref, ())
+        skeleton_digest = digests[0] if digests else None
+        for digest in digests:
+            count = self._blob_refs.get(digest, 0) - 1
+            if count > 0:
+                self._blob_refs[digest] = count
+                continue
+            self._blob_refs.pop(digest, None)
+            self._dead_digests.add(digest)
+            self._dead_pack_bytes += self.store.entry_bytes(digest)
+        if (
+            skeleton_digest is not None
+            and skeleton_digest not in self._blob_refs
+        ):
+            del self._ref_digests[ref]
 
     def _segment_writer(self) -> SegmentWriter:
         if self._segment is not None and (
@@ -544,11 +707,13 @@ class ShardedLogWriter:
         for frame in frames:
             writer.append(frame)
             shard_bytes += len(frame)
+        checkpoint_ref = self._put_checkpoint(start_checkpoint)
+        self._pin_checkpoint(checkpoint_ref)
         self._pending.append(
             {
                 "index": epoch,
                 "recovered": record.recovered,
-                "checkpoint": self._put_checkpoint(start_checkpoint),
+                "checkpoint": checkpoint_ref,
                 "block": None,
                 "records": sum(meta["counts"].values()),
                 "bytes": shard_bytes,
@@ -566,6 +731,7 @@ class ShardedLogWriter:
         if self._segment is None:
             return
         before = self._segment.stored_bytes
+        fsyncs_before = self._segment.fsyncs
         block_index = self._segment.flush(fsync=self.fsync)
         if block_index is None:
             return
@@ -576,17 +742,135 @@ class ShardedLogWriter:
         for entry in self._pending:
             entry["block"] = [segment_index, block_index]
             self._sealed.append(entry)
+        if self.flight_window is not None:
+            block_key = (segment_index, block_index)
+            self._block_refs[block_key] = len(self._pending)
+            self._live_blocks[segment_index] = (
+                self._live_blocks.get(segment_index, 0) + 1
+            )
         sealed = len(self._pending)
         self._pending = []
         stats.add("durable.group_commits")
         stats.add("durable.group_commit_epochs", sealed)
         stats.add("durable.segment_bytes", self._segment.stored_bytes - before)
         if self.fsync:
-            stats.add("durable.fsyncs")
+            stats.add("durable.fsyncs", self._segment.fsyncs - fsyncs_before)
+
+    # -- flight-recorder window slide -----------------------------------
+    def _slide_window(self, stats) -> List[Tuple[int, str]]:
+        """Drop pre-window epochs from the manifest; returns doomed segments.
+
+        Bookkeeping only: manifest entries for the dropped epochs are
+        removed, their checkpoint blobs unpinned, and segments whose
+        every block just died are *marked* dropped (file set to null).
+        The actual unlink and any pack compaction happen strictly after
+        the slid manifest is durably renamed — the manifest must stop
+        naming bytes before the bytes disappear, or a crash between the
+        two leaves a manifest pointing at nothing.
+        """
+        if (
+            self.flight_window is None
+            or len(self._sealed) <= self.flight_window
+        ):
+            return []
+        drop = self._sealed[: len(self._sealed) - self.flight_window]
+        self._sealed = self._sealed[len(drop) :]
+        # Pin the new window base before unpinning the dropped epochs so
+        # shared blobs never transiently hit refcount zero.
+        new_initial = self._sealed[0]["checkpoint"]
+        if new_initial != self.initial_ref:
+            self._pin_checkpoint(new_initial)
+            self._unpin_checkpoint(self.initial_ref)
+            self.initial_ref = new_initial
+        for entry in drop:
+            self._unpin_checkpoint(entry["checkpoint"])
+            block_key = tuple(entry["block"])
+            count = self._block_refs[block_key] - 1
+            if count:
+                self._block_refs[block_key] = count
+            else:
+                del self._block_refs[block_key]
+                self._live_blocks[block_key[0]] -= 1
+        self.epochs_dropped += len(drop)
+        stats.add("durable.window_slides")
+        stats.add("durable.window_epochs_dropped", len(drop))
+        # Retire the open segment early when the window slid past any of
+        # its blocks: no further appends means the file becomes fully
+        # dead — and deletable — as soon as its remaining epochs slide.
+        if self._segment is not None:
+            open_index = len(self._segments) - 1
+            flushed = len(self._segments[open_index]["blocks"])
+            if (
+                flushed
+                and self._live_blocks.get(open_index, 0) < flushed
+                and self._segment.buffered_bytes == 0
+            ):
+                self._retire_segment()
+        doomed: List[Tuple[int, str]] = []
+        open_index = (
+            len(self._segments) - 1 if self._segment is not None else None
+        )
+        for index, seg_entry in enumerate(self._segments):
+            if index == open_index or seg_entry.get("file") is None:
+                continue
+            if not seg_entry["blocks"] or self._live_blocks.get(index, 0) > 0:
+                continue
+            doomed.append(
+                (
+                    sum(stored for _o, stored, _r in seg_entry["blocks"]),
+                    os.path.join(self.directory, seg_entry["file"]),
+                )
+            )
+            seg_entry["file"] = None
+            seg_entry["blocks"] = []
+            seg_entry["dropped"] = True
+            self._live_blocks.pop(index, None)
+        return doomed
+
+    def _collect_garbage(self, doomed: List[Tuple[int, str]], stats) -> None:
+        """Unlink dead segment files and compact the pack when it pays."""
+        if doomed:
+            for stored_bytes, path in doomed:
+                try:
+                    reclaimed = os.path.getsize(path)
+                except OSError:
+                    reclaimed = stored_bytes
+                os.unlink(path)
+                self.segments_deleted += 1
+                self.bytes_reclaimed += reclaimed
+                stats.add("durable.segments_deleted")
+                stats.add("durable.segment_bytes_reclaimed", reclaimed)
+            if self.fsync and fsync_dir(os.path.join(self.directory, "segments")):
+                stats.add("durable.fsyncs")
+        self._maybe_compact(stats)
+
+    def _maybe_compact(self, stats, force: bool = False) -> None:
+        """Rewrite the pack without dead checkpoint blobs.
+
+        Mid-run, only once the dead bytes clear the compaction threshold
+        (the rewrite is O(pack)); ``force`` on clean close reclaims the
+        remainder so the final footprint is exactly the live window.
+        Always runs *after* a manifest that no longer references the
+        dead digests is durably in place.
+        """
+        if self.flight_window is None or not self._dead_digests:
+            return
+        if not force and self._dead_pack_bytes < self.pack_compact_bytes:
+            return
+        fsyncs_before = self.store.fsyncs
+        freed = self.store.compact(self._dead_digests, fsync=self.fsync)
+        self._dead_digests = set()
+        self._dead_pack_bytes = 0
+        self.pack_compactions += 1
+        self.bytes_reclaimed += freed
+        stats.add("durable.pack_compactions")
+        stats.add("durable.pack_bytes_reclaimed", freed)
+        if self.fsync:
+            stats.add("durable.fsyncs", self.store.fsyncs - fsyncs_before)
 
     # -- manifest -------------------------------------------------------
     def _manifest_payload(self) -> dict:
-        return {
+        payload = {
             "format": MANIFEST_FORMAT,
             "codec": self.codec,
             "program": self.program_name,
@@ -599,18 +883,25 @@ class ShardedLogWriter:
                     self._sync_kinds.items(), key=lambda item: item[1]
                 )
             ],
+            "flight_window": self.flight_window,
+            "epochs_dropped": self.epochs_dropped,
             "epochs": list(self._sealed),
             "segments": self._segments,
             "final_digest": self._final["final_digest"],
             "stats": self._final["stats"],
             "complete": self._final["complete"],
         }
+        if self._final.get("crash_reason"):
+            payload["crash_reason"] = self._final["crash_reason"]
+        return payload
 
     def _write_manifest(self) -> None:
+        stats = self._stats()
+        doomed = self._slide_window(stats)
         # The manifest is the commit point: every blob it references
         # must already be in the pack, so force the pack first.
-        if self.store.flush(fsync=self.fsync) and self.fsync:
-            self._stats().add("durable.fsyncs")
+        fsyncs_before = self.store.fsyncs
+        self.store.flush(fsync=self.fsync)
         path = os.path.join(self.directory, MANIFEST_NAME)
         tmp = path + ".tmp"
         payload = json.dumps(
@@ -618,7 +909,23 @@ class ShardedLogWriter:
         ).encode("utf-8")
         with open(tmp, "wb") as handle:
             handle.write(payload)
+            if self.fsync:
+                # The rename is only an atomic commit point if the tmp
+                # file's bytes are durable before it lands...
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if self.fsync:
+            # ...and only a *durable* commit point once the directory
+            # entry itself is synced: without this, power loss after
+            # the rename can roll the manifest back to a stale version
+            # that references since-truncated state.
+            manifest_fsyncs = 1 + (1 if fsync_dir(self.directory) else 0)
+            stats.add(
+                "durable.fsyncs",
+                manifest_fsyncs + self.store.fsyncs - fsyncs_before,
+            )
+        self._collect_garbage(doomed, stats)
 
     def close(self, final_digest: int = 0, stats: Optional[dict] = None) -> None:
         """Seal the log: flush, close segments, write the final manifest."""
@@ -633,8 +940,46 @@ class ShardedLogWriter:
             self._retire_segment()
         self._stats().add("durable.buffered_peak", self.peak_buffered)
         self._write_manifest()
+        self._maybe_compact(self._stats(), force=True)
         self.store.close(fsync=self.fsync)
         self._closed = True
+
+    def close_partial(self, reason: str = "") -> None:
+        """Crash-path close: seal whatever committed, mark the log torn.
+
+        The recorder calls this when the run dies with the sink open
+        (workload fault, ``KeyboardInterrupt``, an escaped host error):
+        buffered epochs are group-committed, the manifest is rewritten
+        with ``complete: false`` and the crash reason, and the pack is
+        left un-compacted (reclaim is a clean-close luxury; the crash
+        path optimises for never losing a committed epoch). The
+        resulting directory is exactly what ``repro log recover`` /
+        ``replay --tail`` open.
+        """
+        if self._closed:
+            return
+        self._final = {
+            "final_digest": 0,
+            "stats": {},
+            "complete": False,
+            "crash_reason": str(reason)[:500],
+        }
+        self._stats().add("durable.partial_closes")
+        try:
+            if self._segment is not None:
+                self._retire_segment()
+        except Exception:
+            # Best effort: a failed final flush must not stop the
+            # manifest from sealing the epochs that did reach disk.
+            self._segment = None
+        self._stats().add("durable.buffered_peak", self.peak_buffered)
+        self._write_manifest()
+        self.store.close(fsync=self.fsync)
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def totals(self) -> dict:
         """On-disk accounting for reports and benchmarks."""
@@ -645,11 +990,18 @@ class ShardedLogWriter:
         )
         return {
             "epochs": self.epochs_written,
-            "segments": len(self._segments),
+            "segments": sum(
+                1 for seg_entry in self._segments
+                if seg_entry.get("file") is not None
+            ),
             "segment_bytes": segment_bytes,
             "blob_bytes": self.store.bytes_written,
             "blobs_written": self.store.blobs_written,
             "peak_buffered": self.peak_buffered,
+            "epochs_dropped": self.epochs_dropped,
+            "segments_deleted": self.segments_deleted,
+            "pack_compactions": self.pack_compactions,
+            "bytes_reclaimed": self.bytes_reclaimed,
         }
 
 
@@ -660,6 +1012,9 @@ def persist_recording(
     meta: Optional[dict] = None,
     fsync: Optional[bool] = None,
     group_commit_bytes: Optional[int] = None,
+    flight_window: Optional[int] = None,
+    segment_max_bytes: int = 4 << 20,
+    pack_compact_bytes: Optional[int] = None,
 ) -> dict:
     """Write a finished in-memory recording out as a durable sharded log.
 
@@ -682,6 +1037,9 @@ def persist_recording(
         meta=meta,
         fsync=fsync,
         group_commit_bytes=group_commit_bytes,
+        flight_window=flight_window,
+        segment_max_bytes=segment_max_bytes,
+        pack_compact_bytes=pack_compact_bytes,
     )
     epochs = recording.epochs
     for position, record in enumerate(epochs):
@@ -729,6 +1087,30 @@ class ShardedLogReader:
 
     def epoch_count(self) -> int:
         return len(self.manifest["epochs"])
+
+    def first_epoch(self) -> int:
+        """Absolute index of the oldest epoch still in the log.
+
+        0 for an ordinary log; for a flight-recorder log the window base
+        — everything before it slid out and is gone from disk.
+        """
+        entries = self.manifest["epochs"]
+        if entries:
+            return entries[0]["index"]
+        return self.manifest.get("epochs_dropped", 0)
+
+    @property
+    def complete(self) -> bool:
+        """False for a crashed/unsealed log (``close_partial`` or torn)."""
+        return bool(self.manifest.get("complete"))
+
+    @property
+    def crash_reason(self) -> Optional[str]:
+        return self.manifest.get("crash_reason")
+
+    @property
+    def flight_window(self) -> Optional[int]:
+        return self.manifest.get("flight_window")
 
     # -- blob resolution ------------------------------------------------
     def _page(self, digest: int) -> Page:
@@ -879,7 +1261,7 @@ class ShardedLogReader:
 
     # -- loading --------------------------------------------------------
     def load_recording(
-        self, from_epoch: int = 0, materialize: bool = False
+        self, from_epoch: Optional[int] = None, materialize: bool = False
     ) -> Recording:
         """Rebuild a :class:`Recording` from the durable shards.
 
@@ -890,16 +1272,24 @@ class ShardedLogReader:
         additionally hydrates every epoch's start checkpoint (what
         parallel replay needs), again from the store rather than by
         sequential re-execution.
+
+        Epoch indices are *absolute* run indices: on a flight-recorder
+        log whose window slid, the valid range starts at
+        :meth:`first_epoch`, not 0. ``None`` (the default) loads
+        everything still in the log.
         """
         entries = self.manifest["epochs"]
-        if not 0 <= from_epoch <= len(entries):
+        base = self.first_epoch()
+        if from_epoch is None:
+            from_epoch = base
+        if not base <= from_epoch <= base + len(entries):
             raise ReplayError(
                 f"--from-epoch {from_epoch} outside recorded range "
-                f"0..{len(entries)}"
+                f"{base}..{base + len(entries)}"
             )
-        if from_epoch == len(entries) and not entries:
+        if not entries:
             raise ReplayError("durable log holds no epochs")
-        chosen = entries[from_epoch:]
+        chosen = entries[from_epoch - base :]
         frames = self._frames_for(chosen)
         if chosen:
             initial = self.materialize_checkpoint(chosen[0]["checkpoint"])
@@ -940,6 +1330,8 @@ class ShardedLogReader:
                     f"epoch {entry['index']}: checkpoint blob missing"
                 )
         for segment_index, segment in enumerate(self.manifest["segments"]):
+            if segment.get("file") is None:
+                continue  # slid out of the flight window and deleted
             try:
                 reader = self._segment_reader(segment_index)
                 for offset, _stored, _raw in segment["blocks"]:

@@ -82,6 +82,89 @@ class TestRecordReplay:
         assert "verified" in text
 
 
+class TestDurableLogCli:
+    def _record_durable(self, log_dir, *extra):
+        return run_cli(
+            "record", "pbzip", "--scale", "4",
+            "--log-dir", str(log_dir), *extra,
+        )
+
+    def test_from_epoch_zero_is_explicit(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FSYNC", "0")
+        log_dir = tmp_path / "log"
+        code, _ = self._record_durable(log_dir)
+        assert code == 0
+        # Regression: `--from-epoch 0` used to be indistinguishable from
+        # "not given" — it must be an explicit, valid suffix target.
+        code, text = run_cli(
+            "replay", str(log_dir), "--from-epoch", "0"
+        )
+        assert code == 0
+        assert "from epoch 0" in text and "verified" in text
+        # ...and on a JSON recording it must error, even at 0.
+        json_path = tmp_path / "rec.json"
+        code, _ = run_cli(
+            "record", "pbzip", "--scale", "4", "-o", str(json_path)
+        )
+        assert code == 0
+        code, text = run_cli(
+            "replay", str(json_path), "--from-epoch", "0"
+        )
+        assert code == 2
+        assert "needs a durable log directory" in text
+
+    def test_flight_window_requires_log_dir(self):
+        code, text = run_cli("record", "pbzip", "--flight-window", "3")
+        assert code == 2
+        assert "--flight-window requires --log-dir" in text
+        code, text = run_cli(
+            "record", "pbzip", "--log-dir", "/tmp/x", "--flight-window", "0"
+        )
+        assert code == 2
+        assert "must be >= 1" in text
+
+    def test_flight_window_record_and_recover(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FSYNC", "0")
+        monkeypatch.setenv("REPRO_LOG_GROUP_KB", "1")
+        log_dir = tmp_path / "log"
+        code, text = self._record_durable(
+            log_dir, "--log-spill", "--flight-window", "2",
+            "--epoch-divisor", "24",
+        )
+        assert code == 0
+        manifest = json.loads((log_dir / "manifest.json").read_text())
+        assert manifest["flight_window"] == 2
+        assert len(manifest["epochs"]) <= 2
+        code, text = run_cli("log", "recover", str(log_dir))
+        assert code == 0
+        assert "complete" in text and "verified" in text
+        code, text = run_cli("replay", str(log_dir), "--tail")
+        assert code == 0
+        assert "tail" in text and "verified" in text
+
+    def test_tail_needs_directory(self, tmp_path):
+        json_path = tmp_path / "rec.json"
+        json_path.write_text("{}")
+        code, text = run_cli("replay", str(json_path), "--tail")
+        assert code == 2
+        assert "needs a durable log directory" in text
+
+    def test_recover_rejects_missing_log(self, tmp_path):
+        code, text = run_cli("log", "recover", str(tmp_path))
+        assert code == 2
+        assert "no durable log manifest" in text
+
+    def test_recover_reports_integrity_problems(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FSYNC", "0")
+        log_dir = tmp_path / "log"
+        code, _ = self._record_durable(log_dir)
+        assert code == 0
+        (log_dir / "blobs" / "pack.dppack").unlink()
+        code, text = run_cli("log", "recover", str(log_dir))
+        assert code == 1
+        assert "FAILED" in text and "integrity problem" in text
+
+
 class TestExperiment:
     def test_table1(self):
         code, text = run_cli("experiment", "table1")

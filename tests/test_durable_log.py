@@ -321,6 +321,23 @@ def test_group_commit_and_fsync_knobs(tmp_path, monkeypatch):
     )
 
 
+def test_manifest_fsyncs_are_counted(tmp_path, monkeypatch):
+    """With fsync mode on, every manifest write forces the tmp file and
+    the directory entry — and both land in ``durable.fsyncs``. The old
+    accounting counted only segment/pack forces, so the "atomic commit
+    point" itself could vanish on power loss without a trace."""
+    monkeypatch.delenv("REPRO_LOG_FSYNC", raising=False)
+    monkeypatch.setenv("REPRO_LOG_GROUP_KB", "1")
+    log_dir = str(tmp_path / "log")
+    _, _, result = _record("pbzip", log_dir=log_dir)
+    durable = result.metrics.snapshot()["durable"]
+    commits = durable["group_commits"]
+    assert commits > 1
+    # at least: one segment fsync per group commit, plus tmp-file +
+    # directory fsyncs for the initial and final manifest writes
+    assert durable["fsyncs"] > commits + 2
+
+
 def test_codec_choice_is_logically_invisible(tmp_path):
     plains = {}
     for codec in ("raw", "zlib1", "zlib6"):
