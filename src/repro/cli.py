@@ -592,6 +592,116 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    """Multi-session service driver: N tenants over one shared fleet.
+
+    Records (or replays) the same workload ``--sessions`` times
+    concurrently through :class:`repro.service.RecordService` and
+    prints per-session and fleet-wide accounting — admission waits,
+    backpressure, fair-share deficits, cross-session blob dedup.
+    ``--verify`` additionally checks every tenant's recording against
+    a solo ``--jobs 1`` run (the service determinism contract).
+    """
+    import json as json_mod
+
+    from repro.service import RecordService, ServiceConfig, SessionRequest
+
+    config = ServiceConfig(
+        jobs=args.jobs,
+        max_active=args.active,
+        queue_depth=args.queue_depth,
+    )
+    service = RecordService(config)
+    requests = [
+        SessionRequest(
+            sid=f"s{i}",
+            workload=args.workload,
+            workers=args.workers,
+            scale=args.scale,
+            seed=args.seed,
+            epoch_divisor=args.epoch_divisor,
+            faults=(args.fault if i == args.fault_session else ""),
+            trace=args.trace_sessions,
+        )
+        for i in range(args.sessions)
+    ]
+    report = service.run(requests)
+
+    if args.replay and report.ok:
+        replays = [
+            SessionRequest(
+                sid=f"r{i}",
+                workload=args.workload,
+                workers=args.workers,
+                scale=args.scale,
+                seed=args.seed,
+                kind="replay",
+                epoch_divisor=args.epoch_divisor,
+                recording_plain=result.recording_plain,
+            )
+            for i, result in enumerate(report.results)
+        ]
+        replay_report = service.run(replays)
+        verified = sum(1 for r in replay_report.results if r.verified)
+        print(
+            f"replay: {verified}/{len(replay_report.results)} sessions "
+            f"verified", file=out,
+        )
+        if not replay_report.ok:
+            for result in replay_report.results:
+                if not result.ok:
+                    print(f"  {result.sid}: {result.error}", file=out)
+            return 1
+
+    rows = []
+    for result in report.results:
+        svc = result.metrics.get("service", {})
+        rows.append({
+            "session": result.sid,
+            "ok": result.ok,
+            "epochs": result.epochs,
+            "admission_ms": round(result.admission_wait * 1e3, 2),
+            "p99_unit_ms": round(svc.get("unit_latency_p99", 0.0) * 1e3, 2),
+            "backpressure": svc.get("backpressure_hits", 0),
+            "deficits": svc.get("fair_share_deficits", 0),
+            "cross_hits": svc.get("cross_session_hits", 0),
+            "kb_saved": round(svc.get("cross_session_bytes_saved", 0) / 1024, 1),
+        })
+    print(render_table(rows, list(rows[0].keys())), file=out)
+    print(json_mod.dumps(report.summary(), indent=2, sort_keys=True), file=out)
+
+    if not report.ok:
+        for result in report.results:
+            if not result.ok:
+                print(f"{result.sid} failed: {result.error}", file=out)
+        return 1
+
+    if args.verify:
+        instance, machine = _build(args)
+        native = run_native(instance.image, instance.setup, machine)
+        solo_config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=max(native.duration // args.epoch_divisor, 500),
+            host_jobs=1,
+        )
+        solo = DoublePlayRecorder(
+            instance.image, instance.setup, solo_config
+        ).record()
+        canon = json_mod.dumps(solo.recording.to_plain(), sort_keys=True)
+        drifted = [
+            result.sid
+            for result in report.results
+            if json_mod.dumps(result.recording_plain, sort_keys=True) != canon
+        ]
+        if drifted:
+            print(f"VERIFY FAILED: drifted from solo jobs=1: {drifted}",
+                  file=out)
+            return 1
+        print(f"verify: all {len(report.results)} recordings bit-identical "
+              f"to solo jobs=1", file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -675,6 +785,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome-trace (Perfetto) timeline of the replay here "
              "(env fallback: REPRO_TRACE)")
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="record N concurrent sessions over one shared worker fleet",
+    )
+    _add_workload_args(serve_parser)
+    serve_parser.add_argument(
+        "--sessions", type=int, default=4,
+        help="concurrent record sessions to run (default 4)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes in the shared fleet (default 2)")
+    serve_parser.add_argument(
+        "--active", type=int, default=8,
+        help="admission bound: sessions running at once (default 8)")
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=None, metavar="D",
+        help="per-session outstanding-unit bound (default 2*jobs)")
+    serve_parser.add_argument(
+        "--epoch-divisor", type=int, default=18,
+        help="epochs per native runtime (default 18)")
+    serve_parser.add_argument(
+        "--fault", default="", metavar="SPEC",
+        help="inject REPRO_FAULT-style directives into ONE tenant "
+             "(see --fault-session); every other tenant runs clean")
+    serve_parser.add_argument(
+        "--fault-session", type=int, default=0, metavar="K",
+        help="index of the tenant that receives --fault (default 0)")
+    serve_parser.add_argument(
+        "--replay", action="store_true",
+        help="after recording, replay every session's recording "
+             "through the service and verify it")
+    serve_parser.add_argument(
+        "--verify", action="store_true",
+        help="check every recording is bit-identical to a solo jobs=1 run")
+    serve_parser.add_argument(
+        "--trace-sessions", action="store_true",
+        help="collect an isolated span trace inside each session")
+
     trace_parser = commands.add_parser(
         "trace", help="inspect a timeline written by --trace"
     )
@@ -726,6 +874,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "record": cmd_record,
         "replay": cmd_replay,
         "log": cmd_log,
+        "serve": cmd_serve,
         "diagnose": cmd_diagnose,
         "experiment": cmd_experiment,
         "trace": cmd_trace,

@@ -122,6 +122,16 @@ class DoublePlayConfig:
     #: ``log_dir``. None = keep everything; the ``REPRO_FLIGHT_WINDOW``
     #: env var supplies a default when the field is unset.
     flight_window: Optional[int] = None
+    #: host submission-path override (``repro.service`` injects each
+    #: session's fleet dispatcher here so N concurrent sessions share
+    #: one worker pool). None = the executor's own direct pool path.
+    #: Never affects recordings — only where epoch units execute.
+    host_dispatcher: Optional[object] = None
+    #: per-run fault-injection directives overriding the ``REPRO_FAULT``
+    #: env (same grammar). The service scopes injected faults to one
+    #: tenant with this; ``""`` explicitly disables injection even when
+    #: the env var is set. None = read the env as before.
+    host_faults: Optional[str] = None
 
     def workers(self) -> int:
         return self.machine.cores

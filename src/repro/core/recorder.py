@@ -319,7 +319,12 @@ class DoublePlayRecorder:
             # host-parallelism layer at all.
             from repro.host.pool import HostExecutor
 
-            executor = HostExecutor(host_jobs, unit_timeout=config.unit_timeout)
+            executor = HostExecutor(
+                host_jobs,
+                unit_timeout=config.unit_timeout,
+                dispatcher=config.host_dispatcher,
+                fault_specs=config.host_faults,
+            )
 
         committed = initial
         next_cp_index = 1

@@ -205,6 +205,8 @@ class Replayer:
         workers: int = 0,
         jobs: int = 1,
         unit_timeout: Optional[float] = None,
+        dispatcher=None,
+        fault_specs=None,
     ) -> ReplayResult:
         """Replay every epoch concurrently from its checkpoint.
 
@@ -223,6 +225,11 @@ class Replayer:
         serial verdict; ``unit_timeout`` bounds a hung worker's unit in
         wall-clock seconds (None = the ``REPRO_UNIT_TIMEOUT`` default,
         0 disables). Containment counters land in ``host["faults"]``.
+
+        ``dispatcher`` overrides the executor's submission path (the
+        service layer's per-session fleet handle) and ``fault_specs``
+        scopes fault injection to this replay (see
+        :class:`repro.host.pool.HostExecutor`).
         """
         baseline = obs_metrics.process_stats().snapshot()
         durations: List[int] = []
@@ -233,7 +240,12 @@ class Replayer:
             from repro.host.wire import replay_units_for_recording
 
             batch = replay_units_for_recording(recording)
-            executor = HostExecutor(jobs, unit_timeout=unit_timeout)
+            executor = HostExecutor(
+                jobs,
+                unit_timeout=unit_timeout,
+                dispatcher=dispatcher,
+                fault_specs=fault_specs,
+            )
             outcomes = executor.run_replay_units(self.program, self.machine, batch)
             for _, cycles, failure in outcomes:
                 if failure:

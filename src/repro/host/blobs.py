@@ -29,6 +29,7 @@ miss/resend paths deterministically.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Set, Tuple
 
@@ -127,23 +128,33 @@ class WorkerCacheTracker:
     minus what it reported evicting); consulted at dispatch-build time.
     Wrong-in-either-direction is safe: over-estimation is corrected by the
     worker's ``NeedBlobs`` answer, under-estimation merely re-ships bytes.
+
+    Internally locked: the tracker is a module global shared by every
+    executor (worker caches persist across executors), and with the
+    service layer many session threads fold acks and intersect held
+    sets concurrently — an unlocked ``common()`` could iterate a set
+    another session's ack is mutating.
     """
 
     def __init__(self):
         self._held: Dict[int, Set[int]] = {}
+        self._lock = threading.Lock()
 
     def note_inserted(self, pid: int, digests: Iterable[int]) -> None:
         if not pid:
             return
-        self._held.setdefault(pid, set()).update(digests)
+        with self._lock:
+            self._held.setdefault(pid, set()).update(digests)
 
     def note_evicted(self, pid: int, digests: Iterable[int]) -> None:
-        held = self._held.get(pid)
-        if held:
-            held.difference_update(digests)
+        with self._lock:
+            held = self._held.get(pid)
+            if held:
+                held.difference_update(digests)
 
     def forget_worker(self, pid: int) -> None:
-        self._held.pop(pid, None)
+        with self._lock:
+            self._held.pop(pid, None)
 
     def common(self, pids: Iterable[int]) -> Set[int]:
         """Digests every one of ``pids`` holds (empty if any pid is unknown).
@@ -152,21 +163,23 @@ class WorkerCacheTracker:
         only when no matter which worker pops the unit, it has the blob.
         """
         result: Set[int] = set()
-        for i, pid in enumerate(pids):
-            held = self._held.get(pid)
-            if not held:
-                return set()
-            if i == 0:
-                result = set(held)
-            else:
-                result &= held
-                if not result:
-                    return result
+        with self._lock:
+            for i, pid in enumerate(pids):
+                held = self._held.get(pid)
+                if not held:
+                    return set()
+                if i == 0:
+                    result = set(held)
+                else:
+                    result &= held
+                    if not result:
+                        return result
         return result
 
     def prune(self, live_pids: Iterable[int]) -> None:
         """Drop state for pids no longer in the pool (post-rebuild hygiene)."""
         live = set(live_pids)
-        for pid in list(self._held):
-            if pid not in live:
-                del self._held[pid]
+        with self._lock:
+            for pid in list(self._held):
+                if pid not in live:
+                    del self._held[pid]

@@ -108,7 +108,17 @@ from repro.record.sync_log import SyncOrderLog
 _shared_pool = None
 _shared_size = 0
 
-#: coordinator-side mirror of every worker's blob cache, keyed by pid
+#: guards ``_shared_pool``/``_shared_size``: concurrent sessions (the
+#: service layer, or any threaded caller) reach shared_pool() and
+#: invalidate_shared_pool() simultaneously, and the grow/rebuild path is
+#: a multi-step read-modify-write — unlocked, two racing callers can
+#: shut down a pool twice or leak one entirely. RLock because a locked
+#: path may call another locked path (shutdown → invalidate).
+_pool_lock = threading.RLock()
+
+#: coordinator-side mirror of every worker's blob cache, keyed by pid.
+#: Thread-safe (internally locked): with the service layer many session
+#: threads build dispatches and fold acks concurrently.
 _cache_tracker = WorkerCacheTracker()
 
 #: pool attempts per unit before the serial fallback (initial + 1 retry)
@@ -220,20 +230,21 @@ def shared_pool(jobs: int) -> ProcessPoolExecutor:
     still-running batch keeps its results.
     """
     global _shared_pool, _shared_size
-    if _shared_pool is not None and _pool_broken(_shared_pool):
-        _forget_pool(_shared_pool)
-        _shared_pool.shutdown(wait=True, cancel_futures=True)
-        _shared_pool = None
-        _shared_size = 0
-    if _shared_pool is None or _shared_size < jobs:
-        if _shared_pool is not None:
-            # Drain, don't yank: both running and queued units complete
-            # before the pool is replaced (growth must never lose work).
+    with _pool_lock:
+        if _shared_pool is not None and _pool_broken(_shared_pool):
             _forget_pool(_shared_pool)
-            _shared_pool.shutdown(wait=True, cancel_futures=False)
-        _shared_pool = _new_pool(jobs)
-        _shared_size = jobs
-    return _shared_pool
+            _shared_pool.shutdown(wait=True, cancel_futures=True)
+            _shared_pool = None
+            _shared_size = 0
+        if _shared_pool is None or _shared_size < jobs:
+            if _shared_pool is not None:
+                # Drain, don't yank: both running and queued units complete
+                # before the pool is replaced (growth must never lose work).
+                _forget_pool(_shared_pool)
+                _shared_pool.shutdown(wait=True, cancel_futures=False)
+            _shared_pool = _new_pool(jobs)
+            _shared_size = jobs
+        return _shared_pool
 
 
 def invalidate_shared_pool(kill: bool = False) -> None:
@@ -244,15 +255,16 @@ def invalidate_shared_pool(kill: bool = False) -> None:
     interpreter exit (the executor's atexit handler joins workers).
     """
     global _shared_pool, _shared_size
-    if _shared_pool is None:
-        return
-    _forget_pool(_shared_pool)
-    if kill:
-        _kill_workers(_shared_pool)
-    else:
-        _shared_pool.shutdown(wait=True, cancel_futures=True)
-    _shared_pool = None
-    _shared_size = 0
+    with _pool_lock:
+        if _shared_pool is None:
+            return
+        _forget_pool(_shared_pool)
+        if kill:
+            _kill_workers(_shared_pool)
+        else:
+            _shared_pool.shutdown(wait=True, cancel_futures=True)
+        _shared_pool = None
+        _shared_size = 0
 
 
 def shutdown_shared_pool() -> None:
@@ -613,6 +625,35 @@ class _Batch:
         self.last_shipped = [set() for _ in range(n)]
 
 
+class _DirectDispatcher:
+    """The default submission path: the executor's own (shared/private) pool.
+
+    This is the seam the service layer replaces: a dispatcher owns *where*
+    a built dispatch goes (``submit``), which workers it may assume hold
+    cached blobs (``pids``), and what abandoning a suspect pool means
+    (``abandon``). The direct dispatcher preserves the pre-service
+    behavior exactly — every call is a pass-through to the executor's
+    pool — while a fleet dispatcher (``repro.service``) routes the same
+    calls through per-session queues into one multiplexed pool.
+    """
+
+    def __init__(self, executor: "HostExecutor"):
+        self._executor = executor
+
+    def warm(self) -> None:
+        """Bring the pool up (speculative sessions warm off-thread)."""
+        self._executor._pool()
+
+    def pids(self) -> List[int]:
+        return _pool_pids(self._executor._pool())
+
+    def submit(self, fn, dispatch: UnitDispatch):
+        return self._executor._pool().submit(fn, dispatch)
+
+    def abandon(self, kill: bool) -> None:
+        self._executor._abandon_pool(kill)
+
+
 class HostExecutor:
     """Runs epoch work units on a pool of worker processes.
 
@@ -621,9 +662,24 @@ class HostExecutor:
     shares the coordinator-wide pool. ``unit_timeout`` is the per-unit
     wall-clock budget in seconds (None = the ``REPRO_UNIT_TIMEOUT`` env
     default of 60; 0 disables hang detection).
+
+    ``dispatcher`` overrides the submission path (see
+    :class:`_DirectDispatcher`); the service layer injects a per-session
+    fleet dispatcher here so many concurrent sessions share one pool
+    with fair-share scheduling and bounded backpressure. ``fault_specs``
+    overrides the ``REPRO_FAULT`` env with an explicit per-executor
+    directive string (or pre-parsed spec tuple) — the service scopes
+    injected faults to a single tenant this way.
     """
 
-    def __init__(self, jobs: int, private: bool = False, unit_timeout=None):
+    def __init__(
+        self,
+        jobs: int,
+        private: bool = False,
+        unit_timeout=None,
+        dispatcher=None,
+        fault_specs=None,
+    ):
         self.jobs = max(1, int(jobs))
         self.unit_timeout = (
             default_unit_timeout()
@@ -632,7 +688,19 @@ class HostExecutor:
         )
         self._private = bool(private)
         self._private_pool = _new_pool(self.jobs) if private else None
-        self._fault_specs = fault_injection.active_faults()
+        if fault_specs is None:
+            self._fault_specs = fault_injection.active_faults()
+        elif isinstance(fault_specs, str):
+            self._fault_specs = fault_injection.parse_fault_specs(
+                fault_specs, os.environ.get("REPRO_FAULT_STATE", "")
+            )
+        else:
+            self._fault_specs = tuple(fault_specs)
+        self._dispatch_path = dispatcher if dispatcher is not None else _DirectDispatcher(self)
+        #: optional dispatcher hook observing each dispatch's shipped and
+        #: cache-omitted blob bytes (the fleet's cross-session dedup
+        #: accounting); None (the direct default) costs nothing.
+        self._wire_observer = getattr(self._dispatch_path, "note_dispatch", None)
         #: (program object, digest, blob) of the last program shipped
         self._program_blob: Optional[Tuple[object, int, bytes]] = None
         #: per-unit worker timings, in merge order: (kind, position,
@@ -731,9 +799,17 @@ class HostExecutor:
         unit = batch.units[position]
         required = set(unit.required_digests())
         required.add(batch.program_digest)
+        omitted: Set[int] = set()
         if not full:
-            required -= _cache_tracker.common(pids)
+            held = _cache_tracker.common(pids)
+            omitted = required & held
+            required -= held
         blobs = {digest: batch.blobs[digest] for digest in required}
+        if self._wire_observer is not None:
+            self._wire_observer(
+                {digest: len(blobs[digest]) for digest in blobs},
+                {digest: len(batch.blobs[digest]) for digest in omitted},
+            )
         batch.bytes_shipped[position] += sum(len(b) for b in blobs.values())
         batch.blobs_sent[position] += len(blobs)
         batch.last_shipped[position] = set(blobs)
@@ -810,8 +886,8 @@ class HostExecutor:
         c0 = time.thread_time()
         tracer = obs_spans.current()
         try:
-            pool = self._pool()
-            pids = _pool_pids(pool)
+            dispatcher = self._dispatch_path
+            pids = dispatcher.pids()
             window = max(2 * self.jobs, 2)
             live = sum(1 for f in futures.values() if not f.done())
             for position in range(start, len(batch.units)):
@@ -823,7 +899,7 @@ class HostExecutor:
                     break
                 span_start = tracer.now() if tracer else 0.0
                 bytes_before = batch.bytes_shipped[position]
-                futures[position] = pool.submit(
+                futures[position] = dispatcher.submit(
                     task_fn, self._make_dispatch(batch, position, pids=pids)
                 )
                 if tracer is not None:
@@ -852,7 +928,7 @@ class HostExecutor:
         span_start = tracer.now() if tracer else 0.0
         bytes_before = batch.bytes_shipped[position]
         try:
-            futures[position] = self._pool().submit(
+            futures[position] = self._dispatch_path.submit(
                 task_fn, self._make_dispatch(batch, position, full=True)
             )
             if tracer is not None:
@@ -1016,7 +1092,7 @@ class HostExecutor:
                     # Crash/hang: the pool itself is suspect — salvage
                     # finished results, then rebuild on the next submit.
                     self._harvest(futures, done)
-                    self._abandon_pool(
+                    self._dispatch_path.abandon(
                         kill=isinstance(failure, WorkerTimeoutError)
                     )
                 attempts[next_pos] += 1
@@ -1143,7 +1219,7 @@ class SpeculativeSession:
         #: indices pushed before the pool was up, awaiting submission
         self._deferred: List[int] = []
         #: set by the warm-up thread; read (GIL-atomic) by push/harvest
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._ready = False
         self._warm = threading.Thread(target=self._warm_pool, daemon=True)
         self._warm.start()
 
@@ -1160,15 +1236,17 @@ class SpeculativeSession:
         warm-up overlaps the thread-parallel run instead; pushes arriving
         before the pool is ready are buffered and flushed the moment it
         is (or at harvest, whichever comes first). A failed spawn leaves
-        ``_pool`` unset: the buffered units are discarded at harvest and
-        the batch path reports the pool problem the normal way.
+        ``_ready`` unset: the buffered units are discarded at harvest and
+        the batch path reports the pool problem the normal way. (A fleet
+        dispatcher's ``warm`` is a no-op — the service owns the pool.)
         """
         try:
-            self._pool = self.executor._pool()
+            self.executor._dispatch_path.warm()
+            self._ready = True
         except Exception:
             pass
 
-    def _submit(self, index: int, pool: ProcessPoolExecutor) -> None:
+    def _submit(self, index: int) -> None:
         """Dispatch one buffered unit; never raises (None future = lost)."""
         executor = self.executor
         batch = self._batch
@@ -1179,10 +1257,11 @@ class SpeculativeSession:
         span_start = tracer.now() if tracer is not None else 0.0
         future = None
         try:
+            dispatcher = executor._dispatch_path
             dispatch = executor._make_dispatch(
-                batch, index, pids=_pool_pids(pool)
+                batch, index, pids=dispatcher.pids()
             )
-            future = pool.submit(_record_task, dispatch)
+            future = dispatcher.submit(_record_task, dispatch)
         except Exception:
             future = None
         finally:
@@ -1226,13 +1305,12 @@ class SpeculativeSession:
             future = entry["future"]
             if future is not None and future.done():
                 self._settle(entry, timeout=0)
-        pool = self._pool
-        if pool is None:
+        if not self._ready:
             self._deferred.append(index)
             return
         while self._deferred:
-            self._submit(self._deferred.pop(0), pool)
-        self._submit(index, pool)
+            self._submit(self._deferred.pop(0))
+        self._submit(index)
 
     def _settle(self, entry: Dict[str, object], timeout) -> None:
         """Resolve one future and apply its cache-mirror ack, exactly once.
@@ -1276,10 +1354,9 @@ class SpeculativeSession:
         """
         executor, batch = self.executor, self._batch
         self._warm.join()
-        pool = self._pool
-        if pool is not None:
+        if self._ready:
             while self._deferred:
-                self._submit(self._deferred.pop(0), pool)
+                self._submit(self._deferred.pop(0))
         self._deferred.clear()
         outcomes: Dict[int, Tuple[object, UnitTiming]] = {}
         timeout = executor.unit_timeout or None

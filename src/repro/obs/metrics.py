@@ -28,6 +28,7 @@ exactly what keeps ``jobs=1`` and ``jobs=N`` metrics identical.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping, Optional
 
 from repro.sim.stats import StatsRegistry
@@ -35,22 +36,52 @@ from repro.sim.stats import StatsRegistry
 #: this process's execution counters (coordinator or worker)
 _process = StatsRegistry()
 
+#: per-thread registry override (see :func:`activate_session_registry`):
+#: the service layer runs many sessions as threads of one coordinator
+#: process, and their counters must not merge into each other's runs.
+#: Single-threaded paths — including every worker process — never set
+#: an override, so the process-global fast path is unchanged.
+_scoped = threading.local()
+
 
 def process_stats() -> StatsRegistry:
-    """The process-global counter registry."""
-    return _process
+    """The calling thread's counter registry (scoped, else process-global)."""
+    return getattr(_scoped, "registry", None) or _process
+
+
+def activate_session_registry(
+    registry: Optional[StatsRegistry] = None,
+) -> StatsRegistry:
+    """Route this thread's counters into a private registry.
+
+    The service layer calls this at session-thread start; everything the
+    session's record/replay increments — and every worker counter its
+    merged unit results fold home — lands in the session's own registry,
+    so ``RecordResult.metrics`` is identical to the same run performed
+    solo in a fresh process. Pass an existing registry to resume one.
+    """
+    if registry is None:
+        registry = StatsRegistry()
+    _scoped.registry = registry
+    return registry
+
+
+def deactivate_session_registry() -> None:
+    """Restore this thread to the process-global registry."""
+    _scoped.registry = None
 
 
 def drain_process() -> Dict[str, int]:
-    """Snapshot and clear the process registry (worker task boundary)."""
-    snap = _process.snapshot()
-    _process.clear()
+    """Snapshot and clear the active registry (worker task boundary)."""
+    stats = process_stats()
+    snap = stats.snapshot()
+    stats.clear()
     return snap
 
 
 def delta_since(baseline: Mapping[str, int]) -> Dict[str, int]:
-    """Counters accumulated in this process since ``baseline`` was taken."""
-    now = _process.snapshot()
+    """Counters accumulated on this thread since ``baseline`` was taken."""
+    now = process_stats().snapshot()
     delta = {}
     for name, value in now.items():
         diff = value - baseline.get(name, 0)

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -177,15 +178,30 @@ class WorkerSpanLog:
 #: the active tracer, or None — the disabled fast path is this check
 _tracer: Optional[Tracer] = None
 
+#: per-thread tracer override (service sessions). The sentinel
+#: distinguishes "no override installed" (fall through to the module
+#: global) from "explicitly no tracer" (a session that is not tracing
+#: must not leak spans into a trace the main thread happens to have
+#: active).
+_SCOPE_UNSET = object()
+_scoped = threading.local()
+
+
+def _active() -> Optional[Tracer]:
+    tracer = getattr(_scoped, "tracer", _SCOPE_UNSET)
+    if tracer is not _SCOPE_UNSET:
+        return tracer
+    return _tracer
+
 
 def enabled() -> bool:
-    """Is a trace being collected in this process?"""
-    return _tracer is not None
+    """Is a trace being collected on this thread?"""
+    return _active() is not None
 
 
 def current() -> Optional[Tracer]:
     """The active tracer (None when tracing is disabled)."""
-    return _tracer
+    return _active()
 
 
 def start_trace(path: Optional[str] = None) -> Tracer:
@@ -202,10 +218,28 @@ def stop_trace() -> Optional[Tracer]:
     return tracer
 
 
+def set_session_tracer(tracer: Optional[Tracer]) -> None:
+    """Install a per-thread tracer override (service session isolation).
+
+    ``None`` is an explicit override too: the session collects no spans
+    even while another thread's global trace is running. Use
+    :func:`clear_session_tracer` to remove the override entirely.
+    """
+    _scoped.tracer = tracer
+
+
+def clear_session_tracer() -> None:
+    """Drop this thread's tracer override (back to the module global)."""
+    try:
+        del _scoped.tracer
+    except AttributeError:
+        pass
+
+
 @contextlib.contextmanager
 def span(name: str, cat: str, **args):
     """Record one coordinator span around a block (no-op when disabled)."""
-    tracer = _tracer
+    tracer = _active()
     if tracer is None:
         yield
         return

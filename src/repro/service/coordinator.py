@@ -1,0 +1,324 @@
+"""Record-as-a-service: N concurrent sessions, one shared worker fleet.
+
+:class:`RecordService` is an asyncio coordinator that runs many
+record/replay sessions concurrently against a single
+:class:`~repro.service.fleet.FleetScheduler`. Each session:
+
+1. waits for an **admission slot** (``max_active`` sessions run at
+   once; the wait is measured and reported — that's the service's
+   admission-control latency, distinct from the fleet's per-unit
+   backpressure);
+2. registers a fleet **lane** and receives the dispatcher that its
+   private ``HostExecutor`` will submit epoch units through;
+3. runs the ordinary blocking record/replay path on a worker thread
+   (``loop.run_in_executor``), with this thread's observability scoped:
+   a private :class:`~repro.sim.stats.StatsRegistry` and a private (or
+   absent) tracer, so interleaved sessions never bleed counters or
+   spans into each other;
+4. folds its lane's queueing/wire numbers into the run's
+   :class:`~repro.obs.metrics.RunMetrics` under the ``service`` group
+   and releases its lane and slot.
+
+**Determinism contract.** The service changes *where* epoch units
+execute and *when* they are admitted — never what they compute. Every
+session's recording is bit-identical to the same workload recorded
+solo at ``jobs=1`` (the tier-1 parity matrix pins this), including
+when ``REPRO_FAULT``-style directives are injected into one tenant:
+faults are scoped per session via ``DoublePlayConfig.host_faults``, so
+one tenant's crashing unit exercises only that session's
+retry/serial-fallback containment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import DoublePlayConfig
+from repro.core.recorder import DoublePlayRecorder
+from repro.core.replayer import Replayer
+from repro.machine.config import MachineConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.service.fleet import FleetScheduler, SessionDispatcher
+from repro.workloads import build_workload
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide knobs (the fleet's shape and the admission bound)."""
+
+    #: worker processes in the shared fleet
+    jobs: int = 2
+    #: sessions allowed to run concurrently (admission control); the
+    #: rest wait in the admission queue with their wait time measured
+    max_active: int = 8
+    #: per-session outstanding-unit bound (fleet lane credits);
+    #: None = the fleet default (``max(2*jobs, 2)``)
+    queue_depth: Optional[int] = None
+    #: fleet-wide in-flight bound; None = the fleet default
+    max_inflight: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One tenant's record (or replay) job."""
+
+    #: session id (unique per service run; used in fleet accounting)
+    sid: str
+    #: workload name (``repro.workloads.build_workload``)
+    workload: str = "fft"
+    workers: int = 2
+    scale: int = 1
+    seed: int = 0
+    #: ``record`` or ``replay``
+    kind: str = "record"
+    #: explicit epoch length; None = derive from a native run as
+    #: ``max(native.duration // epoch_divisor, 500)``
+    epoch_cycles: Optional[int] = None
+    epoch_divisor: int = 12
+    #: per-tenant fault directives (``REPRO_FAULT`` grammar). None =
+    #: inherit the env; ``""`` = explicitly no injection for this tenant
+    faults: Optional[str] = None
+    #: collect a per-session span trace (isolated from other sessions)
+    trace: bool = False
+    #: for ``kind="replay"``: the recording to replay, as the plain
+    #: dict from ``Recording.to_plain()``
+    recording_plain: Optional[dict] = None
+
+
+@dataclass
+class SessionResult:
+    """What one session produced, plus its service-level accounting."""
+
+    sid: str
+    kind: str
+    ok: bool
+    error: Optional[str] = None
+    #: the recording as a plain dict (record sessions) — the parity
+    #: surface: bit-identical to a solo jobs=1 recording
+    recording_plain: Optional[dict] = None
+    #: replay sessions: did the replay verify against the recording?
+    verified: Optional[bool] = None
+    epochs: int = 0
+    #: seconds spent waiting for an admission slot
+    admission_wait: float = 0.0
+    #: wall-clock seconds inside the session body (after admission)
+    duration: float = 0.0
+    #: the run's merged metrics snapshot (includes the ``service`` group)
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per-session span trace (only when the request asked for one)
+    tracer: Optional[obs_spans.Tracer] = None
+
+
+@dataclass
+class ServiceReport:
+    """One service run: every session's result plus fleet accounting."""
+
+    results: List[SessionResult]
+    fleet: Dict[str, object]
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def sessions_per_sec(self) -> float:
+        return len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        waits = sorted(result.admission_wait for result in self.results)
+        mid = waits[len(waits) // 2] if waits else 0.0
+        return {
+            "sessions": len(self.results),
+            "ok": sum(1 for result in self.results if result.ok),
+            "elapsed": round(self.elapsed, 6),
+            "sessions_per_sec": round(self.sessions_per_sec(), 3),
+            "admission_wait_p50": round(mid, 6),
+            "admission_wait_max": round(waits[-1] if waits else 0.0, 6),
+            "fleet": self.fleet,
+        }
+
+
+class RecordService:
+    """Async coordinator multiplexing sessions over one worker fleet."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+
+    # ------------------------------------------------------------------
+    # Entry points.
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[SessionRequest]) -> ServiceReport:
+        """Synchronous wrapper: serve every request, return the report."""
+        return asyncio.run(self.serve(requests))
+
+    async def serve(self, requests: Sequence[SessionRequest]) -> ServiceReport:
+        """Run every session concurrently over one shared fleet."""
+        config = self.config
+        fleet = FleetScheduler(
+            config.jobs,
+            queue_depth=config.queue_depth,
+            max_inflight=config.max_inflight,
+        )
+        await fleet.start()
+        loop = asyncio.get_running_loop()
+        admission = asyncio.Semaphore(max(1, config.max_active))
+        # Session bodies are blocking (the ordinary record/replay path);
+        # they run on this dedicated thread pool, one thread per active
+        # session. The worker fleet does the actual epoch execution.
+        threads = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, config.max_active),
+            thread_name_prefix="repro-session",
+        )
+        t0 = time.perf_counter()
+        try:
+            results = await asyncio.gather(
+                *(
+                    self._session(request, fleet, admission, loop, threads)
+                    for request in requests
+                )
+            )
+        finally:
+            elapsed = time.perf_counter() - t0
+            await fleet.stop()
+            threads.shutdown(wait=True)
+        return ServiceReport(
+            results=list(results), fleet=fleet.summary(), elapsed=elapsed
+        )
+
+    # ------------------------------------------------------------------
+    # One session.
+    # ------------------------------------------------------------------
+    async def _session(
+        self,
+        request: SessionRequest,
+        fleet: FleetScheduler,
+        admission: asyncio.Semaphore,
+        loop: asyncio.AbstractEventLoop,
+        threads: concurrent.futures.ThreadPoolExecutor,
+    ) -> SessionResult:
+        t_arrive = time.perf_counter()
+        async with admission:
+            admission_wait = time.perf_counter() - t_arrive
+            dispatcher = fleet.register(request.sid)
+            try:
+                result = await loop.run_in_executor(
+                    threads, self._session_body, request, dispatcher
+                )
+            finally:
+                fleet.release(request.sid)
+            result.admission_wait = admission_wait
+            return result
+
+    def _session_body(
+        self, request: SessionRequest, dispatcher: SessionDispatcher
+    ) -> SessionResult:
+        """The blocking session body (runs on a service worker thread)."""
+        t0 = time.perf_counter()
+        result = SessionResult(sid=request.sid, kind=request.kind, ok=False)
+        # Scope this thread's observability: a private counter registry
+        # and a private (or explicitly absent) tracer. Nothing this
+        # session records can bleed into another session or the caller.
+        obs_metrics.activate_session_registry()
+        tracer = obs_spans.Tracer() if request.trace else None
+        obs_spans.set_session_tracer(tracer)
+        try:
+            if request.kind == "record":
+                self._run_record(request, dispatcher, result)
+            elif request.kind == "replay":
+                self._run_replay(request, dispatcher, result)
+            else:
+                raise ValueError(f"unknown session kind {request.kind!r}")
+            result.ok = result.error is None
+        except Exception as exc:  # a failed tenant, not a failed service
+            result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            result.tracer = tracer
+            obs_spans.clear_session_tracer()
+            obs_metrics.deactivate_session_registry()
+            result.duration = time.perf_counter() - t0
+        return result
+
+    def _build(self, request: SessionRequest):
+        instance = build_workload(
+            request.workload,
+            workers=request.workers,
+            scale=request.scale,
+            seed=request.seed,
+        )
+        machine = MachineConfig(cores=request.workers)
+        epoch_cycles = request.epoch_cycles
+        if epoch_cycles is None:
+            from repro.baselines import run_native
+
+            native = run_native(instance.image, instance.setup, machine)
+            epoch_cycles = max(
+                native.duration // max(request.epoch_divisor, 1), 500
+            )
+        return instance, machine, epoch_cycles
+
+    def _run_record(
+        self,
+        request: SessionRequest,
+        dispatcher: SessionDispatcher,
+        result: SessionResult,
+    ) -> None:
+        instance, machine, epoch_cycles = self._build(request)
+        config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=epoch_cycles,
+            host_jobs=dispatcher.jobs,
+            host_dispatcher=dispatcher,
+            host_faults=request.faults,
+        )
+        record = DoublePlayRecorder(instance.image, instance.setup, config).record()
+        record.metrics.merge_group("service", dispatcher.session_summary())
+        result.recording_plain = record.recording.to_plain()
+        result.epochs = record.recording.epoch_count()
+        result.metrics = record.metrics.snapshot()
+        if record.fault is not None:
+            # A guest fault is a property of the workload, faithfully
+            # recorded — not a session failure.
+            result.metrics.setdefault("record", {})
+
+    def _run_replay(
+        self,
+        request: SessionRequest,
+        dispatcher: SessionDispatcher,
+        result: SessionResult,
+    ) -> None:
+        if request.recording_plain is None:
+            raise ValueError("replay session requires recording_plain")
+        instance, machine, _ = self._build(request)
+        from repro.checkpoint.manager import CheckpointManager
+        from repro.exec.multicore import MulticoreEngine
+        from repro.exec.services import LiveSyscalls
+        from repro.oskernel.kernel import Kernel
+        from repro.record.recording import Recording
+
+        kernel = Kernel(instance.setup, instance.image.heap_base)
+        boot = MulticoreEngine.boot(instance.image, machine, LiveSyscalls(kernel))
+        initial = CheckpointManager().initial(boot)
+        recording = Recording.from_plain(request.recording_plain, initial)
+        replayer = Replayer(instance.image, machine)
+        replayer.materialize_checkpoints(recording)
+        outcome = replayer.replay_parallel(
+            recording,
+            jobs=dispatcher.jobs,
+            dispatcher=dispatcher,
+            fault_specs=request.faults,
+        )
+        result.verified = outcome.verified
+        result.epochs = recording.epoch_count()
+        metrics = getattr(outcome, "metrics", None)
+        if metrics is not None:
+            metrics.merge_group("service", dispatcher.session_summary())
+            result.metrics = metrics.snapshot()
+        else:
+            result.metrics = {"service": dict(dispatcher.session_summary())}
+        if not outcome.verified:
+            result.error = f"replay diverged: {outcome.details}"

@@ -575,6 +575,69 @@ def test_goldens_survive_forced_blob_misses(monkeypatch):
         _shutdown_pool()
 
 
+# Service parity: recording through the multi-session coordinator
+# (``repro.service``) — N tenants interleaved over one shared worker
+# fleet, with admission control, fair-share scheduling and cross-session
+# blob dedup — must still produce each tenant's recording byte-identical
+# to a solo jobs=1 run, hitting the committed goldens exactly. The slice
+# mixes race-free and divergence-heavy workloads so commits, retries and
+# recoveries all interleave across tenants.
+SESSIONS_PARITY = [
+    ("pbzip", 2),
+    ("fft", 3),
+    ("racy-counter", 2),
+]
+
+
+def test_concurrent_service_sessions_match_goldens():
+    from repro.service import RecordService, ServiceConfig, SessionRequest
+
+    natives = {}
+    for name, workers in SESSIONS_PARITY:
+        instance = build_workload(name, workers=workers, scale=2, seed=11)
+        machine = MachineConfig(cores=workers)
+        natives[(name, workers)] = run_native(instance.image, instance.setup, machine)
+
+    service = RecordService(ServiceConfig(jobs=2, max_active=len(SESSIONS_PARITY)))
+    requests = [
+        SessionRequest(
+            sid=f"{name}-{workers}", workload=name, workers=workers,
+            scale=2, seed=11,
+            epoch_cycles=max(natives[(name, workers)].duration // 12, 500),
+        )
+        for name, workers in SESSIONS_PARITY
+    ]
+    report = service.run(requests)
+    assert report.ok, [r.error for r in report.results]
+
+    for (name, workers), result in zip(SESSIONS_PARITY, report.results):
+        instance = build_workload(name, workers=workers, scale=2, seed=11)
+        machine = MachineConfig(cores=workers)
+        native = natives[(name, workers)]
+        config = DoublePlayConfig(
+            machine=machine,
+            epoch_cycles=max(native.duration // 12, 500),
+            host_jobs=1,
+        )
+        solo = DoublePlayRecorder(instance.image, instance.setup, config).record()
+        # Byte-identical to the solo serial run...
+        assert json.dumps(result.recording_plain, sort_keys=True) == json.dumps(
+            solo.recording.to_plain(), sort_keys=True
+        ), f"{name}/{workers}: service recording drifted from solo"
+        # ...and the goldens themselves reproduced through the service.
+        recording = solo.recording
+        observed = (
+            native.duration,
+            native.final_digest,
+            solo.makespan,
+            recording.epoch_count(),
+            recording.final_digest,
+            combine_hashes([e.end_digest for e in recording.epochs]),
+            recording.total_log_bytes(),
+        )
+        assert observed == GOLDEN[(name, workers)]
+
+
 # Durable-log parity: streaming committed epochs into the sharded
 # durable log (``--log-dir``), even in flight-recorder spill mode, is
 # invisible to the execution — and replay is bit-identical whether it

@@ -1,0 +1,220 @@
+"""Per-session observability isolation (the service's scoped obs).
+
+The service runs many record/replay sessions on concurrent threads of
+one process, so the obs layer grew thread-scoped overrides: a session
+activates a private ``StatsRegistry`` (counters) and installs a private
+— or explicitly absent — ``Tracer`` (spans). These tests pin the
+isolation contract at both levels:
+
+* unit level — the scoped registry/tracer primitives themselves:
+  overrides are per-thread, ``None`` is an explicit "no tracing here"
+  override, and clearing restores the module global;
+* service level — interleaved sessions report the same execution
+  counters a solo run does, traced sessions collect exactly their own
+  spans, and nothing ever lands in another session's (or the main
+  thread's) trace.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.service import RecordService, ServiceConfig, SessionRequest
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_scope():
+    """No test may leak a scoped registry/tracer or a global trace."""
+    yield
+    assert obs_spans.current() is None, "test leaked an active tracer"
+    obs_spans.stop_trace()
+    obs_spans.clear_session_tracer()
+    obs_metrics.deactivate_session_registry()
+
+
+# ---------------------------------------------------------------------------
+# Unit level: the scoped primitives.
+# ---------------------------------------------------------------------------
+
+
+def test_session_registry_is_thread_scoped():
+    baseline = obs_metrics.process_stats().snapshot()
+    results = {}
+    ready = threading.Barrier(2)
+
+    def session(name, bumps):
+        registry = obs_metrics.activate_session_registry()
+        try:
+            ready.wait(timeout=10)
+            for _ in range(bumps):
+                obs_metrics.process_stats().add(f"{name}.counter")
+            results[name] = registry.snapshot()
+        finally:
+            obs_metrics.deactivate_session_registry()
+
+    threads = [
+        threading.Thread(target=session, args=("a", 3)),
+        threading.Thread(target=session, args=("b", 5)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+
+    # Each thread saw only its own counters...
+    assert results["a"] == {"a.counter": 3}
+    assert results["b"] == {"b.counter": 5}
+    # ...and the process-global registry saw none of them.
+    assert obs_metrics.process_stats().snapshot() == baseline
+
+
+def test_deactivated_registry_falls_back_to_process_global():
+    obs_metrics.activate_session_registry()
+    obs_metrics.process_stats().add("scoped.only")
+    obs_metrics.deactivate_session_registry()
+    assert "scoped.only" not in obs_metrics.process_stats().snapshot()
+
+
+def test_session_tracer_override_is_thread_scoped():
+    global_tracer = obs_spans.start_trace()
+    try:
+        outcomes = {}
+
+        def silent_session():
+            # Explicit None: this session must not see (or feed) the
+            # main thread's live trace.
+            obs_spans.set_session_tracer(None)
+            try:
+                outcomes["silent_enabled"] = obs_spans.enabled()
+                with obs_spans.span("ghost", obs_spans.CAT_EPOCH):
+                    pass
+            finally:
+                obs_spans.clear_session_tracer()
+
+        def traced_session():
+            mine = obs_spans.Tracer()
+            obs_spans.set_session_tracer(mine)
+            try:
+                with obs_spans.span("own-span", obs_spans.CAT_EPOCH):
+                    pass
+                outcomes["own_spans"] = [s.name for s in mine.spans]
+            finally:
+                obs_spans.clear_session_tracer()
+
+        threads = [
+            threading.Thread(target=silent_session),
+            threading.Thread(target=traced_session),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert outcomes["silent_enabled"] is False
+        assert outcomes["own_spans"] == ["own-span"]
+        # The main thread's trace never saw either session.
+        assert [s.name for s in global_tracer.spans] == []
+        # And the main thread itself still traces.
+        assert obs_spans.current() is global_tracer
+    finally:
+        obs_spans.stop_trace()
+
+
+def test_clear_session_tracer_without_override_is_harmless():
+    obs_spans.clear_session_tracer()
+    obs_spans.clear_session_tracer()
+    assert obs_spans.current() is None
+
+
+# ---------------------------------------------------------------------------
+# Service level: interleaved sessions.
+# ---------------------------------------------------------------------------
+
+
+def _session_requests(count, **kwargs):
+    return [
+        SessionRequest(sid=f"s{i}", workload="fft", scale=1, seed=13, **kwargs)
+        for i in range(count)
+    ]
+
+
+def test_interleaved_sessions_report_solo_execution_metrics():
+    service = RecordService(ServiceConfig(jobs=2, max_active=3))
+    solo = service.run(_session_requests(1))
+    assert solo.ok, [r.error for r in solo.results]
+    interleaved = service.run(_session_requests(3))
+    assert interleaved.ok, [r.error for r in interleaved.results]
+
+    reference = solo.results[0].metrics
+    for result in interleaved.results:
+        # Deterministic execution counters match the solo run exactly —
+        # no bleed-in from neighbours, no bleed-out to them. (Host/wire
+        # groups legitimately differ: they describe the shared fleet.)
+        for group in ("exec", "record"):
+            assert result.metrics.get(group) == reference.get(group), (
+                f"{result.sid}: {group} counters drifted under interleaving"
+            )
+
+
+def test_traced_session_collects_only_its_own_spans():
+    service = RecordService(ServiceConfig(jobs=2, max_active=3))
+    report = service.run(
+        [
+            SessionRequest(sid="traced0", workload="fft", scale=1, seed=13,
+                           trace=True),
+            SessionRequest(sid="dark", workload="fft", scale=1, seed=13),
+            SessionRequest(sid="traced1", workload="fft", scale=1, seed=13,
+                           trace=True),
+        ]
+    )
+    assert report.ok, [r.error for r in report.results]
+    by_sid = {r.sid: r for r in report.results}
+
+    assert by_sid["dark"].tracer is None
+    for sid in ("traced0", "traced1"):
+        tracer = by_sid[sid].tracer
+        assert tracer is not None and tracer.spans, f"{sid} collected nothing"
+        # Exactly one execute span per executed epoch — the count the
+        # run's own merged counters report, nothing from neighbours.
+        executes = [s for s in tracer.spans if s.name == "execute"]
+        epochs = by_sid[sid].metrics["exec"]["epochs"]
+        assert len(executes) == epochs, (
+            f"{sid}: {len(executes)} execute spans vs {epochs} epochs"
+        )
+    # Identical sessions collect identical span shapes.
+    shape0 = sorted(
+        (s.name, s.cat) for s in by_sid["traced0"].tracer.spans
+    )
+    shape1 = sorted(
+        (s.name, s.cat) for s in by_sid["traced1"].tracer.spans
+    )
+    assert shape0 == shape1
+    # The service never leaks a trace into the caller's thread.
+    assert obs_spans.current() is None
+
+
+def test_sessions_never_touch_the_callers_global_trace():
+    global_tracer = obs_spans.start_trace()
+    try:
+        service = RecordService(ServiceConfig(jobs=2, max_active=2))
+        report = service.run(_session_requests(2))
+        assert report.ok, [r.error for r in report.results]
+        # The caller's trace saw no session spans: sessions without
+        # trace=True run with the explicit None override, not the
+        # module-global tracer.
+        assert [s.name for s in global_tracer.spans] == []
+    finally:
+        obs_spans.stop_trace()
+
+
+def test_session_recordings_unaffected_by_tracing():
+    service = RecordService(ServiceConfig(jobs=2, max_active=2))
+    untraced = service.run(_session_requests(1))
+    traced = service.run(_session_requests(1, trace=True))
+    assert untraced.ok and traced.ok
+    assert json.dumps(
+        untraced.results[0].recording_plain, sort_keys=True
+    ) == json.dumps(traced.results[0].recording_plain, sort_keys=True)
