@@ -6,14 +6,19 @@ a handful of epoch-granularity counter increments and one module-global
 ``is None`` check per span site. This bench measures that promise as
 record-mode guest-MIPS in three modes:
 
-* **baseline** — every obs hook stubbed to a no-op (counter adds and
-  span context managers), approximating the pre-observability recorder;
-* **disabled** — the shipped default: counters on, tracing off;
-* **enabled** — a live tracer writing a Chrome trace, the worst case.
+* **baseline** — every obs hook stubbed to a no-op (counter adds, span
+  context managers, histogram observes), approximating the
+  pre-observability recorder;
+* **disabled** — the shipped default: counters and latency histograms
+  on, tracing and the event journal off;
+* **enabled** — the full telemetry plane: a live tracer writing a
+  Chrome trace plus an installed event journal with a JSON-lines sink,
+  the worst case.
 
-The gate: disabled-mode geomean guest-MIPS may regress at most
-``OBS_OVERHEAD_BUDGET`` (default 3%) against the stubbed baseline
-measured *in the same process on the same host* — comparing two runs
+Two gates: disabled-mode geomean guest-MIPS may regress at most
+``OBS_OVERHEAD_BUDGET`` (default 3%) and enabled mode at most
+``OBS_ENABLED_BUDGET`` (default 6%) against the stubbed baseline
+measured *in the same process on the same host* — comparing runs
 seconds apart cancels the machine out of the measurement. ``--check``
 additionally enforces the committed ``disabled`` numbers in
 ``BENCH_obs_overhead.json`` with the usual ``BENCH_TOLERANCE`` floor.
@@ -43,7 +48,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.baselines import run_native  # noqa: E402
 from repro.core import DoublePlayConfig, DoublePlayRecorder  # noqa: E402
 from repro.machine.config import MachineConfig  # noqa: E402
+from repro.obs import events as obs_events  # noqa: E402
 from repro.obs import export as obs_export  # noqa: E402
+from repro.obs import histo as obs_histo  # noqa: E402
 from repro.obs import spans as obs_spans  # noqa: E402
 from repro.obs.metrics import process_stats  # noqa: E402
 from repro.workloads import build_workload  # noqa: E402
@@ -69,11 +76,13 @@ def _stubbed_obs():
 
     registry.add = lambda *args, **kwargs: None
     obs_spans.span = _null_span
+    previous_histo = obs_histo.set_enabled(False)
     try:
         yield
     finally:
         registry.add = original_add
         obs_spans.span = original_span
+        obs_histo.set_enabled(previous_histo)
 
 
 def _record_mips(instance, machine, config, retired: int) -> float:
@@ -114,11 +123,14 @@ def measure_workload(name: str, scale: int, repeats: int, workers: int = 3):
         )
         with tempfile.TemporaryDirectory() as tmp:
             trace_path = os.path.join(tmp, "trace.json")
+            events_path = os.path.join(tmp, "events.jsonl")
+            obs_events.install_journal(sink_path=events_path)
             obs_spans.start_trace(trace_path)
             try:
                 mips = _record_mips(instance, machine, config, retired)
             finally:
                 tracer = obs_spans.stop_trace()
+                obs_events.uninstall_journal()
             obs_export.write_chrome_trace(tracer, trace_path)
             best["enabled"] = max(best["enabled"], mips)
     return {
@@ -210,6 +222,15 @@ def main(argv=None) -> int:
         print(
             f"check: disabled-mode overhead {overhead:+.2%} vs budget "
             f"{budget:.0%} → {status}"
+        )
+        failed |= status != "ok"
+        # Full-telemetry budget: tracer + journal + histograms live.
+        enabled_budget = float(os.environ.get("OBS_ENABLED_BUDGET", "0.06"))
+        enabled_overhead = result["geomean_enabled_overhead"]
+        status = "ok" if enabled_overhead <= enabled_budget else "OVER BUDGET"
+        print(
+            f"check: enabled-mode overhead {enabled_overhead:+.2%} vs budget "
+            f"{enabled_budget:.0%} → {status}"
         )
         failed |= status != "ok"
         # Drift floor: disabled MIPS vs the committed numbers.

@@ -29,6 +29,7 @@ from repro.baselines import run_native
 from repro.core import DoublePlayConfig, DoublePlayRecorder, Replayer
 from repro.machine.config import MachineConfig
 from repro.obs import spans as obs_spans
+from repro.obs.summary import print_summary
 from repro.obs.export import (
     load_trace,
     render_summary,
@@ -121,87 +122,6 @@ def cmd_run(args, out) -> int:
         file=out,
     )
     return 0 if valid else 1
-
-
-#: One entry per host-accounting line: a title, the (group, counter)
-#: gates that decide whether the line prints at all, and the cells —
-#: ``(format, group, counter)`` — it renders from the run's RunMetrics.
-#: Adding a line of accounting means adding a row here, not a function.
-_HOST_SUMMARY_ROWS = (
-    {
-        "title": "host faults contained",
-        "gate": (
-            ("faults", "crashes"),
-            ("faults", "timeouts"),
-            ("faults", "task_errors"),
-            ("faults", "retries"),
-            ("faults", "serial_fallbacks"),
-        ),
-        "cells": (
-            ("{} crash(es), ", "faults", "crashes"),
-            ("{} timeout(s), ", "faults", "timeouts"),
-            ("{} task error(s); ", "faults", "task_errors"),
-            ("{} retried, ", "faults", "retries"),
-            ("{} serial fallback(s)", "faults", "serial_fallbacks"),
-        ),
-        "suffix": " — recording/verdict unaffected",
-    },
-    {
-        "title": "host wire",
-        "gate": (("wire", "blobs_sent"), ("wire", "blob_cache_hits")),
-        "cells": (
-            ("{} bytes in ", "wire", "bytes_shipped"),
-            ("{} blob(s) across ", "wire", "blobs_sent"),
-            ("{} unit(s); ", "host", "units"),
-            ("{} cache hit(s), ", "wire", "blob_cache_hits"),
-            ("{} resend(s)", "wire", "blob_resends"),
-        ),
-        "suffix": "",
-    },
-    {
-        "title": "durable log",
-        "gate": (("durable", "epochs"),),
-        "cells": (
-            ("{} epoch(s), ", "durable", "epochs"),
-            ("{} shard byte(s) -> ", "durable", "shard_bytes"),
-            ("{} on disk; ", "durable", "segment_bytes"),
-            ("{} group commit(s), ", "durable", "group_commits"),
-            ("{} fsync(s), ", "durable", "fsyncs"),
-            ("{} blob(s) stored", "durable", "blobs_written"),
-        ),
-        "suffix": "",
-    },
-    {
-        "title": "flight recorder",
-        "gate": (
-            ("durable", "window_slides"),
-            ("durable", "segments_deleted"),
-            ("durable", "pack_compactions"),
-        ),
-        "cells": (
-            ("{} window slide(s) dropped ", "durable", "window_slides"),
-            ("{} epoch(s); ", "durable", "window_epochs_dropped"),
-            ("{} segment(s) deleted, ", "durable", "segments_deleted"),
-            ("{} pack compaction(s); ", "durable", "pack_compactions"),
-            ("{} segment + ", "durable", "segment_bytes_reclaimed"),
-            ("{} pack byte(s) reclaimed", "durable", "pack_bytes_reclaimed"),
-        ),
-        "suffix": "",
-    },
-)
-
-
-def _print_host_summary(metrics, out) -> None:
-    """Host accounting lines (fault containment, wire traffic), rendered
-    table-driven from the run's merged :class:`RunMetrics`."""
-    for row in _HOST_SUMMARY_ROWS:
-        if not any(metrics.get(group, key) for group, key in row["gate"]):
-            continue
-        cells = "".join(
-            fmt.format(metrics.get(group, key))
-            for fmt, group, key in row["cells"]
-        )
-        print(f"  {row['title']}: {cells}{row['suffix']}", file=out)
 
 
 def _trace_path(args) -> Optional[str]:
@@ -321,9 +241,27 @@ def cmd_record(args, out) -> int:
     )
     for key, value in recording.log_breakdown().items():
         print(f"  {key}: {value}", file=out)
-    _print_host_summary(result.metrics, out)
+    print_summary(result.metrics, out)
     if trace_path:
         print(f"wrote trace to {trace_path}", file=out)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(
+                {
+                    "workload": {
+                        "name": args.workload,
+                        "workers": args.workers,
+                        "scale": args.scale,
+                        "seed": args.seed,
+                        "jobs": args.jobs,
+                    },
+                    "metrics": result.metrics.snapshot(),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"saved metrics snapshot to {args.metrics_out}", file=out)
     if args.log_dir:
         print(f"saved durable log to {args.log_dir}", file=out)
     if args.output:
@@ -419,7 +357,7 @@ def cmd_replay(args, out) -> int:
     )
     for detail in outcome.details:
         print(f"  {detail}", file=out)
-    _print_host_summary(outcome.metrics, out)
+    print_summary(outcome.metrics, out)
     if trace_path:
         print(f"wrote trace to {trace_path}", file=out)
     return 0 if outcome.verified else 1
@@ -610,6 +548,10 @@ def cmd_serve(args, out) -> int:
         jobs=args.jobs,
         max_active=args.active,
         queue_depth=args.queue_depth,
+        telemetry_port=args.telemetry_port,
+        telemetry_linger=args.linger,
+        events_path=args.events,
+        expect_dedup=args.sessions >= 2,
     )
     service = RecordService(config)
     requests = [
@@ -669,6 +611,13 @@ def cmd_serve(args, out) -> int:
         })
     print(render_table(rows, list(rows[0].keys())), file=out)
     print(json_mod.dumps(report.summary(), indent=2, sort_keys=True), file=out)
+    if report.telemetry_port is not None:
+        print(f"telemetry served on port {report.telemetry_port}", file=out)
+    if report.health is not None:
+        status = report.health.get("status", "ok")
+        print(f"health: {status}", file=out)
+        for problem in report.health.get("problems", ()):
+            print(f"  {problem['detector']}: {problem['detail']}", file=out)
 
     if not report.ok:
         for result in report.results:
@@ -699,6 +648,142 @@ def cmd_serve(args, out) -> int:
             return 1
         print(f"verify: all {len(report.results)} recordings bit-identical "
               f"to solo jobs=1", file=out)
+        if not report.healthy and not args.fault:
+            # Organic degradation (nobody injected a fault) fails the
+            # verified run; deliberately injected faults are reported
+            # above but are the test's business, not a service failure.
+            print("VERIFY FAILED: service health degraded", file=out)
+            return 1
+    return 0
+
+
+def cmd_top(args, out) -> int:
+    """Poll a live telemetry endpoint into a refreshing terminal table."""
+    import time as time_mod
+
+    from repro.obs.expo import http_get
+
+    url = (args.url or f"http://127.0.0.1:{args.port}").rstrip("/")
+    seen = False
+    try:
+        while True:
+            try:
+                snap = json.loads(http_get(f"{url}/sessions"))
+            except (OSError, ValueError) as exc:
+                if seen:
+                    print("telemetry endpoint gone — service finished",
+                          file=out)
+                    return 0
+                print(f"error: cannot reach {url}/sessions: {exc}", file=out)
+                return 1
+            seen = True
+            rows = []
+            for session in snap.get("sessions", []):
+                lane = session.get("lane") or {}
+                rows.append({
+                    "session": session.get("sid", "?"),
+                    "status": session.get("status", "?"),
+                    "epochs": session.get("epochs", 0),
+                    "inflight": lane.get("inflight", 0),
+                    "queue_hw": lane.get("queue_high_water", 0),
+                    "bp_hits": session.get("backpressure_hits", 0),
+                    "p50_ms": round(
+                        float(lane.get("unit_latency_p50", 0.0)) * 1e3, 2),
+                    "p99_ms": round(
+                        float(lane.get("unit_latency_p99", 0.0)) * 1e3, 2),
+                    "faults": session.get("faults", 0),
+                })
+            if not args.once:
+                # Home the cursor and clear: a refreshing top-style view.
+                print("\x1b[2J\x1b[H", end="", file=out)
+            print(
+                f"sessions: {snap.get('running', 0)} running, "
+                f"{snap.get('completed', 0)} completed, "
+                f"{snap.get('failed', 0)} failed",
+                file=out,
+            )
+            if rows:
+                print(render_table(rows, list(rows[0].keys())), file=out)
+            if args.once:
+                return 0
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_events(args, out) -> int:
+    """Read the tail of a JSON-lines event journal sink."""
+    from repro.obs import events as obs_events
+
+    try:
+        events = obs_events.read_events(args.path, count=args.count)
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    for event in events:
+        print(obs_events.format_event(event), file=out)
+    return 0
+
+
+def _load_flat_metrics(path: str) -> dict:
+    """Flat ``{"group.counter": value}`` from a ``--metrics-out`` file
+    (or a bare ``RunMetrics.snapshot()`` JSON)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    snapshot = payload.get("metrics", payload)
+    flat = {}
+    for group, counters in snapshot.items():
+        if not isinstance(counters, dict):
+            continue
+        for name, value in counters.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[f"{group}.{name}"] = value
+    return flat
+
+
+def cmd_metrics(args, out) -> int:
+    """``repro metrics diff A.json B.json`` — compare two runs' metrics."""
+    a = _load_flat_metrics(args.a)
+    b = _load_flat_metrics(args.b)
+    rows = []
+    breaches = 0
+    differing = 0
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key, 0), b.get(key, 0)
+        if va == vb and not args.all:
+            continue
+        if va != vb:
+            differing += 1
+        delta = vb - va
+        if va:
+            rel = delta / va
+            rel_text = f"{rel:+.1%}"
+            breach = abs(rel) >= args.threshold
+        else:
+            rel_text = "new" if delta else ""
+            breach = bool(delta)
+        flag = ""
+        if va != vb and breach:
+            flag = "*"
+            breaches += 1
+        rows.append({
+            "metric": key,
+            "a": round(va, 6),
+            "b": round(vb, 6),
+            "delta": round(delta, 6),
+            "rel": rel_text,
+            "flag": flag,
+        })
+    if rows:
+        print(render_table(
+            rows, ["metric", "a", "b", "delta", "rel", "flag"]), file=out)
+    print(
+        f"{differing} metric(s) differ; {breaches} beyond "
+        f"{args.threshold:.0%} (flagged *)",
+        file=out,
+    )
+    if args.check and breaches:
+        return 1
     return 0
 
 
@@ -753,6 +838,10 @@ def build_parser() -> argparse.ArgumentParser:
              "are deleted and the blob pack compacted, so disk stays "
              "bounded by the window (requires --log-dir; env fallback: "
              "REPRO_FLIGHT_WINDOW)")
+    record_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH", dest="metrics_out",
+        help="export the run's RunMetrics snapshot as JSON (compare two "
+             "runs with 'repro metrics diff A.json B.json')")
     record_parser.add_argument("-o", "--output", help="save recording JSON here")
 
     replay_parser = commands.add_parser("replay", help="replay a saved recording")
@@ -822,6 +911,76 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--trace-sessions", action="store_true",
         help="collect an isolated span trace inside each session")
+    serve_parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="N",
+        dest="telemetry_port",
+        help="serve live telemetry over HTTP on this port: /metrics "
+             "(Prometheus text), /sessions (per-lane JSON), /healthz "
+             "(0 = pick an ephemeral port, printed after the run)")
+    serve_parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the telemetry endpoint up this long after the last "
+             "session completes (scrape window; requires "
+             "--telemetry-port)")
+    serve_parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append the structured event journal as JSON lines here "
+             "(read it back with 'repro events tail PATH')")
+
+    top_parser = commands.add_parser(
+        "top", help="poll a live telemetry endpoint into a terminal table"
+    )
+    top_parser.add_argument(
+        "--url", default=None,
+        help="telemetry base URL (default: http://127.0.0.1:PORT)")
+    top_parser.add_argument(
+        "--port", type=int, default=9900,
+        help="telemetry port when --url is not given (default 9900)")
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default 1)")
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing)")
+
+    events_parser = commands.add_parser(
+        "events", help="read a structured event journal"
+    )
+    events_sub = events_parser.add_subparsers(
+        dest="events_command", required=True
+    )
+    tail_parser = events_sub.add_parser(
+        "tail", help="print the last events of a JSON-lines journal sink"
+    )
+    tail_parser.add_argument(
+        "path",
+        help="journal sink file, or a directory holding events.jsonl")
+    tail_parser.add_argument(
+        "-n", "--count", type=int, default=20,
+        help="how many trailing events to print (default 20)")
+
+    metrics_parser = commands.add_parser(
+        "metrics", help="work with exported RunMetrics snapshots"
+    )
+    metrics_sub = metrics_parser.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    diff_parser = metrics_sub.add_parser(
+        "diff", help="compare two metrics snapshots with threshold "
+                     "highlighting"
+    )
+    diff_parser.add_argument("a", help="baseline snapshot JSON")
+    diff_parser.add_argument("b", help="candidate snapshot JSON")
+    diff_parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="REL",
+        help="flag metrics whose relative change exceeds REL "
+             "(default 0.10)")
+    diff_parser.add_argument(
+        "--all", action="store_true",
+        help="also list metrics that did not change")
+    diff_parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any metric breaches the threshold")
 
     trace_parser = commands.add_parser(
         "trace", help="inspect a timeline written by --trace"
@@ -875,6 +1034,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "replay": cmd_replay,
         "log": cmd_log,
         "serve": cmd_serve,
+        "top": cmd_top,
+        "events": cmd_events,
+        "metrics": cmd_metrics,
         "diagnose": cmd_diagnose,
         "experiment": cmd_experiment,
         "trace": cmd_trace,

@@ -26,6 +26,7 @@ from repro.exec.uniprocessor import UniprocessorEngine
 from repro.isa.instructions import Op
 from repro.isa.program import ProgramImage
 from repro.machine.config import MachineConfig
+from repro.obs import histo as obs_histo
 from repro.obs import metrics as obs_metrics
 from repro.oskernel.syscalls import SyscallRecord
 from repro.record.schedule_log import ScheduleLog
@@ -94,6 +95,9 @@ def run_epoch(
     stats.add("exec.syscalls_injected", result.syscalls_consumed)
     if not result.ok:
         stats.add("exec.divergences")
+    # Guest cycles are deterministic, so this histogram is identical at
+    # any jobs count (worker buckets ride home on the unit result).
+    obs_histo.observe("epoch_cycles", result.duration)
     return result
 
 

@@ -25,6 +25,7 @@ are ``makespan / native - 1``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -44,6 +45,8 @@ from repro.errors import SimulationError
 from repro.exec.multicore import MulticoreEngine
 from repro.exec.services import LiveSyscalls
 from repro.isa.program import ProgramImage
+from repro.obs import events as obs_events
+from repro.obs import histo as obs_histo
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
 from repro.obs.metrics import RunMetrics
@@ -481,6 +484,7 @@ class DoublePlayRecorder:
                     )
                 )
                 if result.ok:
+                    commit_started = time.perf_counter()
                     with obs_spans.span(
                         "commit", obs_spans.CAT_COMMIT, epoch=epoch_index
                     ):
@@ -504,6 +508,13 @@ class DoublePlayRecorder:
                             )
                             if config.log_spill:
                                 record.spill()
+                    obs_histo.observe(
+                        "commit_wall_s", time.perf_counter() - commit_started
+                    )
+                    obs_events.emit(
+                        "epoch-commit", epoch=epoch_index,
+                        cycles=result.duration,
+                    )
                     committed = end_cp
                     epoch_index += 1
                     continue
@@ -512,6 +523,10 @@ class DoublePlayRecorder:
                 # ------------------------------------------------------
                 divergences += 1
                 attempt_duration = result.duration
+                obs_events.emit(
+                    "divergence", epoch=epoch_index,
+                    reason=result.reason[:120],
+                )
                 with obs_spans.span(
                     "divergence", obs_spans.CAT_RECOVERY,
                     epoch=epoch_index, reason=result.reason[:120],
@@ -540,6 +555,9 @@ class DoublePlayRecorder:
                         syscall_log,
                         signal_log=signal_log,
                     )
+                obs_events.emit(
+                    "recovery", epoch=epoch_index, cycles=recovery.duration
+                )
                 record = EpochRecord(
                     index=epoch_index,
                     start_checkpoint=start_cp,
@@ -558,6 +576,10 @@ class DoublePlayRecorder:
                     )
                     if config.log_spill:
                         record.spill()
+                obs_events.emit(
+                    "epoch-commit", epoch=epoch_index,
+                    cycles=recovery.duration, recovered=True,
+                )
                 committed = recovery.committed
                 epoch_index += 1
                 diverged_at = position

@@ -101,6 +101,8 @@ from repro.host.blobs import (
 )
 from repro.host.wire import NeedBlobs, UnitBatch, UnitTiming
 from repro.memory.blob import blob_digest, encode_object
+from repro.obs import events as obs_events
+from repro.obs import histo as obs_histo
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
 from repro.record.sync_log import SyncOrderLog
@@ -870,6 +872,10 @@ class HostExecutor:
                 "error": str(failure),
             }
         )
+        obs_events.emit(
+            "fault-contained", fault=failure.kind,
+            position=failure.position, attempt=failure.attempt,
+        )
 
     def _submit_missing(self, task_fn, batch, futures, done, start, skip=None) -> None:
         """Keep the submission window full of live futures from ``start``.
@@ -1051,6 +1057,10 @@ class HostExecutor:
                         )
                         self.blob_resends += 1
                         resends[next_pos] += 1
+                        obs_events.emit(
+                            "blob-resend", position=next_pos,
+                            missing=len(value.missing),
+                        )
                         if resends[next_pos] <= _BLOB_RESEND_LIMIT:
                             self._resend_with_blobs(
                                 task_fn, batch, futures, next_pos
@@ -1076,6 +1086,10 @@ class HostExecutor:
                         timing.blobs_sent = batch.blobs_sent[next_pos]
                         self._ingest_observability(timing)
                         self.unit_timings.append((kind, next_pos, timing))
+                        # Coordinator-side, merged results only: dropped
+                        # speculation/divergence tails never observe.
+                        obs_histo.observe("unit_wall_s", timing.wall)
+                        obs_histo.observe("unit_bytes", timing.bytes_shipped)
                         if stop_on is not None and stop_on(value):
                             for pending in futures.values():
                                 pending.cancel()
@@ -1098,8 +1112,10 @@ class HostExecutor:
                 attempts[next_pos] += 1
                 if attempts[next_pos] < _POOL_ATTEMPTS:
                     self.counters["retries"] += 1
+                    obs_events.emit("fault-retry", position=next_pos)
                     continue
                 self.counters["serial_fallbacks"] += 1
+                obs_events.emit("serial-fallback", position=next_pos)
                 _, value, timing = unit_fn(self._local_dispatch(batch, next_pos))
                 timing.bytes_shipped = batch.bytes_shipped[next_pos]
                 timing.blobs_sent = batch.blobs_sent[next_pos]

@@ -20,9 +20,23 @@ execution — and this package is how we see it:
   coordinator track) plus schema validation and the ``repro trace
   summarize`` analysis (overlap ratio, top-N slowest epochs, straggler
   attribution).
+* :mod:`repro.obs.histo` — mergeable log-bucketed latency/size
+  histograms, encoded as dotted counters so they ride the worker
+  round-trip unchanged (p50/p90/p99 via ``RunMetrics.histogram``).
+* :mod:`repro.obs.events` — a bounded structured event journal (ring +
+  optional JSON-lines sink) emitted at every load-bearing transition;
+  ``repro events tail`` reads it.
+* :mod:`repro.obs.expo` — the live telemetry hub and its HTTP
+  endpoints (``/metrics`` Prometheus text, ``/sessions`` JSON,
+  ``/healthz``) behind ``repro serve --telemetry-port``.
+* :mod:`repro.obs.health` — pure SLO evaluation (stalled lanes,
+  admission-wait breach, fault/fallback budgets, dedup regression)
+  driving ``/healthz`` and the service ``--verify`` exit.
+* :mod:`repro.obs.summary` — the table-driven CLI summary renderer
+  over :class:`RunMetrics` groups and histograms.
 
 Nothing here may ever influence an execution: recordings and replay
-verdicts are bit-identical with tracing on or off, at any jobs count.
+verdicts are bit-identical with telemetry on or off, at any jobs count.
 """
 
 from repro.obs.export import (
@@ -32,6 +46,9 @@ from repro.obs.export import (
     validate_trace,
     write_chrome_trace,
 )
+from repro.obs.health import HealthPolicy, HealthReport
+from repro.obs.health import evaluate as evaluate_health
+from repro.obs.histo import LogHistogram
 from repro.obs.metrics import RunMetrics, build_run_metrics, process_stats
 from repro.obs.spans import (
     SpanRecord,
@@ -44,6 +61,9 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "HealthPolicy",
+    "HealthReport",
+    "LogHistogram",
     "RunMetrics",
     "SpanRecord",
     "Tracer",
@@ -51,6 +71,7 @@ __all__ = [
     "chrome_trace",
     "current",
     "enabled",
+    "evaluate_health",
     "load_trace",
     "process_stats",
     "span",

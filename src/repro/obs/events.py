@@ -1,0 +1,219 @@
+"""The structured event journal: every load-bearing transition, bounded.
+
+Counters say *how many*; the journal says *what happened, in order*.
+Every state transition an operator would grep a log for is emitted as
+one structured event — epoch committed, divergence discarded, fault
+contained/retried/serial-fallback, ``NeedBlobs`` resend, flight-window
+slide and GC, session admitted/backpressured/completed — into a
+process-wide :class:`EventJournal`:
+
+* **Bounded ring.** Events land in a ``deque(maxlen=capacity)``; the
+  journal never grows with run length. Overflow is counted
+  (``dropped``), and sequence numbers are global and monotonic, so a
+  reader can tell exactly how many events a full ring lost.
+* **Optional JSON-lines sink.** Given a path, every event is also
+  appended as one JSON object per line — the durable form ``repro
+  events tail`` reads and the CI smoke greps.
+* **Listeners.** The live telemetry hub (:mod:`repro.obs.expo`)
+  subscribes to the journal and derives per-session health state
+  (last-commit times, fault counts) from the same stream, so there is
+  exactly one source of truth for "what happened".
+
+**Disabled means free.** The journal is ``None`` by default; every
+:func:`emit` site costs one module-global check, the same contract the
+span tracer honors (gated by ``benchmarks/bench_obs_overhead.py``).
+The service layer installs a journal for the duration of a serve run;
+the CLI installs one when ``--events PATH`` (or ``REPRO_EVENTS``) asks
+for a durable sink. Worker processes never install a journal — every
+emission site lives on the coordinator, where transitions are decided.
+
+Sessions run as threads of one coordinator process, so events carry the
+emitting thread's session label (:func:`set_event_context`): one
+journal, per-tenant attribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+#: event kinds emitted by the core layers (one place to see the taxonomy)
+KINDS = (
+    "epoch-commit",        # recorder: one epoch folded into the recording
+    "divergence",          # recorder: epoch result rejected, log pruned
+    "recovery",            # recorder: forward recovery re-execution done
+    "fault-contained",     # host: worker crash/timeout/task-error observed
+    "fault-retry",         # host: blamed unit retried on a fresh pool
+    "serial-fallback",     # host: unit re-run serially on the coordinator
+    "blob-resend",         # host: NeedBlobs answered with the full set
+    "flight-window-slide", # durable log: manifest window slid forward
+    "segment-gc",          # durable log: dead sealed segment deleted
+    "pack-compaction",     # durable log: blob pack rewritten survivors-only
+    "partial-close",       # durable log: crash path sealed committed prefix
+    "session-admitted",    # service: tenant got an admission slot
+    "session-backpressure",# service: tenant blocked on its lane credits
+    "session-completed",   # service: tenant finished (ok or failed)
+)
+
+
+class EventJournal:
+    """A bounded, thread-safe ring of structured events."""
+
+    def __init__(self, capacity: int = 1024, sink_path: Optional[str] = None):
+        self.capacity = max(1, int(capacity))
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._listeners: List[Callable[[Dict[str, object]], None]] = []
+        self.sink_path = sink_path
+        self._sink = open(sink_path, "a", buffering=1) if sink_path else None
+        #: events pushed out of a full ring (still in the sink, if any)
+        self.dropped = 0
+        self.emitted = 0
+        #: monotonic clock origin: event ``t`` is seconds since install
+        self.origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> Dict[str, object]:
+        event: Dict[str, object] = {
+            "seq": next(self._seq),
+            "t": round(time.perf_counter() - self.origin, 6),
+            "kind": kind,
+        }
+        sid = _context_sid()
+        if sid is not None:
+            event["sid"] = sid
+        event.update(fields)
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(event)
+            self.emitted += 1
+            if self._sink is not None:
+                try:
+                    self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+                except (OSError, TypeError):
+                    pass  # telemetry must never fail the run
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:
+                pass  # a broken consumer must never fail the producer
+        return event
+
+    def add_listener(self, listener: Callable[[Dict[str, object]], None]) -> None:
+        with self._lock:
+            self._listeners.append(listener)
+
+    def tail(self, count: Optional[int] = None) -> List[Dict[str, object]]:
+        """The newest ``count`` events, oldest first (all when ``None``)."""
+        with self._lock:
+            events = list(self._ring)
+        if count is not None:
+            events = events[-count:]
+        return events
+
+    def close(self) -> None:
+        if self._sink is not None:
+            try:
+                self._sink.close()
+            finally:
+                self._sink = None
+
+
+# ----------------------------------------------------------------------
+# Process-wide installation + per-thread session context.
+# ----------------------------------------------------------------------
+_journal: Optional[EventJournal] = None
+_context = threading.local()
+
+
+def _context_sid() -> Optional[str]:
+    return getattr(_context, "sid", None)
+
+
+def set_event_context(sid: Optional[str]) -> None:
+    """Stamp this thread's future events with a session id (None clears)."""
+    _context.sid = sid
+
+
+def journal() -> Optional[EventJournal]:
+    """The installed journal, or None (the disabled fast path)."""
+    return _journal
+
+
+def install_journal(
+    capacity: int = 1024, sink_path: Optional[str] = None
+) -> EventJournal:
+    """Install (and return) a fresh process-wide journal."""
+    global _journal
+    if _journal is not None:
+        _journal.close()
+    _journal = EventJournal(capacity=capacity, sink_path=sink_path)
+    return _journal
+
+
+def uninstall_journal() -> Optional[EventJournal]:
+    """Detach and return the journal (closing its sink)."""
+    global _journal
+    detached, _journal = _journal, None
+    if detached is not None:
+        detached.close()
+    return detached
+
+
+def emit(kind: str, **fields) -> None:
+    """Emit one event if a journal is installed (free when not)."""
+    active = _journal
+    if active is None:
+        return
+    active.emit(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# Reading (``repro events tail``).
+# ----------------------------------------------------------------------
+def read_events(path: str, count: Optional[int] = None) -> List[Dict[str, object]]:
+    """Read the last ``count`` events from a JSON-lines sink.
+
+    ``path`` may be the sink file itself or a directory holding an
+    ``events.jsonl`` (the service's default layout).
+    """
+    import os
+
+    if os.path.isdir(path):
+        path = os.path.join(path, "events.jsonl")
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a torn tail line from a crashed writer
+    if count is not None:
+        events = events[-count:]
+    return events
+
+
+def format_event(event: Dict[str, object]) -> str:
+    """One human line per event (``repro events tail`` output)."""
+    seq = event.get("seq", "?")
+    t = event.get("t", 0.0)
+    kind = event.get("kind", "?")
+    sid = event.get("sid")
+    rest = {
+        key: value
+        for key, value in event.items()
+        if key not in ("seq", "t", "kind", "sid")
+    }
+    detail = " ".join(f"{key}={value}" for key, value in sorted(rest.items()))
+    label = f" [{sid}]" if sid else ""
+    return f"{seq:>6}  {t:>10.6f}  {kind:<20}{label} {detail}".rstrip()

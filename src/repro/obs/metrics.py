@@ -29,7 +29,7 @@ exactly what keeps ``jobs=1`` and ``jobs=N`` metrics identical.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Mapping, Optional
+from typing import Collection, Dict, Mapping, Optional
 
 from repro.sim.stats import StatsRegistry
 
@@ -112,11 +112,20 @@ class RunMetrics:
             return default
         return registry.get(name)
 
-    def merge_group(self, group: str, mapping: Optional[Mapping]) -> None:
+    def merge_group(
+        self,
+        group: str,
+        mapping: Optional[Mapping],
+        ignore: Collection[str] = (),
+    ) -> None:
         """Fold a mapping's *numeric scalars* into ``group``.
 
-        Non-numeric values (per-unit lists, event dicts) are host detail
-        that stays on the ``host`` accounting dict, not in metrics.
+        Non-numeric values used to vanish without a trace, which made
+        schema drift in worker payloads invisible. Now every unexpected
+        drop is counted under ``obs.metrics_dropped``; callers that
+        *know* a mapping carries structural detail (per-unit lists,
+        nested wire/fault dicts) name those keys in ``ignore`` so the
+        counter stays a pure drift signal.
         """
         if not mapping:
             return
@@ -124,6 +133,8 @@ class RunMetrics:
         for name, value in mapping.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 registry.add(name, value)
+            elif name not in ignore:
+                self.group("obs").add("metrics_dropped", 1)
 
     def merge(self, other: "RunMetrics") -> None:
         for group, registry in other._groups.items():
@@ -144,6 +155,29 @@ class RunMetrics:
             for name, value in counters.items()
         }
 
+    def histogram(self, name: str):
+        """Rebuild the named :class:`~repro.obs.histo.LogHistogram`.
+
+        Histograms ride the counter round-trip encoded as
+        ``histo.<name>.b<index>`` (see :mod:`repro.obs.histo`), landing
+        here as the ``histo`` group; this reconstructs one by name.
+        Always returns a histogram — empty when nothing was observed.
+        """
+        from repro.obs.histo import GROUP, LogHistogram
+
+        registry = self._groups.get(GROUP)
+        counters = dict(registry.items()) if registry is not None else {}
+        return LogHistogram.from_counters(name, counters)
+
+    def histogram_names(self):
+        """Names of every histogram present in this snapshot."""
+        from repro.obs.histo import GROUP, histogram_names
+
+        registry = self._groups.get(GROUP)
+        if registry is None:
+            return ()
+        return histogram_names(dict(registry.items()))
+
     @classmethod
     def from_snapshot(cls, snapshot: Mapping[str, Mapping]) -> "RunMetrics":
         metrics = cls()
@@ -156,6 +190,15 @@ class RunMetrics:
             f"{group}={dict(reg.items())}" for group, reg in sorted(self._groups.items())
         )
         return f"RunMetrics({inner})"
+
+
+#: ``timing_summary()`` keys that are structural by design (per-unit
+#: lists, nested accounting dicts) — not schema drift, so not counted
+#: as drops when the host mapping folds into metrics.
+_HOST_STRUCTURAL_KEYS = frozenset(
+    {"unit_wall", "unit_cpu", "unit_pids", "fault_events", "speculation",
+     "wire", "faults"}
+)
 
 
 def build_run_metrics(
@@ -179,8 +222,8 @@ def build_run_metrics(
         else:
             metrics.add("misc", group, value)
     if host:
-        metrics.merge_group("host", host)
-        metrics.merge_group("wire", host.get("wire"))
+        metrics.merge_group("host", host, ignore=_HOST_STRUCTURAL_KEYS)
+        metrics.merge_group("wire", host.get("wire"), ignore=("unit_bytes",))
         metrics.merge_group("faults", host.get("faults"))
     for group, mapping in groups.items():
         metrics.merge_group(group, mapping)

@@ -65,6 +65,7 @@ from repro.host.wire import ThreadLogIndex
 from repro.memory.address_space import MemorySnapshot
 from repro.memory.blob import blob_digest, decode_blob, encode_object
 from repro.memory.page import Page
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.oskernel.syscalls import SyscallKind, SyscallRecord
 from repro.record.recording import EpochRecord, Recording
@@ -794,6 +795,10 @@ class ShardedLogWriter:
         self.epochs_dropped += len(drop)
         stats.add("durable.window_slides")
         stats.add("durable.window_epochs_dropped", len(drop))
+        obs_events.emit(
+            "flight-window-slide", dropped=len(drop),
+            window=self.flight_window,
+        )
         # Retire the open segment early when the window slid past any of
         # its blocks: no further appends means the file becomes fully
         # dead — and deletable — as soon as its remaining epochs slide.
@@ -840,6 +845,7 @@ class ShardedLogWriter:
                 self.bytes_reclaimed += reclaimed
                 stats.add("durable.segments_deleted")
                 stats.add("durable.segment_bytes_reclaimed", reclaimed)
+                obs_events.emit("segment-gc", bytes_reclaimed=reclaimed)
             if self.fsync and fsync_dir(os.path.join(self.directory, "segments")):
                 stats.add("durable.fsyncs")
         self._maybe_compact(stats)
@@ -865,6 +871,7 @@ class ShardedLogWriter:
         self.bytes_reclaimed += freed
         stats.add("durable.pack_compactions")
         stats.add("durable.pack_bytes_reclaimed", freed)
+        obs_events.emit("pack-compaction", bytes_reclaimed=freed)
         if self.fsync:
             stats.add("durable.fsyncs", self.store.fsyncs - fsyncs_before)
 
@@ -965,6 +972,7 @@ class ShardedLogWriter:
             "crash_reason": str(reason)[:500],
         }
         self._stats().add("durable.partial_closes")
+        obs_events.emit("partial-close", reason=str(reason)[:120])
         try:
             if self._segment is not None:
                 self._retire_segment()

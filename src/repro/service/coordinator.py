@@ -41,8 +41,11 @@ from repro.core.config import DoublePlayConfig
 from repro.core.recorder import DoublePlayRecorder
 from repro.core.replayer import Replayer
 from repro.machine.config import MachineConfig
+from repro.obs import events as obs_events
+from repro.obs import health as obs_health
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
+from repro.obs.expo import TelemetryHub, TelemetryServer
 from repro.service.fleet import FleetScheduler, SessionDispatcher
 from repro.workloads import build_workload
 
@@ -61,6 +64,23 @@ class ServiceConfig:
     queue_depth: Optional[int] = None
     #: fleet-wide in-flight bound; None = the fleet default
     max_inflight: Optional[int] = None
+    #: serve ``/metrics`` + ``/sessions`` + ``/healthz`` on this port
+    #: (0 = an ephemeral port, reported on the service after start;
+    #: None = no HTTP endpoint)
+    telemetry_port: Optional[int] = None
+    #: keep the telemetry endpoint up this many seconds after the last
+    #: session completes (scrape window for smoke tests / operators)
+    telemetry_linger: float = 0.0
+    #: append the event journal as JSON lines here (``repro events tail``)
+    events_path: Optional[str] = None
+    #: event-journal ring capacity
+    journal_capacity: int = 1024
+    #: health/SLO thresholds; None = :class:`HealthPolicy` defaults
+    #: (with ``expect_dedup`` applied)
+    health: Optional[obs_health.HealthPolicy] = None
+    #: evaluate the cross-session dedup-regression detector (set when
+    #: the tenants are known to share a workload)
+    expect_dedup: bool = False
 
 
 @dataclass(frozen=True)
@@ -121,10 +141,18 @@ class ServiceReport:
     results: List[SessionResult]
     fleet: Dict[str, object]
     elapsed: float
+    #: the health verdict at end of run (``/healthz`` shape)
+    health: Optional[Dict[str, object]] = None
+    #: bound telemetry port when the run served HTTP endpoints
+    telemetry_port: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         return all(result.ok for result in self.results)
+
+    @property
+    def healthy(self) -> bool:
+        return self.health is None or self.health.get("status") == "ok"
 
     def sessions_per_sec(self) -> float:
         return len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
@@ -132,7 +160,7 @@ class ServiceReport:
     def summary(self) -> Dict[str, object]:
         waits = sorted(result.admission_wait for result in self.results)
         mid = waits[len(waits) // 2] if waits else 0.0
-        return {
+        summary: Dict[str, object] = {
             "sessions": len(self.results),
             "ok": sum(1 for result in self.results if result.ok),
             "elapsed": round(self.elapsed, 6),
@@ -141,6 +169,9 @@ class ServiceReport:
             "admission_wait_max": round(waits[-1] if waits else 0.0, 6),
             "fleet": self.fleet,
         }
+        if self.health is not None:
+            summary["health"] = self.health
+        return summary
 
 
 class RecordService:
@@ -148,6 +179,13 @@ class RecordService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
+        policy = self.config.health or obs_health.HealthPolicy(
+            expect_dedup=self.config.expect_dedup
+        )
+        #: the live telemetry state — persistent across :meth:`serve`
+        #: calls on one service, so a record phase followed by a replay
+        #: phase exposes both through one ``/metrics`` history
+        self.hub = TelemetryHub(policy)
 
     # ------------------------------------------------------------------
     # Entry points.
@@ -164,6 +202,18 @@ class RecordService:
             queue_depth=config.queue_depth,
             max_inflight=config.max_inflight,
         )
+        # The journal is the telemetry plane's spine: the hub derives
+        # live per-session state from the same stream an operator tails.
+        journal = obs_events.install_journal(
+            capacity=config.journal_capacity, sink_path=config.events_path
+        )
+        journal.add_listener(self.hub.ingest_event)
+        self.hub.attach_fleet(fleet)
+        server: Optional[TelemetryServer] = None
+        bound_port: Optional[int] = None
+        if config.telemetry_port is not None:
+            server = TelemetryServer(self.hub, port=config.telemetry_port)
+            bound_port = await server.start()
         await fleet.start()
         loop = asyncio.get_running_loop()
         admission = asyncio.Semaphore(max(1, config.max_active))
@@ -175,6 +225,7 @@ class RecordService:
             thread_name_prefix="repro-session",
         )
         t0 = time.perf_counter()
+        elapsed = 0.0
         try:
             results = await asyncio.gather(
                 *(
@@ -182,12 +233,28 @@ class RecordService:
                     for request in requests
                 )
             )
-        finally:
+            # The scrape window below is idle time, not session work:
+            # stop the throughput clock before lingering.
             elapsed = time.perf_counter() - t0
+            if server is not None and config.telemetry_linger > 0:
+                # Scrape window: sessions are done but the endpoint stays
+                # up so operators/smoke tests can read the final state.
+                await asyncio.sleep(config.telemetry_linger)
+        finally:
+            if not elapsed:
+                elapsed = time.perf_counter() - t0
             await fleet.stop()
             threads.shutdown(wait=True)
+            if server is not None:
+                await server.stop()
+            health = self.hub.evaluate().to_plain()
+            obs_events.uninstall_journal()
         return ServiceReport(
-            results=list(results), fleet=fleet.summary(), elapsed=elapsed
+            results=list(results),
+            fleet=fleet.summary(),
+            elapsed=elapsed,
+            health=health,
+            telemetry_port=bound_port,
         )
 
     # ------------------------------------------------------------------
@@ -204,6 +271,11 @@ class RecordService:
         t_arrive = time.perf_counter()
         async with admission:
             admission_wait = time.perf_counter() - t_arrive
+            self.hub.session_admitted(request.sid, admission_wait)
+            obs_events.emit(
+                "session-admitted", sid=request.sid,
+                wait=round(admission_wait, 6),
+            )
             dispatcher = fleet.register(request.sid)
             try:
                 result = await loop.run_in_executor(
@@ -212,6 +284,18 @@ class RecordService:
             finally:
                 fleet.release(request.sid)
             result.admission_wait = admission_wait
+            self.hub.session_completed(
+                request.sid,
+                ok=result.ok,
+                epochs=result.epochs,
+                duration=result.duration,
+                summary=result.metrics.get("service"),
+                error=result.error,
+            )
+            obs_events.emit(
+                "session-completed", sid=request.sid, ok=result.ok,
+                epochs=result.epochs,
+            )
             return result
 
     def _session_body(
@@ -226,6 +310,9 @@ class RecordService:
         obs_metrics.activate_session_registry()
         tracer = obs_spans.Tracer() if request.trace else None
         obs_spans.set_session_tracer(tracer)
+        # Stamp every event this thread emits (epoch commits, contained
+        # faults, backpressure) with the tenant's session id.
+        obs_events.set_event_context(request.sid)
         try:
             if request.kind == "record":
                 self._run_record(request, dispatcher, result)
@@ -238,6 +325,7 @@ class RecordService:
             result.error = f"{type(exc).__name__}: {exc}"
         finally:
             result.tracer = tracer
+            obs_events.set_event_context(None)
             obs_spans.clear_session_tracer()
             obs_metrics.deactivate_session_registry()
             result.duration = time.perf_counter() - t0

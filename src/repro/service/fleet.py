@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.host.pool import _pool_pids, invalidate_shared_pool, shared_pool
+from repro.obs import events as obs_events
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -259,6 +260,9 @@ class FleetScheduler:
             lane.backpressure_wait += wait
             with self._lock:
                 self._backpressure_wait += wait
+            obs_events.emit(
+                "session-backpressure", wait=round(wait, 6),
+            )
         proxy: Future = Future()
         ticket = _Ticket(
             fn=fn,
@@ -442,18 +446,31 @@ class FleetScheduler:
     # ------------------------------------------------------------------
     def lane_summary(self, lane: _Lane) -> Dict[str, object]:
         with self._lock:
-            latencies = sorted(lane.latencies)
+            return self._lane_summary_locked(lane)
+
+    def _lane_summary_locked(self, lane: _Lane) -> Dict[str, object]:
+        latencies = sorted(lane.latencies)
+        return {
+            "units": lane.completed,
+            "inflight": lane.inflight,
+            "pending": len(lane.pending),
+            "queue_high_water": lane.queue_high_water,
+            "backpressure_hits": lane.backpressure_hits,
+            "backpressure_wait": round(lane.backpressure_wait, 6),
+            "fair_share_deficits": lane.deficit,
+            "unit_latency_p50": round(_percentile(latencies, 0.50), 6),
+            "unit_latency_p99": round(_percentile(latencies, 0.99), 6),
+            "bytes_shipped": lane.bytes_shipped,
+            "cross_session_hits": lane.cross_hits,
+            "cross_session_bytes_saved": lane.cross_bytes_saved,
+        }
+
+    def live_summary(self) -> Dict[str, Dict[str, object]]:
+        """Every registered lane's current state (the ``/sessions`` feed)."""
+        with self._lock:
             return {
-                "units": lane.completed,
-                "queue_high_water": lane.queue_high_water,
-                "backpressure_hits": lane.backpressure_hits,
-                "backpressure_wait": round(lane.backpressure_wait, 6),
-                "fair_share_deficits": lane.deficit,
-                "unit_latency_p50": round(_percentile(latencies, 0.50), 6),
-                "unit_latency_p99": round(_percentile(latencies, 0.99), 6),
-                "bytes_shipped": lane.bytes_shipped,
-                "cross_session_hits": lane.cross_hits,
-                "cross_session_bytes_saved": lane.cross_bytes_saved,
+                sid: self._lane_summary_locked(lane)
+                for sid, lane in self._lanes.items()
             }
 
     def summary(self) -> Dict[str, object]:

@@ -95,7 +95,43 @@ def test_merge_group_keeps_only_numeric_scalars():
         {"jobs": 4, "units": 7, "unit_pids": [1, 2], "wire": {"x": 1},
          "flag": True},
     )
-    assert metrics.snapshot() == {"host": {"jobs": 4, "units": 7}}
+    # Unexpected non-numerics are dropped *visibly*: each one counts
+    # under obs.metrics_dropped so worker-payload schema drift shows up.
+    assert metrics.snapshot() == {
+        "host": {"jobs": 4, "units": 7},
+        "obs": {"metrics_dropped": 3},
+    }
+
+
+def test_merge_group_ignore_list_suppresses_drop_counter():
+    metrics = RunMetrics()
+    metrics.merge_group(
+        "host",
+        {"jobs": 4, "unit_pids": [1, 2], "wire": {"x": 1}, "flag": True},
+        ignore=("unit_pids", "wire"),
+    )
+    # Named structural keys are expected; only the stray bool counts.
+    assert metrics.snapshot() == {
+        "host": {"jobs": 4},
+        "obs": {"metrics_dropped": 1},
+    }
+
+
+def test_build_run_metrics_host_structural_keys_not_counted_as_drops():
+    metrics = build_run_metrics(
+        {},
+        host={
+            "jobs": 2,
+            "unit_wall": [0.1],
+            "unit_cpu": [0.1],
+            "unit_pids": [11],
+            "fault_events": [],
+            "speculation": {"pushed": 0},
+            "wire": {"bytes_shipped": 1, "unit_bytes": [1]},
+            "faults": {"crashes": 0},
+        },
+    )
+    assert metrics.get("obs", "metrics_dropped") == 0
 
 
 def test_build_run_metrics_groups_dotted_names_and_host():
